@@ -1,0 +1,199 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per artifact — see DESIGN.md §4 for the
+// index and EXPERIMENTS.md for the recorded paper-vs-measured shapes).
+//
+//	go test -bench=. -benchmem
+//
+// The per-experiment AP-vs-fixed timings print through -v via b.Log;
+// `go run ./cmd/apbench` renders them as tables.
+package sqlcheck
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"sqlcheck/internal/corpus"
+	"sqlcheck/internal/exec"
+	"sqlcheck/internal/experiments"
+	"sqlcheck/internal/storage"
+)
+
+// BenchmarkFigure3MVATasks regenerates Figure 3: the three GlobaLeaks
+// tasks on the anti-pattern vs fixed design. Reported metrics are the
+// per-task speedups.
+func BenchmarkFigure3MVATasks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ms := experiments.Figure3(experiments.Small)
+		for j, m := range ms {
+			b.ReportMetric(m.Factor(), fmt.Sprintf("task%d-speedup", j+1))
+		}
+	}
+}
+
+// Per-task micro benchmarks: the AP and fixed sides of Figure 3's
+// Task #1, so `-bench Figure3Task1` shows the raw per-query costs.
+func BenchmarkFigure3Task1AP(b *testing.B) {
+	db := corpus.GlobaLeaksMVA(corpus.GlobaLeaksOptions{Tenants: 800, Users: 2400, UsersPerTenant: 3})
+	q := `SELECT * FROM Tenants WHERE User_IDs LIKE '[[:<:]]U1200[[:>:]]'`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustBench(b, db, q)
+	}
+}
+
+func BenchmarkFigure3Task1Fixed(b *testing.B) {
+	db := corpus.GlobaLeaksFixed(corpus.GlobaLeaksOptions{Tenants: 800, Users: 2400, UsersPerTenant: 3})
+	q := `SELECT T.* FROM Hosting AS H JOIN Tenants AS T ON H.Tenant_ID = T.Tenant_ID WHERE H.User_ID = 'U1200'`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustBench(b, db, q)
+	}
+}
+
+func mustBench(b *testing.B, db *storage.Database, q string) {
+	b.Helper()
+	if _, err := exec.RunSQL(db, q); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFigure8 regenerates Figure 8 (a–i) and reports each
+// sub-experiment's AP/fixed factor.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ms := experiments.Figure8(experiments.Small)
+		for _, m := range ms {
+			b.ReportMetric(m.Factor(), firstWord(m.Label)+"-x")
+		}
+	}
+}
+
+func firstWord(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// BenchmarkTable2Detection regenerates Table 2: detection quality of
+// sqlcheck vs dbdeo over the labeled corpus. Reported metrics are
+// false positives per detector.
+func BenchmarkTable2Detection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table2(experiments.Small)
+		b.ReportMetric(float64(res.TotalSqlcheck.FP), "sqlcheck-fp")
+		b.ReportMetric(float64(res.TotalDbdeo.FP), "dbdeo-fp")
+		b.ReportMetric(100*res.TotalSqlcheck.Recall(), "sqlcheck-recall-%")
+		b.ReportMetric(100*res.TotalDbdeo.Recall(), "dbdeo-recall-%")
+	}
+}
+
+// BenchmarkTable3Distribution regenerates Table 3's per-source
+// detection totals.
+func BenchmarkTable3Distribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table3(experiments.Small)
+		s, d := 0, 0
+		for _, n := range res.GitHubS {
+			s += n
+		}
+		for _, n := range res.GitHubD {
+			d += n
+		}
+		b.ReportMetric(float64(s), "github-sqlcheck")
+		b.ReportMetric(float64(d), "github-dbdeo")
+	}
+}
+
+// BenchmarkTable4Django regenerates the Django application audit
+// (Tables 4 and 7).
+func BenchmarkTable4Django(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table4()
+		det, rep := 0, 0
+		for _, r := range rows {
+			det += r.Detected
+			rep += r.Reported
+		}
+		b.ReportMetric(float64(det), "detected")
+		b.ReportMetric(float64(rep), "reported")
+	}
+}
+
+// BenchmarkTable5DataAnalysis regenerates the Kaggle data-analysis
+// experiment (Tables 5 and 6).
+func BenchmarkTable5DataAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table5()
+		total := 0
+		for _, r := range rows {
+			total += r.Detected
+		}
+		b.ReportMetric(float64(total), "detected")
+	}
+}
+
+// BenchmarkExample6Ranking regenerates the ranking-model walkthrough
+// (Figures 6/7, Example 6).
+func BenchmarkExample6Ranking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := experiments.Example6()
+		b.ReportMetric(e.C1IndexUnderuse, "c1-index-underuse")
+		b.ReportMetric(e.C1EnumTypes, "c1-enum-types")
+		b.ReportMetric(e.C2IndexUnderuse, "c2-index-underuse")
+		b.ReportMetric(e.C2EnumTypes, "c2-enum-types")
+	}
+}
+
+// BenchmarkUserStudy regenerates the §8.3 fix-acceptance pipeline.
+func BenchmarkUserStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.UserStudyReport()
+		b.ReportMetric(100*res.Efficacy(), "efficacy-%")
+		b.ReportMetric(float64(res.Detected), "detected")
+	}
+}
+
+// BenchmarkAdjacencyAblation regenerates the §8.5 version ablation.
+func BenchmarkAdjacencyAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ms := experiments.AdjacencyAblation(experiments.Small)
+		b.ReportMetric(ms[0].Factor(), "v9-x")
+		b.ReportMetric(ms[1].Factor(), "v11-x")
+	}
+}
+
+// BenchmarkDetectThroughput measures end-to-end detection throughput
+// on a single application workload — the tool's interactive latency.
+func BenchmarkDetectThroughput(b *testing.B) {
+	c := corpus.GitHub(corpus.GitHubOptions{Repos: 1, Seed: 42, MinStatements: 40, MaxStatements: 40})
+	sqlText := ""
+	for _, s := range c.Repos[0].Statements {
+		sqlText += s + ";\n"
+	}
+	checker := New()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := checker.CheckSQL(sqlText); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Catalog and BenchmarkTable8Features render the static
+// tables (cheap; present for per-artifact completeness).
+func BenchmarkTable1Catalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table1(io.Discard)
+	}
+}
+
+func BenchmarkTable8Features(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table8(io.Discard)
+	}
+}

@@ -1,0 +1,82 @@
+// Command apbench regenerates the paper's evaluation tables and
+// figures on the in-repo substrates (see EXPERIMENTS.md for the
+// paper-vs-measured record).
+//
+// Usage:
+//
+//	apbench -exp all            # everything (default)
+//	apbench -exp fig3           # Figure 3 (multi-valued attribute)
+//	apbench -exp fig8           # Figure 8 (index/FK/enum lifecycles)
+//	apbench -exp table1|table2|table3|table4|table5|table8
+//	apbench -exp example6|userstudy|adjacency
+//	apbench -scale full         # paper-shaped sizes (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sqlcheck/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment to run")
+		scale = flag.String("scale", "small", "small or full")
+	)
+	flag.Parse()
+
+	sc := experiments.Small
+	if *scale == "full" {
+		sc = experiments.Full
+	}
+	w := os.Stdout
+
+	runOne := func(name string) bool {
+		switch name {
+		case "fig3":
+			experiments.Fprint(w, "Figure 3: multi-valued attribute tasks", experiments.Figure3(sc))
+		case "fig8":
+			experiments.Fprint(w, "Figure 8: ranking and repair of APs", experiments.Figure8(sc))
+		case "table1":
+			experiments.Table1(w)
+		case "table2", "modes":
+			experiments.Table2(sc).Fprint(w)
+		case "table3":
+			experiments.Table3(sc).Fprint(w)
+		case "table4", "table7":
+			experiments.FprintTable4(w, experiments.Table4())
+		case "table5", "table6":
+			experiments.FprintTable5(w, experiments.Table5())
+		case "table8":
+			experiments.Table8(w)
+		case "example6":
+			experiments.Example6().Fprint(w)
+		case "userstudy":
+			experiments.UserStudyReport().Fprint(w)
+		case "datarules":
+			RunDataRulesAblation := experiments.RunDataRulesAblation()
+			RunDataRulesAblation.Fprint(w)
+		case "adjacency":
+			experiments.Fprint(w, "Adjacency-list ablation (§8.5)", experiments.AdjacencyAblation(sc))
+		default:
+			return false
+		}
+		return true
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{
+			"table1", "example6", "table2", "table3", "table4", "table5",
+			"table8", "userstudy", "datarules", "fig3", "fig8", "adjacency",
+		} {
+			runOne(name)
+		}
+		return
+	}
+	if !runOne(*exp) {
+		fmt.Fprintf(os.Stderr, "apbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,97 @@
+// Command sqlcheckd serves sqlcheck over HTTP — the REST interface of
+// the paper's §7:
+//
+//	POST /api/check   {"query": "INSERT INTO Users VALUES (1,'foo')"}
+//	  -> full JSON report (findings, fixes, query ranking)
+//	GET  /api/rules   -> the anti-pattern catalog
+//	GET  /healthz     -> "ok"
+//
+// Flags: -addr (default :8686), -mode, -weights.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"sqlcheck"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8686", "listen address")
+		mode    = flag.String("mode", "inter", "analysis mode: inter or intra")
+		weights = flag.String("weights", "c1", "ranking weights: c1 or c2")
+	)
+	flag.Parse()
+
+	opts := sqlcheck.Options{}
+	if *mode == "intra" {
+		opts.Mode = sqlcheck.IntraQuery
+	}
+	if *weights == "c2" {
+		opts.Weights = sqlcheck.Hybrid
+	}
+	srv := &http.Server{Addr: *addr, Handler: NewHandler(sqlcheck.New(opts))}
+	log.Printf("sqlcheckd listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintf(os.Stderr, "sqlcheckd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// CheckRequest is the POST /api/check payload.
+type CheckRequest struct {
+	Query string `json:"query"`
+}
+
+// ErrorResponse is returned for malformed requests.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHandler builds the HTTP mux; exported for tests.
+func NewHandler(checker *sqlcheck.Checker) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/api/rules", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, sqlcheck.Rules())
+	})
+	mux.HandleFunc("/api/check", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required"})
+			return
+		}
+		var req CheckRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "malformed JSON: " + err.Error()})
+			return
+		}
+		if req.Query == "" {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing query"})
+			return
+		}
+		report, err := checker.CheckSQL(req.Query)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, report)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("sqlcheckd: encoding response: %v", err)
+	}
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sqlcheck"
+)
+
+func server(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(sqlcheck.New()))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestHealthz(t *testing.T) {
+	srv := server(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestCheckEndpoint(t *testing.T) {
+	srv := server(t)
+	// The paper's own REST example.
+	body := `{"query":"INSERT INTO Users VALUES (1,'foo')"}`
+	resp, err := http.Post(srv.URL+"/api/check", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var report sqlcheck.Report
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		t.Fatal(err)
+	}
+	if !report.Has("implicit-columns") {
+		t.Errorf("findings = %+v", report.Findings)
+	}
+	for _, f := range report.Findings {
+		if f.Fix.Guidance == "" && !f.Fix.Automated() {
+			t.Errorf("finding %s lacks a fix", f.Rule)
+		}
+	}
+}
+
+func TestCheckEndpointErrors(t *testing.T) {
+	srv := server(t)
+	cases := []struct {
+		method, body string
+		wantStatus   int
+	}{
+		{"POST", `{"query":""}`, http.StatusBadRequest},
+		{"POST", `{bad json`, http.StatusBadRequest},
+		{"GET", ``, http.StatusMethodNotAllowed},
+	}
+	for _, c := range cases {
+		var resp *http.Response
+		var err error
+		if c.method == "GET" {
+			resp, err = http.Get(srv.URL + "/api/check")
+		} else {
+			resp, err = http.Post(srv.URL+"/api/check", "application/json", strings.NewReader(c.body))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("%s %q: status = %d, want %d", c.method, c.body, resp.StatusCode, c.wantStatus)
+		}
+	}
+}
+
+func TestRulesEndpoint(t *testing.T) {
+	srv := server(t)
+	resp, err := http.Get(srv.URL + "/api/rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var catalog []sqlcheck.RuleInfo
+	if err := json.NewDecoder(resp.Body).Decode(&catalog); err != nil {
+		t.Fatal(err)
+	}
+	if len(catalog) != 27 {
+		t.Errorf("catalog = %d rules", len(catalog))
+	}
+}

@@ -1,0 +1,117 @@
+package sqlcheck
+
+import (
+	"fmt"
+
+	"sqlcheck/internal/exec"
+	"sqlcheck/internal/parser"
+	"sqlcheck/internal/storage"
+)
+
+// Database is the embedded relational engine: an in-memory SQL
+// database with primary/foreign keys, CHECK constraints, B+tree
+// indexes, and a cost-modeled executor. It serves two roles: the
+// data-analysis target for CheckApplication (paper §4.2) and the
+// measurement substrate behind the benchmark harness.
+type Database struct {
+	inner *storage.Database
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{inner: storage.NewDatabase(name)}
+}
+
+// innerDB unwraps a possibly-nil public handle.
+func innerDB(db *Database) *storage.Database {
+	if db == nil {
+		return nil
+	}
+	return db.inner
+}
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	// Columns names the SELECT output columns.
+	Columns []string
+	// Rows holds SELECT output values rendered as strings; NULL
+	// renders as "NULL".
+	Rows [][]string
+	// Affected counts rows changed by DML.
+	Affected int
+	// Plan lists the access paths the executor chose.
+	Plan []string
+}
+
+// Exec parses and executes one SQL statement (DDL, DML, or SELECT).
+func (d *Database) Exec(sql string) (*Result, error) {
+	res, err := exec.Run(d.inner, parser.Parse(sql))
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Columns: res.Cols, Affected: res.Affected, Plan: res.Plan}
+	for _, row := range res.Rows {
+		srow := make([]string, len(row))
+		for i, v := range row {
+			if v.IsNull() {
+				srow[i] = "NULL"
+			} else {
+				srow[i] = v.String()
+			}
+		}
+		out.Rows = append(out.Rows, srow)
+	}
+	return out, nil
+}
+
+// MustExec executes a statement and panics on error; intended for test
+// and example setup code.
+func (d *Database) MustExec(sql string) *Result {
+	res, err := d.Exec(sql)
+	if err != nil {
+		panic(fmt.Sprintf("sqlcheck: MustExec(%q): %v", sql, err))
+	}
+	return res
+}
+
+// ExecScript executes each statement of a multi-statement script,
+// stopping at the first error.
+func (d *Database) ExecScript(sql string) error {
+	for _, stmt := range parser.ParseAll(sql) {
+		if _, err := exec.Run(d.inner, stmt); err != nil {
+			return fmt.Errorf("sqlcheck: %q: %w", firstLine(stmt.Raw()), err)
+		}
+	}
+	return nil
+}
+
+// Tables returns the table names in creation order.
+func (d *Database) Tables() []string {
+	var out []string
+	for _, t := range d.inner.Tables() {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// RowCount returns the number of live rows in a table (-1 if the
+// table does not exist).
+func (d *Database) RowCount(table string) int {
+	t := d.inner.Table(table)
+	if t == nil {
+		return -1
+	}
+	return t.Len()
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	if len(s) > 80 {
+		return s[:80]
+	}
+	return s
+}

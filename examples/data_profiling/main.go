@@ -1,0 +1,48 @@
+// Data profiling (paper §8.4, Kaggle experiment): run sqlcheck's data
+// rules against a live database with no query workload at all. The
+// data analyzer samples each table and flags numbers stored as text,
+// timestamps without zones, derived columns, constant columns, and
+// comma-separated lists.
+//
+//	go run ./examples/data_profiling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqlcheck"
+)
+
+func main() {
+	db := sqlcheck.NewDatabase("survey-dataset")
+	db.MustExec(`CREATE TABLE responses (
+		response_id INT PRIMARY KEY,
+		submitted   TIMESTAMP,
+		age_text    TEXT,
+		locale      VARCHAR(8),
+		topics      TEXT,
+		birth_year  INT,
+		age         INT,
+		rating      INT
+	)`)
+	for i := 0; i < 150; i++ {
+		year := 1950 + i%50
+		db.MustExec(fmt.Sprintf(`INSERT INTO responses
+			(response_id, submitted, age_text, locale, topics, birth_year, age, rating)
+			VALUES (%d, '2020-03-%02d 12:%02d:00', '%d', 'en-us', 'go,sql,db', %d, %d, %d)`,
+			i, i%28+1, i%60, 20+i%50, year, 2020-year, i%5+1))
+	}
+
+	report, err := sqlcheck.New().CheckApplication("", db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("data analysis found %d issue(s) without seeing a single query:\n\n", len(report.Findings))
+	for _, f := range report.Findings {
+		fmt.Printf("  [%-24s] %s\n", f.Rule, f.Message)
+		if len(f.Fix.NewStatements) > 0 {
+			fmt.Printf("  %26s fix: %s\n", "", f.Fix.NewStatements[0])
+		}
+	}
+}

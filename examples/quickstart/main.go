@@ -1,0 +1,60 @@
+// Quickstart: detect, rank, and print fixes for anti-patterns in a
+// small SQL script.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqlcheck"
+)
+
+const appSQL = `
+CREATE TABLE Tenant (
+    Tenant_ID INTEGER PRIMARY KEY,
+    Zone_ID VARCHAR(30) NOT NULL,
+    Active BOOLEAN,
+    User_IDs TEXT
+);
+
+CREATE TABLE Questionnaire (
+    Questionnaire_ID INTEGER PRIMARY KEY,
+    Tenant_ID INTEGER,
+    Name VARCHAR(30),
+    Editable BOOLEAN
+);
+
+SELECT q.Name, q.Editable, t.Active
+FROM Questionnaire q JOIN Tenant t ON t.Tenant_ID = q.Tenant_ID
+WHERE q.Editable = TRUE;
+
+SELECT * FROM Tenant WHERE User_IDs LIKE '[[:<:]]U1[[:>:]]';
+
+INSERT INTO Tenant VALUES (7, 'Z1', TRUE, 'U1,U2');
+`
+
+func main() {
+	report, err := sqlcheck.New().CheckSQL(appSQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analyzed %d statements, found %d anti-patterns\n\n",
+		report.Statements, len(report.Findings))
+	for i, f := range report.Findings {
+		fmt.Printf("%d. [%s] %s (score %.3f, confidence %.2f)\n",
+			i+1, f.Category, f.Name, f.Score, f.Confidence)
+		fmt.Printf("   %s\n", f.Message)
+		for _, rw := range f.Fix.Rewrites {
+			fmt.Printf("   rewrite: %s\n", rw.Fixed)
+		}
+		for _, st := range f.Fix.NewStatements {
+			fmt.Printf("   run:     %s\n", st)
+		}
+		if f.Fix.Guidance != "" {
+			fmt.Printf("   note:    %s\n", f.Fix.Guidance)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,64 @@
+// Repair: show the query repair engine's automatic rewrites (paper §6)
+// — implicit columns, SELECT * expansion, NULL-safe concatenation, and
+// the DISTINCT-over-JOIN to EXISTS transformation.
+//
+//	go run ./examples/repair
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqlcheck"
+)
+
+const script = `
+CREATE TABLE users (user_id INT PRIMARY KEY, first VARCHAR(40) NOT NULL, middle VARCHAR(40), last VARCHAR(40) NOT NULL);
+CREATE TABLE orders (order_id INT PRIMARY KEY, user_id INT REFERENCES users(user_id), total NUMERIC(10,2));
+
+INSERT INTO users VALUES (1, 'Ada', NULL, 'Lovelace');
+SELECT * FROM users WHERE user_id = 1;
+SELECT first || ' ' || middle || ' ' || last FROM users;
+SELECT DISTINCT u.first FROM users u JOIN orders o ON o.user_id = u.user_id;
+`
+
+func main() {
+	report, err := sqlcheck.New().CheckSQL(script)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rewrites := 0
+	for _, f := range report.Findings {
+		for _, rw := range f.Fix.Rewrites {
+			rewrites++
+			fmt.Printf("[%s]\n  before: %s\n  after:  %s\n\n", f.Rule, compact(rw.Original), rw.Fixed)
+		}
+	}
+	fmt.Printf("%d automatic rewrites out of %d findings; the rest carry textual guidance:\n\n", rewrites, len(report.Findings))
+	for _, f := range report.Findings {
+		if len(f.Fix.Rewrites) == 0 && f.Fix.Guidance != "" {
+			fmt.Printf("[%s] %s\n", f.Rule, f.Fix.Guidance)
+		}
+	}
+}
+
+func compact(s string) string {
+	out := make([]byte, 0, len(s))
+	space := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '\n' || c == '\t' {
+			c = ' '
+		}
+		if c == ' ' {
+			if space {
+				continue
+			}
+			space = true
+		} else {
+			space = false
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

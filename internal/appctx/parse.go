@@ -1,0 +1,8 @@
+package appctx
+
+import (
+	"sqlcheck/internal/parser"
+	"sqlcheck/internal/sqlast"
+)
+
+func parseAll(sqlText string) []sqlast.Statement { return parser.ParseAll(sqlText) }

@@ -1,0 +1,214 @@
+// Package btree implements an in-memory B+tree keyed by string with
+// int64 row-id postings. It backs the ordered secondary indexes of the
+// storage engine: point lookups, ordered iteration (for streaming
+// GROUP BY), and range scans. Duplicate keys are supported; each key
+// holds a list of row ids.
+package btree
+
+import "sort"
+
+const (
+	// degree is the maximum number of keys per node; chosen small
+	// enough to exercise splits in tests, large enough to keep depth
+	// shallow for realistic table sizes.
+	degree = 64
+)
+
+// Tree is a B+tree from string keys to sets of int64 row ids.
+type Tree struct {
+	root *node
+	size int // number of (key,id) postings
+}
+
+type node struct {
+	leaf     bool
+	keys     []string
+	children []*node   // interior nodes
+	vals     [][]int64 // leaf nodes: posting lists parallel to keys
+	next     *node     // leaf chain for ordered iteration
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}}
+}
+
+// Len returns the number of postings (key/id pairs) in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds a posting for key.
+func (t *Tree) Insert(key string, id int64) {
+	r := t.root
+	if len(r.keys) >= degree {
+		newRoot := &node{children: []*node{r}}
+		newRoot.splitChild(0)
+		t.root = newRoot
+	}
+	t.root.insert(key, id)
+	t.size++
+}
+
+// descend returns the child index to follow for key: the first child
+// whose separator is strictly greater than key. Keys equal to a
+// separator live in the RIGHT child (a leaf split keeps the separator
+// key as the right node's first key), so equality moves right.
+func (n *node) descend(key string) int {
+	return sort.Search(len(n.keys), func(j int) bool { return n.keys[j] > key })
+}
+
+func (n *node) insert(key string, id int64) {
+	if n.leaf {
+		i := sort.SearchStrings(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			n.vals[i] = append(n.vals[i], id)
+			return
+		}
+		n.keys = append(n.keys, "")
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = []int64{id}
+		return
+	}
+	i := n.descend(key)
+	if len(n.children[i].keys) >= degree {
+		n.splitChild(i)
+		if key >= n.keys[i] {
+			i++
+		}
+	}
+	n.children[i].insert(key, id)
+}
+
+// splitChild splits the i-th child, promoting its separator key.
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	mid := len(child.keys) / 2
+	var sep string
+	right := &node{leaf: child.leaf}
+	if child.leaf {
+		right.keys = append(right.keys, child.keys[mid:]...)
+		right.vals = append(right.vals, child.vals[mid:]...)
+		child.keys = child.keys[:mid]
+		child.vals = child.vals[:mid]
+		right.next = child.next
+		child.next = right
+		sep = right.keys[0]
+	} else {
+		sep = child.keys[mid]
+		right.keys = append(right.keys, child.keys[mid+1:]...)
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.keys = child.keys[:mid]
+		child.children = child.children[:mid+1]
+	}
+	n.keys = append(n.keys, "")
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Get returns the posting list for key, or nil.
+func (t *Tree) Get(key string) []int64 {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.descend(key)]
+	}
+	i := sort.SearchStrings(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		return n.vals[i]
+	}
+	return nil
+}
+
+// Delete removes one posting (key, id). It reports whether the posting
+// existed. Underflow is tolerated (nodes may become sparse); for the
+// workloads the engine runs — bulk load then read-mostly — rebalancing
+// on delete is not worth its complexity.
+func (t *Tree) Delete(key string, id int64) bool {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.descend(key)]
+	}
+	i := sort.SearchStrings(n.keys, key)
+	if i >= len(n.keys) || n.keys[i] != key {
+		return false
+	}
+	ids := n.vals[i]
+	for j, v := range ids {
+		if v == id {
+			n.vals[i] = append(ids[:j], ids[j+1:]...)
+			if len(n.vals[i]) == 0 {
+				n.keys = append(n.keys[:i], n.keys[i+1:]...)
+				n.vals = append(n.vals[:i], n.vals[i+1:]...)
+			}
+			t.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Ascend calls fn for each (key, ids) pair in ascending key order
+// until fn returns false.
+func (t *Tree) Ascend(fn func(key string, ids []int64) bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for n != nil {
+		for i, k := range n.keys {
+			if !fn(k, n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// AscendRange calls fn for keys in [lo, hi] (inclusive bounds; empty
+// string bounds mean unbounded) in ascending order until fn returns
+// false.
+func (t *Tree) AscendRange(lo, hi string, fn func(key string, ids []int64) bool) {
+	n := t.root
+	for !n.leaf {
+		// Descend toward the leftmost leaf that can contain lo: keys
+		// equal to a separator sit in the right child.
+		i := sort.Search(len(n.keys), func(j int) bool { return n.keys[j] > lo })
+		n = n.children[i]
+	}
+	for n != nil {
+		for i, k := range n.keys {
+			if k < lo {
+				continue
+			}
+			if hi != "" && k > hi {
+				return
+			}
+			if !fn(k, n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// Keys returns the number of distinct keys (for stats).
+func (t *Tree) Keys() int {
+	count := 0
+	t.Ascend(func(string, []int64) bool { count++; return true })
+	return count
+}
+
+// Depth returns the height of the tree (1 for a single leaf).
+func (t *Tree) Depth() int {
+	d := 1
+	n := t.root
+	for !n.leaf {
+		d++
+		n = n.children[0]
+	}
+	return d
+}

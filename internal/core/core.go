@@ -1,0 +1,186 @@
+// Package core orchestrates anti-pattern detection — the sqlcheck
+// algorithm of the paper's Algorithm 1. It builds the application
+// context from queries and (optionally) a live database, applies query
+// rules per statement with contextual refinement (Algorithm 2), then
+// applies data rules per table profile (Algorithm 3), and returns the
+// deduplicated findings.
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"sqlcheck/internal/appctx"
+	"sqlcheck/internal/parser"
+	"sqlcheck/internal/rules"
+	"sqlcheck/internal/sqlast"
+	"sqlcheck/internal/storage"
+)
+
+// Options configures a detection run.
+type Options struct {
+	// Config carries context-builder settings (mode, thresholds).
+	Config appctx.Config
+	// MinConfidence drops findings below the threshold; the default
+	// 0.5 keeps medium-confidence heuristics while suppressing the
+	// weakest string matches.
+	MinConfidence float64
+	// Rules restricts detection to the given rule IDs (nil = all).
+	Rules []string
+}
+
+// DefaultOptions returns the standard configuration (full inter-query
+// analysis).
+func DefaultOptions() Options {
+	return Options{Config: appctx.DefaultConfig(), MinConfidence: 0.5}
+}
+
+// Result is the outcome of a detection run.
+type Result struct {
+	Context  *appctx.Context
+	Findings []rules.Finding
+}
+
+// Detect runs the full pipeline over parsed statements and an optional
+// live database.
+func Detect(stmts []sqlast.Statement, db *storage.Database, opts Options) *Result {
+	if opts.MinConfidence == 0 {
+		opts.MinConfidence = 0.5
+	}
+	ctx := appctx.Build(stmts, db, opts.Config)
+	return detectWithContext(ctx, opts)
+}
+
+// DetectSQL parses the SQL text and runs detection.
+func DetectSQL(sqlText string, db *storage.Database, opts Options) *Result {
+	return Detect(parser.ParseAll(sqlText), db, opts)
+}
+
+func ruleEnabled(opts Options, id string) bool {
+	if len(opts.Rules) == 0 {
+		return true
+	}
+	for _, r := range opts.Rules {
+		if r == id {
+			return true
+		}
+	}
+	return false
+}
+
+func detectWithContext(ctx *appctx.Context, opts Options) *Result {
+	res := &Result{Context: ctx}
+	all := rules.All()
+
+	// Phase 1: query rules per statement (intra-query detection with
+	// contextual refinement).
+	for qi, f := range ctx.Facts {
+		for _, r := range all {
+			if r.DetectQuery == nil || !ruleEnabled(opts, r.ID) {
+				continue
+			}
+			res.Findings = append(res.Findings, r.DetectQuery(qi, f, ctx)...)
+		}
+	}
+
+	// Phase 2: schema rules (inter-query detection).
+	if ctx.Inter() {
+		for _, r := range all {
+			if r.DetectSchema == nil || !ruleEnabled(opts, r.ID) {
+				continue
+			}
+			res.Findings = append(res.Findings, r.DetectSchema(ctx)...)
+		}
+	}
+
+	// Phase 3: data rules per table profile (Algorithm 3).
+	if ctx.HasData() {
+		// Deterministic table order.
+		var names []string
+		for name := range ctx.Profiles {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			tp := ctx.Profiles[name]
+			for _, r := range all {
+				if r.DetectData == nil || !ruleEnabled(opts, r.ID) {
+					continue
+				}
+				res.Findings = append(res.Findings, r.DetectData(tp, ctx)...)
+			}
+		}
+	}
+
+	res.Findings = dedupe(res.Findings, opts.MinConfidence)
+	return res
+}
+
+// dedupe drops sub-threshold findings, merges exact duplicates, and
+// merges site-level duplicates across detectors (a data rule
+// confirming a query rule raises confidence rather than double
+// counting).
+func dedupe(in []rules.Finding, minConf float64) []rules.Finding {
+	// First pass: exact key.
+	byKey := map[string]int{}
+	var out []rules.Finding
+	for _, f := range in {
+		k := f.Key()
+		if i, ok := byKey[k]; ok {
+			if f.Confidence > out[i].Confidence {
+				out[i].Confidence = f.Confidence
+				out[i].Message = f.Message
+				out[i].Detector = f.Detector
+			}
+			continue
+		}
+		byKey[k] = len(out)
+		out = append(out, f)
+	}
+	// Second pass: schema/data findings (QueryIndex == -1) subsume
+	// query-level duplicates at the same site — confidence merges up,
+	// the site reports once plus per-query occurrences for fixes.
+	siteBest := map[string]float64{}
+	for _, f := range out {
+		sk := f.SiteKey()
+		if f.Confidence > siteBest[sk] {
+			siteBest[sk] = f.Confidence
+		}
+	}
+	var final []rules.Finding
+	for _, f := range out {
+		// A site confirmed by any detector lifts all its findings.
+		if best := siteBest[f.SiteKey()]; best > f.Confidence && f.Table != "" {
+			f.Confidence = best
+		}
+		if f.Confidence+1e-9 < minConf {
+			continue
+		}
+		final = append(final, f)
+	}
+	sort.SliceStable(final, func(i, j int) bool {
+		if final[i].QueryIndex != final[j].QueryIndex {
+			return final[i].QueryIndex < final[j].QueryIndex
+		}
+		if final[i].RuleID != final[j].RuleID {
+			return final[i].RuleID < final[j].RuleID
+		}
+		return strings.Compare(final[i].Table+final[i].Column, final[j].Table+final[j].Column) < 0
+	})
+	return final
+}
+
+// CountByRule aggregates findings per rule ID.
+func CountByRule(findings []rules.Finding) map[string]int {
+	out := map[string]int{}
+	for _, f := range findings {
+		out[f.RuleID]++
+	}
+	return out
+}
+
+// DistinctRuleCount returns how many different anti-pattern types were
+// found.
+func DistinctRuleCount(findings []rules.Finding) int {
+	return len(CountByRule(findings))
+}

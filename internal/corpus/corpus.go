@@ -1,0 +1,105 @@
+// Package corpus generates the synthetic, ground-truth-labeled
+// evaluation workloads that stand in for the paper's proprietary data
+// sets (DESIGN.md §3): the GitHub query corpus (1406 repos / ~174k
+// statements in the paper), the 31 Kaggle databases, the 15 Django
+// application workloads, and the 23-participant user study. All
+// generators are deterministic in their seed.
+package corpus
+
+import (
+	"sort"
+)
+
+// Repo is one repository-like unit: a schema plus statements analyzed
+// together (inter-query context is per repo).
+type Repo struct {
+	Name       string
+	Statements []string
+	// Truth maps statement index -> rule IDs genuinely present. An
+	// absent entry means the statement is anti-pattern-free.
+	Truth map[int][]string
+}
+
+// AddStatement appends a statement with its ground-truth labels and
+// returns its index.
+func (r *Repo) AddStatement(sql string, truthRuleIDs ...string) int {
+	idx := len(r.Statements)
+	r.Statements = append(r.Statements, sql)
+	if len(truthRuleIDs) > 0 {
+		if r.Truth == nil {
+			r.Truth = map[int][]string{}
+		}
+		r.Truth[idx] = append(r.Truth[idx], truthRuleIDs...)
+	}
+	return idx
+}
+
+// HasTruth reports whether the statement truly contains the rule.
+func (r *Repo) HasTruth(idx int, ruleID string) bool {
+	for _, id := range r.Truth[idx] {
+		if id == ruleID {
+			return true
+		}
+	}
+	return false
+}
+
+// TruthCount counts (statement, rule) truth pairs for one rule across
+// the repo.
+func (r *Repo) TruthCount(ruleID string) int {
+	n := 0
+	for _, ids := range r.Truth {
+		for _, id := range ids {
+			if id == ruleID {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// GitHubCorpus is a collection of repos.
+type GitHubCorpus struct {
+	Repos []*Repo
+}
+
+// TotalStatements counts statements across repos.
+func (c *GitHubCorpus) TotalStatements() int {
+	n := 0
+	for _, r := range c.Repos {
+		n += len(r.Statements)
+	}
+	return n
+}
+
+// TruthByRule aggregates truth counts per rule across the corpus.
+func (c *GitHubCorpus) TruthByRule() map[string]int {
+	out := map[string]int{}
+	for _, r := range c.Repos {
+		for _, ids := range r.Truth {
+			for _, id := range ids {
+				out[id]++
+			}
+		}
+	}
+	return out
+}
+
+// RuleIDsInTruth returns the sorted set of rule IDs appearing in the
+// corpus ground truth.
+func (c *GitHubCorpus) RuleIDsInTruth() []string {
+	set := map[string]bool{}
+	for _, r := range c.Repos {
+		for _, ids := range r.Truth {
+			for _, id := range ids {
+				set[id] = true
+			}
+		}
+	}
+	var out []string
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,214 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlcheck/internal/rules"
+	"sqlcheck/internal/schema"
+	"sqlcheck/internal/storage"
+	"sqlcheck/internal/xrand"
+)
+
+// DjangoApp is one synthetic web-application workload: ORM-shaped SQL
+// plus a small live database, with seeded ground truth.
+type DjangoApp struct {
+	Name   string
+	Domain string
+	// Statements is the captured query workload (DDL from migrations
+	// plus queries from "integration tests").
+	Statements []string
+	// DB is the deployed database (for data rules).
+	DB *storage.Database
+	// Seeded maps rule ID -> seeded instance count.
+	Seeded map[string]int
+	// Reported lists the high-impact AP types the paper reported
+	// upstream for this app (Table 7).
+	Reported []string
+}
+
+// TotalSeeded sums seeded instances.
+func (a *DjangoApp) TotalSeeded() int {
+	n := 0
+	for _, c := range a.Seeded {
+		n += c
+	}
+	return n
+}
+
+// djangoSpec encodes paper Table 7: app, domain, total APs detected,
+// and the reported AP names.
+type djangoSpec struct {
+	name, domain string
+	total        int
+	reported     []string
+}
+
+var djangoSpecs = []djangoSpec{
+	{"globaleaks", "whistleblower", 10, []string{rules.IDNoForeignKey, rules.IDEnumeratedTypes}},
+	{"django-oscar", "e-commerce", 12, []string{rules.IDRoundingErrors, rules.IDIndexOveruse}},
+	{"saleor", "e-commerce", 10, []string{rules.IDMultiValuedAttribute, rules.IDIndexOveruse}},
+	{"django-crm", "crm", 8, []string{rules.IDIndexUnderuse, rules.IDIndexOveruse, rules.IDPatternMatching, rules.IDNoDomainConstraint}},
+	{"django-cms", "cms", 11, []string{rules.IDIndexOveruse}},
+	{"wagtail-autocomplete", "utility", 1, []string{rules.IDPatternMatching}},
+	{"shuup", "e-commerce", 6, []string{rules.IDIndexOveruse}},
+	{"pretix", "e-commerce", 11, []string{rules.IDIndexOveruse, rules.IDPatternMatching, rules.IDNoDomainConstraint}},
+	{"django-countries", "library", 1, []string{rules.IDMultiValuedAttribute}},
+	{"micro-finance", "finance", 8, []string{rules.IDIndexUnderuse, rules.IDIndexOveruse, rules.IDPatternMatching, rules.IDNoDomainConstraint}},
+	{"bootcamp", "social-network", 5, []string{rules.IDIndexOveruse}},
+	{"netbox", "dcim", 9, []string{rules.IDIndexOveruse, rules.IDPatternMatching, rules.IDNoDomainConstraint}},
+	{"ralph", "asset-mgmt", 12, []string{rules.IDIndexOveruse, rules.IDPatternMatching, rules.IDNoDomainConstraint}},
+	{"taiga", "e-commerce", 9, []string{rules.IDIndexOveruse, rules.IDNoDomainConstraint}},
+	{"wagtail", "cms", 10, []string{rules.IDIndexOveruse, rules.IDNoDomainConstraint}},
+}
+
+// DjangoSuiteOptions configures the suite.
+type DjangoSuiteOptions struct {
+	Seed uint64
+	Rows int // rows per seeded table (default 100)
+}
+
+// DjangoSuite builds the 15 application workloads of Table 7.
+func DjangoSuite(opts DjangoSuiteOptions) []*DjangoApp {
+	if opts.Seed == 0 {
+		opts.Seed = 15
+	}
+	if opts.Rows == 0 {
+		opts.Rows = 100
+	}
+	r := xrand.New(opts.Seed)
+	var out []*DjangoApp
+	for _, spec := range djangoSpecs {
+		out = append(out, buildDjangoApp(spec, r, opts.Rows))
+	}
+	return out
+}
+
+// fillerTypes pad each app's AP count beyond its reported types with
+// lower-impact APs commonly produced by Django's ORM defaults.
+var fillerTypes = []string{
+	rules.IDGenericPrimaryKey,
+	rules.IDColumnWildcard,
+	rules.IDImplicitColumns,
+	rules.IDGodTable,
+	rules.IDRoundingErrors,
+}
+
+func buildDjangoApp(spec djangoSpec, r *xrand.Rand, rows int) *DjangoApp {
+	app := &DjangoApp{
+		Name:   spec.name,
+		Domain: spec.domain,
+		DB:     storage.NewDatabase(spec.name),
+		Seeded: map[string]int{},
+	}
+	app.Reported = append(app.Reported, spec.reported...)
+	b := &djangoBuilder{app: app, r: r, rows: rows}
+	// Baseline migration + queries every Django app has (clean).
+	b.baseline()
+	// One seed per reported type first, then fillers up to the total.
+	plan := append([]string{}, spec.reported...)
+	fi := 0
+	for len(plan) < spec.total {
+		plan = append(plan, fillerTypes[fi%len(fillerTypes)])
+		fi++
+	}
+	for _, ruleID := range plan {
+		b.seed(ruleID)
+		app.Seeded[ruleID]++
+	}
+	return app
+}
+
+type djangoBuilder struct {
+	app  *DjangoApp
+	r    *xrand.Rand
+	rows int
+	seq  int
+}
+
+func (b *djangoBuilder) add(sql string) { b.app.Statements = append(b.app.Statements, sql) }
+
+func (b *djangoBuilder) fresh(base string) string {
+	b.seq++
+	return fmt.Sprintf("%s_%s_%c%c", strings.ReplaceAll(b.app.Name, "-", "_"), base,
+		'a'+byte(b.seq%26), 'a'+byte((b.seq/26)%26))
+}
+
+// baseline emits the clean core of the app.
+func (b *djangoBuilder) baseline() {
+	t := b.fresh("auth_user")
+	b.add(fmt.Sprintf("CREATE TABLE %s (%s_id INT PRIMARY KEY, username VARCHAR(150) NOT NULL UNIQUE, email VARCHAR(254), date_joined TIMESTAMP WITH TIME ZONE)", t, t))
+	b.add(fmt.Sprintf("SELECT username, email FROM %s WHERE %s_id = %d", t, t, b.r.Intn(100)))
+	b.add(fmt.Sprintf("INSERT INTO %s (%s_id, username, email, date_joined) VALUES (%d, 'u%d', 'u%d@x.io', '2020-01-01 00:00:00+00')",
+		t, t, b.r.Intn(10000), b.r.Intn(999), b.r.Intn(999)))
+}
+
+// seed emits one AP instance of the given type into the workload or
+// database.
+func (b *djangoBuilder) seed(ruleID string) {
+	switch ruleID {
+	case rules.IDNoForeignKey:
+		ref := b.fresh("tenant")
+		own := b.fresh("questionnaire")
+		b.add(fmt.Sprintf("CREATE TABLE %s (%s_id INT PRIMARY KEY, zone VARCHAR(30))", ref, ref))
+		b.add(fmt.Sprintf("CREATE TABLE %s (%s_id INT PRIMARY KEY, %s_id INT, name VARCHAR(30))", own, own, ref))
+		b.add(fmt.Sprintf("SELECT q.name FROM %s q JOIN %s t ON t.%s_id = q.%s_id", own, ref, ref, ref))
+	case rules.IDEnumeratedTypes:
+		t := b.fresh("submission")
+		b.add(fmt.Sprintf("CREATE TABLE %s (%s_id INT PRIMARY KEY, state VARCHAR(10) CHECK (state IN ('new','open','closed')))", t, t))
+	case rules.IDRoundingErrors:
+		t := b.fresh("order")
+		b.add(fmt.Sprintf("CREATE TABLE %s (%s_id INT PRIMARY KEY, total_price FLOAT)", t, t))
+	case rules.IDIndexOveruse:
+		t := b.fresh("catalog")
+		b.add(fmt.Sprintf("CREATE TABLE %s (%s_id INT PRIMARY KEY, sku VARCHAR(30), cat VARCHAR(30), flag BOOLEAN)", t, t))
+		b.add(fmt.Sprintf("CREATE INDEX %s_sku_cat ON %s (sku, cat)", t, t))
+		b.add(fmt.Sprintf("CREATE INDEX %s_sku ON %s (sku)", t, t))
+		b.add(fmt.Sprintf("SELECT %s_id FROM %s WHERE sku = 'S-%d' AND cat = 'c%d'", t, t, b.r.Intn(999), b.r.Intn(20)))
+	case rules.IDIndexUnderuse:
+		t := b.fresh("activity")
+		b.add(fmt.Sprintf("CREATE TABLE %s (%s_id INT PRIMARY KEY, actor VARCHAR(30), verb VARCHAR(20))", t, t))
+		b.add(fmt.Sprintf("SELECT %s_id FROM %s WHERE actor = 'a%d'", t, t, b.r.Intn(500)))
+		b.add(fmt.Sprintf("SELECT verb FROM %s WHERE actor = 'a%d'", t, b.r.Intn(500)))
+	case rules.IDPatternMatching:
+		t := b.fresh("page")
+		b.add(fmt.Sprintf("CREATE TABLE %s (%s_id INT PRIMARY KEY, slug VARCHAR(80), body TEXT)", t, t))
+		b.add(fmt.Sprintf("SELECT %s_id FROM %s WHERE body LIKE '%%term%d%%'", t, t, b.r.Intn(50)))
+	case rules.IDMultiValuedAttribute:
+		t := b.fresh("profile")
+		b.add(fmt.Sprintf("CREATE TABLE %s (%s_id INT PRIMARY KEY, country_codes TEXT)", t, t))
+		b.add(fmt.Sprintf("SELECT %s_id FROM %s WHERE country_codes LIKE '%%DE%%'", t, t))
+	case rules.IDNoDomainConstraint:
+		// Data-detected: seed a rating column in the live database.
+		name := b.fresh("review")
+		tab := b.app.DB.CreateTable(name, []storage.ColumnDef{
+			{Name: name + "_id", Class: schema.ClassInteger},
+			{Name: "rating", Class: schema.ClassInteger},
+			{Name: "body", Class: schema.ClassChar},
+		})
+		if err := tab.SetPrimaryKey(name + "_id"); err != nil {
+			panic(err)
+		}
+		for i := 0; i < b.rows; i++ {
+			tab.MustInsert(storage.Int(int64(i)), storage.Int(int64(i%5+1)), storage.Str(fmt.Sprintf("r%d-%d", i, b.r.Intn(99))))
+		}
+	case rules.IDGenericPrimaryKey:
+		t := b.fresh("model")
+		b.add(fmt.Sprintf("CREATE TABLE %s (id INT PRIMARY KEY, data VARCHAR(50))", t))
+	case rules.IDColumnWildcard:
+		t := b.fresh("model")
+		b.add(fmt.Sprintf("CREATE TABLE %s (%s_id INT PRIMARY KEY, a VARCHAR(10), b VARCHAR(10))", t, t))
+		b.add(fmt.Sprintf("SELECT * FROM %s WHERE %s_id = %d", t, t, b.r.Intn(100)))
+	case rules.IDImplicitColumns:
+		t := b.fresh("log")
+		b.add(fmt.Sprintf("CREATE TABLE %s (%s_id INT PRIMARY KEY, msg VARCHAR(100))", t, t))
+		b.add(fmt.Sprintf("INSERT INTO %s VALUES (%d, 'started')", t, b.r.Intn(10000)))
+	case rules.IDGodTable:
+		t := b.fresh("settings")
+		cols := make([]string, 13)
+		for i := range cols {
+			cols[i] = fmt.Sprintf("opt_%c VARCHAR(20)", 'a'+byte(i))
+		}
+		b.add(fmt.Sprintf("CREATE TABLE %s (%s_id INT PRIMARY KEY, %s)", t, t, strings.Join(cols, ", ")))
+	}
+}

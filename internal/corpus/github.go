@@ -1,0 +1,308 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlcheck/internal/rules"
+	"sqlcheck/internal/xrand"
+)
+
+// GitHubOptions sizes the GitHub-style corpus.
+type GitHubOptions struct {
+	// Repos is the number of repositories (paper: 1406).
+	Repos int
+	// Seed drives all randomness.
+	Seed uint64
+	// MinStatements/MaxStatements bound per-repo statement counts.
+	MinStatements, MaxStatements int
+	// CleanFraction is the share of anti-pattern-free statements
+	// (default 0.45); a slice of those are adversarial negatives that
+	// trip context-free detectors.
+	CleanFraction float64
+}
+
+func (o GitHubOptions) withDefaults() GitHubOptions {
+	if o.Repos == 0 {
+		o.Repos = 60
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MinStatements == 0 {
+		o.MinStatements = 15
+	}
+	if o.MaxStatements == 0 {
+		o.MaxStatements = 45
+	}
+	if o.CleanFraction == 0 {
+		o.CleanFraction = 0.45
+	}
+	return o
+}
+
+// GitHub generates the labeled corpus.
+func GitHub(opts GitHubOptions) *GitHubCorpus {
+	opts = opts.withDefaults()
+	r := xrand.New(opts.Seed)
+	c := &GitHubCorpus{}
+	for i := 0; i < opts.Repos; i++ {
+		g := &repoGen{r: r, repo: &Repo{Name: fmt.Sprintf("repo%04d", i)}}
+		n := opts.MinStatements + r.Intn(opts.MaxStatements-opts.MinStatements+1)
+		g.generate(n, opts.CleanFraction)
+		c.Repos = append(c.Repos, g.repo)
+	}
+	return c
+}
+
+// repoGen holds per-repo naming state.
+type repoGen struct {
+	r    *xrand.Rand
+	repo *Repo
+	seq  int
+}
+
+var (
+	tableVocab  = []string{"users", "orders", "products", "events", "sessions", "invoices", "accounts", "posts", "comments", "payments", "shipments", "reviews"}
+	columnVocab = []string{"name", "title", "status", "amount", "quantity", "city", "country", "email", "phone", "category", "notes", "created_at"}
+)
+
+// fresh generates a unique table name. Suffixes are letters — real
+// table names rarely end in digits, and digit suffixes would hand the
+// baseline detector a clone-table match on every statement.
+func (g *repoGen) fresh(base string) string {
+	g.seq++
+	return fmt.Sprintf("%s_%c%c", base, 'a'+byte(g.seq%26), 'a'+byte((g.seq/26)%26))
+}
+
+func (g *repoGen) pick(items []string) string { return xrand.Pick(g.r, items) }
+
+// generate emits n statements mixing clean templates, adversarial
+// negatives, and anti-pattern templates.
+func (g *repoGen) generate(n int, cleanFrac float64) {
+	for len(g.repo.Statements) < n {
+		switch {
+		case g.r.Bool(cleanFrac * 0.7):
+			g.cleanStatement()
+		case g.r.Bool(cleanFrac * 0.3 / (1 - cleanFrac*0.7)):
+			g.adversarialNegative()
+		default:
+			g.antiPattern()
+		}
+	}
+}
+
+// cleanStatement emits an AP-free statement.
+func (g *repoGen) cleanStatement() {
+	t := g.fresh(g.pick(tableVocab))
+	c1, c2 := g.pick(columnVocab), g.pick(columnVocab)
+	switch g.r.Intn(6) {
+	case 0:
+		g.repo.AddStatement(fmt.Sprintf(
+			"CREATE TABLE %s (%s_id INT PRIMARY KEY, %s VARCHAR(40) NOT NULL, %s NUMERIC(12,2), created TIMESTAMP WITH TIME ZONE)",
+			t, t, c1, c2))
+	case 1:
+		g.repo.AddStatement(fmt.Sprintf("SELECT %s, %s FROM %s WHERE %s_id = %d", c1, c2, t, t, g.r.Intn(1000)))
+	case 2:
+		g.repo.AddStatement(fmt.Sprintf("INSERT INTO %s (%s_id, %s) VALUES (%d, 'v%d')", t, t, c1, g.r.Intn(1000), g.r.Intn(100)))
+	case 3:
+		g.repo.AddStatement(fmt.Sprintf("UPDATE %s SET %s = 'x%d' WHERE %s_id = %d", t, c1, g.r.Intn(50), t, g.r.Intn(1000)))
+	case 4:
+		g.repo.AddStatement(fmt.Sprintf("DELETE FROM %s WHERE %s_id = %d", t, t, g.r.Intn(1000)))
+	case 5:
+		g.repo.AddStatement(fmt.Sprintf("SELECT COUNT(%s) FROM %s GROUP BY %s", c1, t, c2))
+	}
+}
+
+// adversarialNegative emits clean statements shaped to trip
+// context-free regex detection (dbdeo's false-positive classes).
+func (g *repoGen) adversarialNegative() {
+	t := g.fresh(g.pick(tableVocab))
+	switch g.r.Intn(6) {
+	case 0:
+		// Prefix LIKE on an id column: index-friendly, no AP; dbdeo's
+		// MVA and pattern regexes both fire.
+		g.repo.AddStatement(fmt.Sprintf(
+			"SELECT %s_id FROM %s WHERE order_id LIKE 'ORD-%d%%'", t, t, 2000+g.r.Intn(25)))
+	case 1:
+		// Type-parameter commas: NUMERIC(10,2) inflates naive comma
+		// counting toward the god-table threshold. Prose column names
+		// avoid genuine data-in-metadata truth.
+		named := []string{"gross NUMERIC(10,2)", "net NUMERIC(12,4)", "tax NUMERIC(8,2)", "tip NUMERIC(8,2)", "fee NUMERIC(8,2)", "discount NUMERIC(8,2)"}
+		g.repo.AddStatement(fmt.Sprintf(
+			"CREATE TABLE %s (%s_id INT PRIMARY KEY, %s, state VARCHAR(8))",
+			t, t, strings.Join(named, ", ")))
+	case 2:
+		// Legitimate numeric-suffixed columns (hashes, address lines).
+		g.repo.AddStatement(fmt.Sprintf(
+			"CREATE TABLE %s (%s_id INT PRIMARY KEY, sha256 VARCHAR(64) NOT NULL, addr1 VARCHAR(80), addr2 VARCHAR(80))",
+			t, t))
+	case 3:
+		// parent_id referencing a DIFFERENT table: not an adjacency
+		// list.
+		parent := g.fresh("categories")
+		g.repo.AddStatement(fmt.Sprintf("CREATE TABLE %s (%s_id INT PRIMARY KEY, label VARCHAR(30))", parent, parent))
+		g.repo.AddStatement(fmt.Sprintf(
+			"CREATE TABLE %s (%s_id INT PRIMARY KEY, parent_id INT REFERENCES %s(%s_id))",
+			t, t, parent, parent))
+	case 4:
+		// A single numbered table (archive year) with no clone
+		// siblings.
+		name := fmt.Sprintf("%s_%d", t, 2015+g.r.Intn(10))
+		g.repo.AddStatement(fmt.Sprintf("CREATE TABLE %s (%s_id INT PRIMARY KEY, payload TEXT)", name, t))
+	case 5:
+		// A fixed physical series (wheel positions on a vehicle) is a
+		// legitimate numbered column family: BOTH detectors flag it as
+		// data-in-metadata — a shared false positive the paper's
+		// manual audit would reject.
+		g.repo.AddStatement(fmt.Sprintf(
+			"CREATE TABLE %s (%s_id INT PRIMARY KEY, wheel_1 NUMERIC(6,2), wheel_2 NUMERIC(6,2), wheel_3 NUMERIC(6,2), wheel_4 NUMERIC(6,2))",
+			t, t))
+	}
+}
+
+// apWeights biases the template mix toward the paper's Table 3
+// distribution, where implicit columns, column wildcards, and missing
+// primary keys dominate sqlcheck's detections.
+var apWeights = []int{
+	0:  2, // MVA word-boundary
+	1:  2, // MVA list column
+	2:  2, // pattern matching
+	3:  1, // god table
+	4:  4, // no primary key
+	5:  1, // enum ENUM
+	6:  1, // enum CHECK
+	7:  2, // rounding
+	8:  1, // data in metadata
+	9:  1, // adjacency
+	10: 1, // clone group
+	11: 5, // column wildcard
+	12: 6, // implicit columns
+	13: 1, // order by rand
+	14: 1, // distinct join
+	15: 1, // too many joins
+	16: 1, // readable password
+	17: 1, // no foreign key
+	18: 1, // enum domain enforced in application code (FN for both)
+}
+
+var apWeightTotal = func() int {
+	n := 0
+	for _, w := range apWeights {
+		n += w
+	}
+	return n
+}()
+
+// antiPattern emits a statement (or statement group) with ground-truth
+// labels.
+func (g *repoGen) antiPattern() {
+	t := g.fresh(g.pick(tableVocab))
+	pick := g.r.Intn(apWeightTotal)
+	tplIdx := 0
+	for i, w := range apWeights {
+		if pick < w {
+			tplIdx = i
+			break
+		}
+		pick -= w
+	}
+	switch tplIdx {
+	case 0: // multi-valued attribute: word-boundary search
+		g.repo.AddStatement(fmt.Sprintf(
+			"SELECT * FROM %s WHERE user_ids LIKE '[[:<:]]U%d[[:>:]]'", t, g.r.Intn(99)),
+			rules.IDMultiValuedAttribute, rules.IDPatternMatching, rules.IDColumnWildcard)
+	case 1: // multi-valued attribute: list-named column + wildcard
+		g.repo.AddStatement(fmt.Sprintf(
+			"SELECT %s_id FROM %s WHERE tags LIKE '%%tag%d%%'", t, t, g.r.Intn(50)),
+			rules.IDMultiValuedAttribute, rules.IDPatternMatching)
+	case 2: // plain expensive pattern matching (not a list column)
+		g.repo.AddStatement(fmt.Sprintf(
+			"SELECT %s_id FROM %s WHERE notes LIKE '%%urgent%%'", t, t),
+			rules.IDPatternMatching)
+	case 3: // god table (simple columns, genuinely many)
+		cols := make([]string, 14)
+		for i := range cols {
+			cols[i] = fmt.Sprintf("%s_%c INT", g.pick(columnVocab), 'a'+byte(i))
+		}
+		g.repo.AddStatement(fmt.Sprintf("CREATE TABLE %s (%s_id INT PRIMARY KEY, %s)",
+			t, t, strings.Join(cols, ", ")), rules.IDGodTable)
+	case 4: // no primary key
+		g.repo.AddStatement(fmt.Sprintf("CREATE TABLE %s (%s VARCHAR(40), %s TEXT)",
+			t, g.pick(columnVocab), g.pick(columnVocab)), rules.IDNoPrimaryKey)
+	case 5: // enumerated types via ENUM
+		g.repo.AddStatement(fmt.Sprintf(
+			"CREATE TABLE %s (%s_id INT PRIMARY KEY, status ENUM('new','active','closed'))",
+			t, t), rules.IDEnumeratedTypes)
+	case 6: // enumerated types via CHECK IN — dbdeo's known miss
+		g.repo.AddStatement(fmt.Sprintf(
+			"CREATE TABLE %s (%s_id INT PRIMARY KEY, role VARCHAR(8) CHECK (role IN ('R1','R2','R3')))",
+			t, t), rules.IDEnumeratedTypes)
+	case 7: // rounding errors
+		g.repo.AddStatement(fmt.Sprintf(
+			"CREATE TABLE %s (%s_id INT PRIMARY KEY, price FLOAT, balance DOUBLE PRECISION)",
+			t, t), rules.IDRoundingErrors)
+	case 8: // data in metadata: genuine column series
+		g.repo.AddStatement(fmt.Sprintf(
+			"CREATE TABLE %s (%s_id INT PRIMARY KEY, q1 INT, q2 INT, q3 INT, q4 INT, q5 INT)",
+			t, t), rules.IDDataInMetadata)
+	case 9: // adjacency list: true self reference
+		g.repo.AddStatement(fmt.Sprintf(
+			"CREATE TABLE %s (%s_id INT PRIMARY KEY, parent_id INT REFERENCES %s(%s_id))",
+			t, t, t, t), rules.IDAdjacencyList)
+	case 10: // clone tables: a real numbered family
+		base := g.fresh("archive")
+		for y := 0; y < 3; y++ {
+			g.repo.AddStatement(fmt.Sprintf(
+				"CREATE TABLE %s_%d (%s_id INT PRIMARY KEY, payload TEXT)", base, y+1, base),
+				rules.IDCloneTable)
+		}
+	case 11: // column wildcard
+		g.repo.AddStatement(fmt.Sprintf("SELECT * FROM %s WHERE %s_id = %d", t, t, g.r.Intn(500)),
+			rules.IDColumnWildcard)
+	case 12: // implicit columns
+		g.repo.AddStatement(fmt.Sprintf("INSERT INTO %s VALUES (%d, 'x', TRUE)", t, g.r.Intn(500)),
+			rules.IDImplicitColumns)
+	case 13: // order by rand
+		g.repo.AddStatement(fmt.Sprintf("SELECT %s FROM %s ORDER BY RAND() LIMIT 5", g.pick(columnVocab), t),
+			rules.IDOrderByRand)
+	case 14: // distinct + join
+		u := g.fresh(g.pick(tableVocab))
+		g.repo.AddStatement(fmt.Sprintf(
+			"SELECT DISTINCT a.%s FROM %s a JOIN %s b ON a.%s_id = b.%s_id",
+			g.pick(columnVocab), t, u, t, t), rules.IDDistinctJoin)
+	case 15: // too many joins
+		names := make([]string, 5)
+		for i := range names {
+			names[i] = g.fresh(g.pick(tableVocab))
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "SELECT %s.%s FROM %s", names[0], g.pick(columnVocab), names[0])
+		for i := 1; i < len(names); i++ {
+			fmt.Fprintf(&sb, " JOIN %s ON %s.k = %s.k", names[i], names[i-1], names[i])
+		}
+		g.repo.AddStatement(sb.String(), rules.IDTooManyJoins)
+	case 16: // readable password
+		g.repo.AddStatement(fmt.Sprintf(
+			"CREATE TABLE %s (%s_id INT PRIMARY KEY, login VARCHAR(30), password VARCHAR(30))",
+			t, t), rules.IDReadablePassword)
+	case 17: // no foreign key: DDL pair + join (inter-query AP)
+		ref := g.fresh(g.pick(tableVocab))
+		g.repo.AddStatement(fmt.Sprintf("CREATE TABLE %s (%s_id INT PRIMARY KEY, %s VARCHAR(30))",
+			ref, ref, g.pick(columnVocab)))
+		g.repo.AddStatement(fmt.Sprintf(
+			"CREATE TABLE %s (%s_id INT PRIMARY KEY, %s_id INT, %s VARCHAR(30))",
+			t, t, ref, g.pick(columnVocab)), rules.IDNoForeignKey)
+		g.repo.AddStatement(fmt.Sprintf(
+			"SELECT a.%s_id FROM %s a JOIN %s b ON a.%s_id = b.%s_id",
+			t, t, ref, ref, ref))
+	case 18:
+		// Enumerated domain enforced in application constants: the DDL
+		// shows a plain VARCHAR, so neither query-analysis detector
+		// can see the AP — a ground-truth false negative that only
+		// data analysis would recover (paper §4.2).
+		g.repo.AddStatement(fmt.Sprintf(
+			"CREATE TABLE %s (%s_id INT PRIMARY KEY, state VARCHAR(12) NOT NULL)",
+			t, t), rules.IDEnumeratedTypes)
+	}
+}

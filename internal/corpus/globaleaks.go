@@ -1,0 +1,162 @@
+package corpus
+
+import (
+	"fmt"
+
+	"sqlcheck/internal/schema"
+	"sqlcheck/internal/storage"
+	"sqlcheck/internal/xrand"
+)
+
+// GlobaLeaks builds the synthetic GlobaLeaks-shaped databases used by
+// the performance experiments (Figures 3 and 8). The paper loaded 10M
+// records into PostgreSQL; this builder produces the same logical
+// designs at a configurable scale, in two variants per experiment: the
+// anti-pattern design and the fixed design.
+
+// GlobaLeaksOptions sizes the dataset.
+type GlobaLeaksOptions struct {
+	// Tenants and Users control table sizes; Hosting gets
+	// UsersPerTenant links per tenant.
+	Tenants, Users int
+	UsersPerTenant int
+	Seed           uint64
+}
+
+func (o GlobaLeaksOptions) withDefaults() GlobaLeaksOptions {
+	if o.Tenants == 0 {
+		o.Tenants = 2000
+	}
+	if o.Users == 0 {
+		o.Users = 6000
+	}
+	if o.UsersPerTenant == 0 {
+		o.UsersPerTenant = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 17
+	}
+	return o
+}
+
+// GlobaLeaksMVA builds the multi-valued-attribute design of Figure 1:
+// Tenants carries a comma-separated User_IDs column.
+func GlobaLeaksMVA(opts GlobaLeaksOptions) *storage.Database {
+	opts = opts.withDefaults()
+	r := xrand.New(opts.Seed)
+	db := storage.NewDatabase("globaleaks-mva")
+
+	users := db.CreateTable("Users", []storage.ColumnDef{
+		{Name: "User_ID", Class: schema.ClassChar},
+		{Name: "Name", Class: schema.ClassChar},
+		{Name: "Role", Class: schema.ClassChar},
+		{Name: "Email", Class: schema.ClassChar},
+	})
+	mustPK(users, "User_ID")
+	for i := 0; i < opts.Users; i++ {
+		users.MustInsert(
+			storage.Str(fmt.Sprintf("U%d", i)),
+			storage.Str(fmt.Sprintf("Name%d", i)),
+			storage.Str(fmt.Sprintf("R%d", i%3+1)),
+			storage.Str(fmt.Sprintf("u%d@leaks.org", i)),
+		)
+	}
+
+	tenants := db.CreateTable("Tenants", []storage.ColumnDef{
+		{Name: "Tenant_ID", Class: schema.ClassChar},
+		{Name: "Zone_ID", Class: schema.ClassChar},
+		{Name: "Active", Class: schema.ClassBool},
+		{Name: "User_IDs", Class: schema.ClassText},
+	})
+	mustPK(tenants, "Tenant_ID")
+	for i := 0; i < opts.Tenants; i++ {
+		list := ""
+		for k := 0; k < opts.UsersPerTenant; k++ {
+			if k > 0 {
+				list += ","
+			}
+			list += fmt.Sprintf("U%d", (i*opts.UsersPerTenant+k)%opts.Users)
+		}
+		tenants.MustInsert(
+			storage.Str(fmt.Sprintf("T%d", i)),
+			storage.Str(fmt.Sprintf("Z%d", r.Intn(40))),
+			storage.Bool(r.Bool(0.9)),
+			storage.Str(list),
+		)
+	}
+	return db
+}
+
+// GlobaLeaksFixed builds the refactored design of Figure 2: a Hosting
+// intersection table with indexes on both key columns.
+func GlobaLeaksFixed(opts GlobaLeaksOptions) *storage.Database {
+	opts = opts.withDefaults()
+	r := xrand.New(opts.Seed)
+	db := storage.NewDatabase("globaleaks-fixed")
+
+	users := db.CreateTable("Users", []storage.ColumnDef{
+		{Name: "User_ID", Class: schema.ClassChar},
+		{Name: "Name", Class: schema.ClassChar},
+		{Name: "Role", Class: schema.ClassChar},
+		{Name: "Email", Class: schema.ClassChar},
+	})
+	mustPK(users, "User_ID")
+	for i := 0; i < opts.Users; i++ {
+		users.MustInsert(
+			storage.Str(fmt.Sprintf("U%d", i)),
+			storage.Str(fmt.Sprintf("Name%d", i)),
+			storage.Str(fmt.Sprintf("R%d", i%3+1)),
+			storage.Str(fmt.Sprintf("u%d@leaks.org", i)),
+		)
+	}
+
+	tenants := db.CreateTable("Tenants", []storage.ColumnDef{
+		{Name: "Tenant_ID", Class: schema.ClassChar},
+		{Name: "Zone_ID", Class: schema.ClassChar},
+		{Name: "Active", Class: schema.ClassBool},
+	})
+	mustPK(tenants, "Tenant_ID")
+	for i := 0; i < opts.Tenants; i++ {
+		tenants.MustInsert(
+			storage.Str(fmt.Sprintf("T%d", i)),
+			storage.Str(fmt.Sprintf("Z%d", r.Intn(40))),
+			storage.Bool(r.Bool(0.9)),
+		)
+	}
+
+	hosting := db.CreateTable("Hosting", []storage.ColumnDef{
+		{Name: "User_ID", Class: schema.ClassChar},
+		{Name: "Tenant_ID", Class: schema.ClassChar},
+	})
+	mustPK(hosting, "User_ID", "Tenant_ID")
+	if err := hosting.AddForeignKey("fk_h_user", []string{"User_ID"}, "Users", []string{"User_ID"}, "CASCADE"); err != nil {
+		panic(err)
+	}
+	if err := hosting.AddForeignKey("fk_h_tenant", []string{"Tenant_ID"}, "Tenants", []string{"Tenant_ID"}, "CASCADE"); err != nil {
+		panic(err)
+	}
+	for i := 0; i < opts.Tenants; i++ {
+		for k := 0; k < opts.UsersPerTenant; k++ {
+			hosting.MustInsert(
+				storage.Str(fmt.Sprintf("U%d", (i*opts.UsersPerTenant+k)%opts.Users)),
+				storage.Str(fmt.Sprintf("T%d", i)),
+			)
+		}
+	}
+	// Single-column secondary indexes: the engine's planner uses
+	// single-column leading indexes for point lookups, so both access
+	// directions get one.
+	if _, err := hosting.CreateIndex("idx_hosting_tenant", false, "Tenant_ID"); err != nil {
+		panic(err)
+	}
+	if _, err := hosting.CreateIndex("idx_hosting_user", false, "User_ID"); err != nil {
+		panic(err)
+	}
+	return db
+}
+
+func mustPK(t *storage.Table, cols ...string) {
+	if err := t.SetPrimaryKey(cols...); err != nil {
+		panic(err)
+	}
+}

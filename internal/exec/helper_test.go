@@ -1,0 +1,8 @@
+package exec
+
+import (
+	"sqlcheck/internal/parser"
+	"sqlcheck/internal/sqlast"
+)
+
+func parseScript(sql string) []sqlast.Statement { return parser.ParseAll(sql) }

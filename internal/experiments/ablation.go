@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"sqlcheck/internal/core"
+	"sqlcheck/internal/rules"
+	"sqlcheck/internal/schema"
+	"sqlcheck/internal/storage"
+)
+
+// DataRulesAblation isolates the paper's central design claim (§4.2):
+// augmenting query analysis with data analysis removes both false
+// positives and false negatives that no amount of query-side cleverness
+// can fix. Two adversarial scenarios:
+//
+//  1. FP scenario — a free-text address column searched with LIKE looks
+//     like a multi-valued attribute to query analysis; its data profile
+//     (prose, not delimiter lists) refutes it.
+//  2. FN scenario — a column that genuinely stores comma-separated
+//     lists but is only ever read whole (list handling lives in
+//     application code); only the data profile reveals it.
+type DataRulesAblation struct {
+	// QueryOnlyFP / WithDataFP: was the address column flagged?
+	QueryOnlyFP, WithDataFP bool
+	// QueryOnlyFN / WithDataFN: was the true list column missed?
+	QueryOnlyFN, WithDataFN bool
+}
+
+// RunDataRulesAblation executes both scenarios.
+func RunDataRulesAblation() DataRulesAblation {
+	var res DataRulesAblation
+
+	// --- Scenario 1: free-text column, LIKE search. ---
+	fpDB := storage.NewDatabase("fp")
+	addr := fpDB.CreateTable("customers", []storage.ColumnDef{
+		{Name: "customer_id", Class: schema.ClassInteger},
+		{Name: "directions", Class: schema.ClassText},
+	})
+	if err := addr.SetPrimaryKey("customer_id"); err != nil {
+		panic(err)
+	}
+	for i := 0; i < 80; i++ {
+		addr.MustInsert(storage.Int(int64(i)),
+			storage.Str(fmt.Sprintf("%d Long Winding Road, Apt %d, Springfield", i+1, i%9+1)))
+	}
+	// The query pattern alone is ambiguous: word-boundary search on a
+	// text column.
+	fpQuery := `SELECT customer_id FROM customers WHERE directions LIKE '[[:<:]]Springfield[[:>:]]'`
+
+	queryOnly := core.DetectSQL(
+		"CREATE TABLE customers (customer_id INT PRIMARY KEY, directions TEXT);\n"+fpQuery,
+		nil, core.DefaultOptions())
+	res.QueryOnlyFP = hasRule(queryOnly, rules.IDMultiValuedAttribute)
+
+	withData := core.DetectSQL(fpQuery, fpDB, core.DefaultOptions())
+	res.WithDataFP = hasRule(withData, rules.IDMultiValuedAttribute)
+
+	// --- Scenario 2: genuine list column read whole. ---
+	fnDB := storage.NewDatabase("fn")
+	lists := fnDB.CreateTable("carts", []storage.ColumnDef{
+		{Name: "cart_id", Class: schema.ClassInteger},
+		{Name: "product_ids", Class: schema.ClassText},
+	})
+	if err := lists.SetPrimaryKey("cart_id"); err != nil {
+		panic(err)
+	}
+	for i := 0; i < 80; i++ {
+		lists.MustInsert(storage.Int(int64(i)),
+			storage.Str(fmt.Sprintf("P%d,P%d,P%d", i, i+3, i+9)))
+	}
+	// The application splits the list client-side; SQL only fetches it.
+	fnQuery := `SELECT product_ids FROM carts WHERE cart_id = 7`
+
+	queryOnly = core.DetectSQL(
+		"CREATE TABLE carts (cart_id INT PRIMARY KEY, product_ids TEXT);\n"+fnQuery,
+		nil, core.DefaultOptions())
+	res.QueryOnlyFN = !hasRule(queryOnly, rules.IDMultiValuedAttribute)
+
+	withData = core.DetectSQL(fnQuery, fnDB, core.DefaultOptions())
+	res.WithDataFN = !hasRule(withData, rules.IDMultiValuedAttribute)
+
+	return res
+}
+
+func hasRule(res *core.Result, ruleID string) bool {
+	for _, f := range res.Findings {
+		if f.RuleID == ruleID {
+			return true
+		}
+	}
+	return false
+}
+
+// Fprint renders the ablation.
+func (a DataRulesAblation) Fprint(w io.Writer) {
+	yn := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	fmt.Fprintln(w, "Data-analysis ablation (§4.2): MVA detection on adversarial data")
+	fmt.Fprintf(w, "address column (no real AP):  query-only flags it: %-3s  with data: %s\n",
+		yn(a.QueryOnlyFP), yn(a.WithDataFP))
+	fmt.Fprintf(w, "true list, read whole (AP):   query-only misses it: %-3s with data misses it: %s\n",
+		yn(a.QueryOnlyFN), yn(a.WithDataFN))
+	fmt.Fprintln(w, "(paper: data rules remove both failure modes)")
+	fmt.Fprintln(w)
+}

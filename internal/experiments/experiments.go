@@ -1,0 +1,116 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§8) on the in-repo substrates. Each experiment
+// returns a structured result with a text rendering; cmd/apbench
+// prints them and bench_test.go wraps them as benchmarks. Absolute
+// numbers differ from the paper (the substrate is this repository's
+// engine, not PostgreSQL on the authors' hardware); the tracked claim
+// per experiment is the *shape* — who wins and by roughly what factor
+// (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Measurement is one AP-vs-fixed timing comparison.
+type Measurement struct {
+	Label string
+	// AP and Fixed are mean execution times of the anti-pattern and
+	// repaired designs.
+	AP, Fixed time.Duration
+	// PaperAP and PaperFixed record the paper's reported seconds for
+	// reference (0 when the paper gives only a factor).
+	PaperAP, PaperFixed float64
+	// Note carries shape expectations (e.g. "fix should win >100x").
+	Note string
+}
+
+// Factor returns AP time / fixed time (how much faster the fix is).
+func (m Measurement) Factor() float64 {
+	if m.Fixed <= 0 {
+		return 0
+	}
+	return float64(m.AP) / float64(m.Fixed)
+}
+
+// Fprint renders measurements as an aligned table.
+func Fprint(w io.Writer, title string, ms []Measurement) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	fmt.Fprintf(w, "%-38s %14s %14s %10s  %s\n", "experiment", "AP", "fixed", "speedup", "paper")
+	for _, m := range ms {
+		paper := ""
+		if m.PaperAP > 0 && m.PaperFixed > 0 {
+			paper = fmt.Sprintf("%.3fs/%.3fs (%.0fx)", m.PaperAP, m.PaperFixed, m.PaperAP/m.PaperFixed)
+		} else if m.Note != "" {
+			paper = m.Note
+		}
+		fmt.Fprintf(w, "%-38s %14s %14s %9.1fx  %s\n",
+			m.Label, m.AP.Round(time.Microsecond), m.Fixed.Round(time.Microsecond), m.Factor(), paper)
+	}
+	fmt.Fprintln(w)
+}
+
+// timeIt runs f repeatedly and returns the mean duration. It runs one
+// untimed warm-up first, then `runs` timed iterations (the paper
+// reports the average of five runs).
+func timeIt(runs int, f func()) time.Duration {
+	if runs <= 0 {
+		runs = 5
+	}
+	f() // warm-up
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	return time.Since(start) / time.Duration(runs)
+}
+
+// timePair measures two alternatives by interleaving their runs so
+// that clock drift, GC pauses, and frequency scaling hit both sides
+// equally. Both get one warm-up call.
+func timePair(runs int, fa, fb func()) (da, db time.Duration) {
+	if runs <= 0 {
+		runs = 100
+	}
+	fa()
+	fb()
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		fa()
+		da += time.Since(start)
+		start = time.Now()
+		fb()
+		db += time.Since(start)
+	}
+	return da / time.Duration(runs), db / time.Duration(runs)
+}
+
+// timeOnce measures a single destructive operation (setup must provide
+// a fresh state per call): it runs setup+op `runs` times, timing only
+// op.
+func timeOnce(runs int, setup func() func()) time.Duration {
+	if runs <= 0 {
+		runs = 3
+	}
+	var total time.Duration
+	for i := 0; i < runs; i++ {
+		op := setup()
+		start := time.Now()
+		op()
+		total += time.Since(start)
+	}
+	return total / time.Duration(runs)
+}
+
+// Scale selects experiment sizes: benchmarks default to Small so the
+// suite stays fast; apbench uses Full for paper-shaped magnitudes.
+type Scale int
+
+// Scales.
+const (
+	Small Scale = iota
+	Full
+)

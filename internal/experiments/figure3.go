@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sqlcheck/internal/corpus"
+	"sqlcheck/internal/exec"
+	"sqlcheck/internal/storage"
+)
+
+// Figure3 reproduces the multi-valued attribute experiment (paper
+// Figure 3): the three GlobaLeaks tasks executed against the AP design
+// (comma-separated User_IDs column) and the fixed design (Hosting
+// intersection table). The paper reports 636x / 256x / 193x speedups.
+func Figure3(scale Scale) []Measurement {
+	opts := corpus.GlobaLeaksOptions{Tenants: 800, Users: 2400, UsersPerTenant: 3}
+	if scale == Full {
+		opts = corpus.GlobaLeaksOptions{Tenants: 8000, Users: 24000, UsersPerTenant: 3}
+	}
+	mva := corpus.GlobaLeaksMVA(opts)
+	fixed := corpus.GlobaLeaksFixed(opts)
+
+	mustRun := func(db *storage.Database, sql string) {
+		if _, err := exec.RunSQL(db, sql); err != nil {
+			panic(fmt.Sprintf("figure3 %q: %v", sql, err))
+		}
+	}
+	probeUser := fmt.Sprintf("U%d", opts.Users/2)
+	probeTenant := fmt.Sprintf("T%d", opts.Tenants/2)
+
+	// Task #1: list the tenants a user is associated with.
+	t1AP := timeIt(5, func() {
+		mustRun(mva, fmt.Sprintf(
+			`SELECT * FROM Tenants WHERE User_IDs LIKE '[[:<:]]%s[[:>:]]'`, probeUser))
+	})
+	t1Fix := timeIt(5, func() {
+		mustRun(fixed, fmt.Sprintf(
+			`SELECT T.* FROM Hosting AS H JOIN Tenants AS T ON H.Tenant_ID = T.Tenant_ID WHERE H.User_ID = '%s'`, probeUser))
+	})
+
+	// Task #2: retrieve the users served by a tenant (expression join
+	// vs indexed equi-join).
+	t2AP := timeIt(5, func() {
+		mustRun(mva, fmt.Sprintf(
+			`SELECT u.* FROM Tenants t JOIN Users u ON t.User_IDs LIKE '[[:<:]]' || u.User_ID || '[[:>:]]' WHERE t.Tenant_ID = '%s'`, probeTenant))
+	})
+	t2Fix := timeIt(5, func() {
+		mustRun(fixed, fmt.Sprintf(
+			`SELECT u.* FROM Hosting h JOIN Users u ON u.User_ID = h.User_ID WHERE h.Tenant_ID = '%s'`, probeTenant))
+	})
+
+	// Task #3: membership check (is the user hosted anywhere?).
+	t3AP := timeIt(5, func() {
+		mustRun(mva, fmt.Sprintf(
+			`SELECT COUNT(*) FROM Tenants WHERE User_IDs LIKE '%%%s%%'`, probeUser))
+	})
+	t3Fix := timeIt(5, func() {
+		mustRun(fixed, fmt.Sprintf(
+			`SELECT COUNT(*) FROM Hosting WHERE User_ID = '%s'`, probeUser))
+	})
+
+	return []Measurement{
+		{Label: "fig3a MVA task1 user->tenants", AP: t1AP, Fixed: t1Fix, PaperAP: 0.762, PaperFixed: 0.003, Note: "paper 636x"},
+		{Label: "fig3b MVA task2 tenant->users", AP: t2AP, Fixed: t2Fix, PaperAP: 0.772, PaperFixed: 0.004, Note: "paper 256x"},
+		{Label: "fig3c MVA task3 membership", AP: t3AP, Fixed: t3Fix, PaperAP: 0.636, PaperFixed: 0.001, Note: "paper 193x"},
+	}
+}

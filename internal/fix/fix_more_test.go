@@ -1,0 +1,213 @@
+package fix
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sqlcheck/internal/appctx"
+	"sqlcheck/internal/core"
+	"sqlcheck/internal/parser"
+	"sqlcheck/internal/rules"
+	"sqlcheck/internal/schema"
+	"sqlcheck/internal/sqlast"
+	"sqlcheck/internal/storage"
+)
+
+// dataCtx builds a context with a live database so data-rule fixes can
+// consult profiles.
+func dataCtx(t *testing.T) (*Engine, *core.Result) {
+	t.Helper()
+	db := storage.NewDatabase("d")
+	tab := db.CreateTable("events", []storage.ColumnDef{
+		{Name: "event_id", Class: schema.ClassInteger},
+		{Name: "amount_text", Class: schema.ClassText},
+		{Name: "when_text", Class: schema.ClassText},
+		{Name: "rating", Class: schema.ClassInteger},
+		{Name: "locale", Class: schema.ClassChar},
+	})
+	if err := tab.SetPrimaryKey("event_id"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 80; i++ {
+		tab.MustInsert(
+			storage.Int(int64(i)),
+			storage.Str(fmt.Sprintf("%d", i*3)),
+			storage.Str(fmt.Sprintf("2020-01-%02d", i%28+1)),
+			storage.Int(int64(i%5+1)),
+			storage.Str("en-us"),
+		)
+	}
+	res := core.DetectSQL("", db, core.DefaultOptions())
+	return New(res.Context), res
+}
+
+func fixOf(t *testing.T, e *Engine, res *core.Result, ruleID, column string) Fix {
+	t.Helper()
+	for _, f := range res.Findings {
+		if f.RuleID == ruleID && (column == "" || strings.EqualFold(f.Column, column)) {
+			return e.Repair(f)
+		}
+	}
+	t.Fatalf("no %s finding on column %q; got %v", ruleID, column, core.CountByRule(res.Findings))
+	return Fix{}
+}
+
+func TestFixIncorrectDataTypeTargets(t *testing.T) {
+	e, res := dataCtx(t)
+	fx := fixOf(t, e, res, rules.IDIncorrectDataType, "amount_text")
+	if len(fx.NewStatements) != 1 || !strings.Contains(fx.NewStatements[0], "ALTER COLUMN amount_text INTEGER") {
+		t.Errorf("integer fix = %+v", fx)
+	}
+	fx = fixOf(t, e, res, rules.IDIncorrectDataType, "when_text")
+	if len(fx.NewStatements) != 1 || !strings.Contains(fx.NewStatements[0], "ALTER COLUMN when_text DATE") {
+		t.Errorf("date fix = %+v", fx)
+	}
+}
+
+func TestFixNoDomainConstraintUsesObservedRange(t *testing.T) {
+	e, res := dataCtx(t)
+	fx := fixOf(t, e, res, rules.IDNoDomainConstraint, "rating")
+	if len(fx.NewStatements) != 1 {
+		t.Fatalf("fix = %+v", fx)
+	}
+	if !strings.Contains(fx.NewStatements[0], "CHECK (rating BETWEEN 1 AND 5)") {
+		t.Errorf("fix = %q", fx.NewStatements[0])
+	}
+}
+
+func TestFixInformationDuplicationAndDenormalized(t *testing.T) {
+	db := storage.NewDatabase("d")
+	tab := db.CreateTable("people", []storage.ColumnDef{
+		{Name: "person_id", Class: schema.ClassInteger},
+		{Name: "birth_year", Class: schema.ClassInteger},
+		{Name: "age", Class: schema.ClassInteger},
+		{Name: "city", Class: schema.ClassChar},
+		{Name: "zip", Class: schema.ClassChar},
+	})
+	if err := tab.SetPrimaryKey("person_id"); err != nil {
+		t.Fatal(err)
+	}
+	cities := []string{"Rome", "Oslo", "Lima"}
+	for i := 0; i < 90; i++ {
+		year := 1950 + i%40
+		tab.MustInsert(storage.Int(int64(i)), storage.Int(int64(year)), storage.Int(int64(2020-year)),
+			storage.Str(cities[i%3]), storage.Str(fmt.Sprintf("Z%d", i%3)))
+	}
+	res := core.DetectSQL("", db, core.DefaultOptions())
+	e := New(res.Context)
+	fx := fixOf(t, e, res, rules.IDInformationDuplication, "")
+	if len(fx.NewStatements) != 1 || !strings.Contains(fx.NewStatements[0], "DROP COLUMN") {
+		t.Errorf("info-dup fix = %+v", fx)
+	}
+	fx = fixOf(t, e, res, rules.IDDenormalizedTable, "")
+	if fx.Textual == "" || !strings.Contains(fx.Textual, "extract") {
+		t.Errorf("denorm fix = %+v", fx)
+	}
+}
+
+func TestSingularize(t *testing.T) {
+	cases := map[string]string{
+		"User_IDs":  "User_ID",
+		"tags":      "tag",
+		"addresses": "address", // "ses" suffix
+		"status":    "statu",   // naive but deterministic
+		"x":         "x_value",
+	}
+	for in, want := range cases {
+		if got := singularize(in); got != want {
+			t.Errorf("singularize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGuessListColumnFromRegexpPredicate(t *testing.T) {
+	e, findings := run(t, `
+		CREATE TABLE t (t_id INT PRIMARY KEY, member_ids TEXT);
+		SELECT * FROM t WHERE member_ids REGEXP '[[:<:]]M7[[:>:]]';
+	`)
+	for _, f := range findings {
+		if f.RuleID == rules.IDMultiValuedAttribute && f.QueryIndex >= 0 {
+			fx := e.Repair(f)
+			joined := strings.Join(fx.NewStatements, "\n")
+			if !strings.Contains(joined, "member_id") {
+				t.Errorf("column not recovered: %v", fx.NewStatements)
+			}
+			return
+		}
+	}
+	t.Fatal("MVA finding missing")
+}
+
+func TestFixNoForeignKeyNamingConvention(t *testing.T) {
+	// No join in the workload: the finding comes from the naming
+	// convention, and the fix resolves the referenced table's pk.
+	fx := fixFor(t, `
+		CREATE TABLE tenants (tenant_id INT PRIMARY KEY, zone VARCHAR(10));
+		CREATE TABLE surveys (survey_id INT PRIMARY KEY, tenant_id INT);
+	`, rules.IDNoForeignKey)
+	if len(fx.NewStatements) != 1 {
+		t.Fatalf("fix = %+v", fx)
+	}
+	if !strings.Contains(fx.NewStatements[0], "REFERENCES tenants(tenant_id)") {
+		t.Errorf("fix = %q", fx.NewStatements[0])
+	}
+}
+
+func TestFixNoForeignKeyUnresolvableIsTextual(t *testing.T) {
+	ctx := appctx.BuildFromSQL("CREATE TABLE lonely (x_id INT)", nil, appctx.DefaultConfig())
+	fx := New(ctx).Repair(rules.Finding{RuleID: rules.IDNoForeignKey, Table: "lonely", Column: "ghost_id"})
+	if fx.Automated() || fx.Textual == "" {
+		t.Errorf("fix = %+v", fx)
+	}
+}
+
+func TestMapExprRebuildsAllShapes(t *testing.T) {
+	// qualifyExpr exercises mapExpr over every node type.
+	e := parserParse(t, "SELECT a FROM t WHERE f(x, y) IN (1, 2) AND NOT (u || v) = CASE WHEN c THEN d ELSE e END")
+	sel := e
+	q := qualifyExpr(sel.Where, "t")
+	// Every bare column ref must now be qualified.
+	bare := 0
+	walkRefs(q, func(table, col string) {
+		if table == "" && col != "*" {
+			bare++
+		}
+	})
+	if bare != 0 {
+		t.Errorf("%d bare refs remain", bare)
+	}
+}
+
+func TestQualifyExprLeavesQualified(t *testing.T) {
+	sel := parserParse(t, "SELECT 1 FROM t WHERE o.x = 1 AND y = 2")
+	q := qualifyExpr(sel.Where, "t")
+	var tables []string
+	walkRefs(q, func(table, col string) { tables = append(tables, table) })
+	want := map[string]bool{"o": true, "t": true}
+	for _, tb := range tables {
+		if !want[tb] {
+			t.Errorf("unexpected qualifier %q", tb)
+		}
+	}
+}
+
+// parserParse returns the parsed SELECT for expression-level tests.
+func parserParse(t *testing.T, sql string) *sqlast.SelectStatement {
+	t.Helper()
+	st := parser.Parse(sql)
+	sel, ok := st.(*sqlast.SelectStatement)
+	if !ok {
+		t.Fatalf("not a select: %T", st)
+	}
+	return sel
+}
+
+func walkRefs(e sqlast.Expr, fn func(table, col string)) {
+	sqlast.WalkExpr(e, func(x sqlast.Expr) bool {
+		if cr, ok := x.(*sqlast.ColumnRef); ok {
+			fn(cr.Table, cr.Column)
+		}
+		return true
+	})
+}

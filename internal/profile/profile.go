@@ -1,0 +1,443 @@
+// Package profile implements ap-detect's data analyser (paper §4.2):
+// it samples table contents and computes per-column statistics and
+// format inferences that the data rules consume — delimiter-separated
+// lists (multi-valued attribute), numbers stored as text (incorrect
+// data type), timestamps without time zones, derived and redundant
+// columns, functional dependencies (denormalization), and
+// plaintext-password heuristics.
+package profile
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+
+	"sqlcheck/internal/schema"
+	"sqlcheck/internal/storage"
+	"sqlcheck/internal/xrand"
+)
+
+// Options configures sampling and rule thresholds (paper: "ap-detect
+// allows the developer to configure the tuple sampling frequency and
+// the thresholds associated with activating data rules").
+type Options struct {
+	// SampleSize is the reservoir size per table (default 1000).
+	SampleSize int
+	// Seed makes sampling deterministic.
+	Seed uint64
+	// FormatThreshold is the fraction of sampled non-null values that
+	// must match a format for it to be inferred (default 0.9).
+	FormatThreshold float64
+	// DelimiterThreshold is the fraction of values that must look like
+	// delimiter-separated lists for the MVA data rule (default 0.6).
+	DelimiterThreshold float64
+	// EnumDistinctRatio is the distinct/rows ratio below which a
+	// string column looks like an enumeration (default 0.01, with an
+	// absolute distinct cap).
+	EnumDistinctRatio float64
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.SampleSize == 0 {
+		o.SampleSize = 1000
+	}
+	if o.Seed == 0 {
+		o.Seed = 0xdb5eed
+	}
+	if o.FormatThreshold == 0 {
+		o.FormatThreshold = 0.9
+	}
+	if o.DelimiterThreshold == 0 {
+		o.DelimiterThreshold = 0.6
+	}
+	if o.EnumDistinctRatio == 0 {
+		o.EnumDistinctRatio = 0.01
+	}
+	return o
+}
+
+// ColumnProfile holds statistics for one column computed over the
+// sample.
+type ColumnProfile struct {
+	Name  string
+	Class schema.TypeClass
+
+	Rows     int // sampled rows
+	Nulls    int
+	Distinct int
+	// TopValue is the most frequent non-null value and TopFreq its
+	// sample frequency.
+	TopValue string
+	TopFreq  int
+
+	// Numeric stats (over values that coerce to numbers).
+	NumericCount int
+	Min, Max     float64
+	Mean         float64
+	Median       float64
+
+	// String format counters (over non-null string renderings).
+	IntLike      int
+	FloatLike    int
+	DateLike     int
+	DateTimeNoTZ int
+	DateTimeTZ   int
+	PathLike     int
+	EmailLike    int
+	DelimList    int // looks like a delimiter-separated value list
+	AvgLen       float64
+	PlainTextish int // short, unhashed-looking strings (password rule)
+}
+
+// NonNull returns the number of non-null sampled values.
+func (c *ColumnProfile) NonNull() int { return c.Rows - c.Nulls }
+
+// DistinctRatio returns distinct/non-null (1.0 when empty).
+func (c *ColumnProfile) DistinctRatio() float64 {
+	if c.NonNull() == 0 {
+		return 1
+	}
+	return float64(c.Distinct) / float64(c.NonNull())
+}
+
+// FracOf returns count/non-null as a fraction.
+func (c *ColumnProfile) FracOf(count int) float64 {
+	if c.NonNull() == 0 {
+		return 0
+	}
+	return float64(count) / float64(c.NonNull())
+}
+
+// TableProfile aggregates the column profiles of one table plus
+// cross-column findings.
+type TableProfile struct {
+	Table       string
+	RowsSampled int
+	TotalRows   int
+	Columns     []*ColumnProfile
+	// FDs lists observed functional dependencies A -> B between
+	// non-key columns with substantial value repetition (the
+	// denormalized-table signal).
+	FDs []FunctionalDependency
+	// Derivations lists detected derived-column relationships
+	// (information duplication), e.g. "age derived from birth_year".
+	Derivations []Derivation
+	opts        Options
+}
+
+// FunctionalDependency records that in the sample, each value of From
+// determined exactly one value of To, while From is not unique.
+type FunctionalDependency struct {
+	From, To string
+	// Repetition is the average number of rows per distinct From
+	// value; higher means more duplication.
+	Repetition float64
+}
+
+// Derivation records that To appears computable from From.
+type Derivation struct {
+	From, To string
+	// Kind is "year-of", "age-of", "case-copy", "copy", "concat".
+	Kind string
+}
+
+// Column returns the profile of the named column, or nil.
+func (tp *TableProfile) Column(name string) *ColumnProfile {
+	for _, c := range tp.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return c
+		}
+	}
+	return nil
+}
+
+// Options returns the options the profile was built with.
+func (tp *TableProfile) Options() Options { return tp.opts }
+
+var (
+	reInt        = regexp.MustCompile(`^\s*-?\d+\s*$`)
+	reFloat      = regexp.MustCompile(`^\s*-?\d+\.\d+([eE][-+]?\d+)?\s*$`)
+	reDate       = regexp.MustCompile(`^\d{4}-\d{2}-\d{2}$`)
+	reDateTime   = regexp.MustCompile(`^\d{4}-\d{2}-\d{2}[ T]\d{2}:\d{2}(:\d{2})?(\.\d+)?$`)
+	reDateTimeTZ = regexp.MustCompile(`^\d{4}-\d{2}-\d{2}[ T]\d{2}:\d{2}(:\d{2})?(\.\d+)?\s*([zZ]|[-+]\d{2}:?\d{2})$`)
+	rePath       = regexp.MustCompile(`^(/|[A-Za-z]:\\|\./|\.\./).+|^[\w./-]+\.(jpg|jpeg|png|gif|pdf|doc|docx|csv|txt|mp4|zip)$`)
+	reEmail      = regexp.MustCompile(`^[^@\s]+@[^@\s]+\.[^@\s]+$`)
+	reHexish     = regexp.MustCompile(`^[0-9a-fA-F$./=+]{20,}$`)
+)
+
+// delimListLike reports whether a string looks like a
+// delimiter-separated list of short tokens (the MVA signature).
+func delimListLike(s string) bool {
+	for _, d := range []string{",", ";", "|"} {
+		parts := strings.Split(s, d)
+		if len(parts) < 2 {
+			continue
+		}
+		ok := 0
+		for _, p := range parts {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			// Tokens should be short identifiers, not prose.
+			if len(p) <= 24 && !strings.Contains(p, " ") {
+				ok++
+			}
+		}
+		if ok >= 2 && float64(ok) >= 0.8*float64(len(parts)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Sample draws a deterministic reservoir sample of row values from a
+// table.
+func Sample(t *storage.Table, opts Options) []storage.Row {
+	opts = opts.withDefaults()
+	r := xrand.New(opts.Seed)
+	var reservoir []storage.Row
+	n := 0
+	t.Scan(func(id int64, row storage.Row) bool {
+		n++
+		if len(reservoir) < opts.SampleSize {
+			reservoir = append(reservoir, row.Clone())
+			return true
+		}
+		if j := r.Intn(n); j < opts.SampleSize {
+			reservoir[j] = row.Clone()
+		}
+		return true
+	})
+	return reservoir
+}
+
+// ProfileTable profiles one storage table.
+func ProfileTable(t *storage.Table, opts Options) *TableProfile {
+	opts = opts.withDefaults()
+	rows := Sample(t, opts)
+	tp := &TableProfile{Table: t.Name, RowsSampled: len(rows), TotalRows: t.Len(), opts: opts}
+
+	type colState struct {
+		freq    map[string]int
+		nums    []float64
+		sumLen  int
+		strSeen int
+	}
+	states := make([]*colState, len(t.Cols))
+	for i, cd := range t.Cols {
+		states[i] = &colState{freq: map[string]int{}}
+		tp.Columns = append(tp.Columns, &ColumnProfile{Name: cd.Name, Class: cd.Class})
+	}
+
+	for _, row := range rows {
+		for i, v := range row {
+			cp := tp.Columns[i]
+			st := states[i]
+			cp.Rows++
+			if v.IsNull() {
+				cp.Nulls++
+				continue
+			}
+			s := v.String()
+			st.freq[s]++
+			if f, ok := v.AsFloat(); ok && (v.Kind == storage.KindInt || v.Kind == storage.KindFloat || v.Kind == storage.KindString && (reInt.MatchString(s) || reFloat.MatchString(s))) {
+				cp.NumericCount++
+				st.nums = append(st.nums, f)
+			}
+			if v.Kind == storage.KindString {
+				st.strSeen++
+				st.sumLen += len(s)
+				switch {
+				case reInt.MatchString(s):
+					cp.IntLike++
+				case reFloat.MatchString(s):
+					cp.FloatLike++
+				case reDateTimeTZ.MatchString(s):
+					cp.DateTimeTZ++
+				case reDateTime.MatchString(s):
+					cp.DateTimeNoTZ++
+				case reDate.MatchString(s):
+					cp.DateLike++
+				case reEmail.MatchString(s):
+					cp.EmailLike++
+				case rePath.MatchString(s):
+					cp.PathLike++
+				}
+				if delimListLike(s) {
+					cp.DelimList++
+				}
+				if len(s) > 0 && len(s) < 20 && !reHexish.MatchString(s) {
+					cp.PlainTextish++
+				}
+			}
+			if v.Kind == storage.KindTime && !v.TZKnown {
+				cp.DateTimeNoTZ++
+			}
+			if v.Kind == storage.KindTime && v.TZKnown {
+				cp.DateTimeTZ++
+			}
+		}
+	}
+
+	for i, cp := range tp.Columns {
+		st := states[i]
+		cp.Distinct = len(st.freq)
+		for v, n := range st.freq {
+			if n > cp.TopFreq || (n == cp.TopFreq && v < cp.TopValue) {
+				cp.TopValue, cp.TopFreq = v, n
+			}
+		}
+		if st.strSeen > 0 {
+			cp.AvgLen = float64(st.sumLen) / float64(st.strSeen)
+		}
+		if len(st.nums) > 0 {
+			sort.Float64s(st.nums)
+			cp.Min, cp.Max = st.nums[0], st.nums[len(st.nums)-1]
+			var sum float64
+			for _, f := range st.nums {
+				sum += f
+			}
+			cp.Mean = sum / float64(len(st.nums))
+			cp.Median = st.nums[len(st.nums)/2]
+		}
+	}
+
+	tp.findFDs(t, rows)
+	tp.findDerivations(t, rows)
+	return tp
+}
+
+// ProfileDatabase profiles every table.
+func ProfileDatabase(db *storage.Database, opts Options) map[string]*TableProfile {
+	out := make(map[string]*TableProfile)
+	for _, t := range db.Tables() {
+		out[strings.ToLower(t.Name)] = ProfileTable(t, opts)
+	}
+	return out
+}
+
+// findFDs detects non-trivial functional dependencies between
+// non-unique columns — the signature of a denormalized table.
+func (tp *TableProfile) findFDs(t *storage.Table, rows []storage.Row) {
+	if len(rows) < 10 {
+		return
+	}
+	n := len(t.Cols)
+	for a := 0; a < n; a++ {
+		ca := tp.Columns[a]
+		// From-column must repeat (not unique) and have a real domain.
+		if ca.Distinct < 2 || ca.DistinctRatio() > 0.5 {
+			continue
+		}
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			cb := tp.Columns[b]
+			if cb.Distinct < 2 {
+				continue // constant columns are the redundant-column rule's business
+			}
+			mapping := map[string]string{}
+			fd := true
+			for _, row := range rows {
+				va, vb := row[a], row[b]
+				if va.IsNull() || vb.IsNull() {
+					continue
+				}
+				ka, kb := va.String(), vb.String()
+				if prev, ok := mapping[ka]; ok {
+					if prev != kb {
+						fd = false
+						break
+					}
+				} else {
+					mapping[ka] = kb
+				}
+			}
+			// Require the dependency to be non-trivial: B must vary
+			// with A (not constant) and A repeats enough that B values
+			// are materially duplicated.
+			if fd && len(mapping) >= 2 && cb.Distinct <= ca.Distinct {
+				rep := float64(ca.NonNull()) / float64(ca.Distinct)
+				if rep >= 2 {
+					tp.FDs = append(tp.FDs, FunctionalDependency{
+						From: ca.Name, To: cb.Name, Repetition: rep,
+					})
+				}
+			}
+		}
+	}
+}
+
+// findDerivations detects derived columns (information duplication).
+func (tp *TableProfile) findDerivations(t *storage.Table, rows []storage.Row) {
+	if len(rows) < 5 {
+		return
+	}
+	n := len(t.Cols)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			kind := detectDerivation(rows, a, b)
+			if kind != "" {
+				tp.Derivations = append(tp.Derivations, Derivation{
+					From: tp.Columns[a].Name, To: tp.Columns[b].Name, Kind: kind,
+				})
+			}
+		}
+	}
+}
+
+func detectDerivation(rows []storage.Row, a, b int) string {
+	const currentYear = 2020 // the paper's evaluation year; only used for age-of heuristics
+	checked := 0
+	copies, caseCopies, years, ages := 0, 0, 0, 0
+	for _, row := range rows {
+		va, vb := row[a], row[b]
+		if va.IsNull() || vb.IsNull() {
+			continue
+		}
+		checked++
+		sa, sb := va.String(), vb.String()
+		if sa == sb {
+			copies++
+		}
+		if !strings.EqualFold(sa, sb) {
+			// fallthrough
+		} else if sa != sb {
+			caseCopies++
+		}
+		// year extraction from a date: "1987-03-01" -> "1987".
+		if len(sa) >= 4 && (reDate.MatchString(sa) || reDateTime.MatchString(sa)) && sb == sa[:4] {
+			years++
+		}
+		// age from year of birth.
+		if fa, oka := va.AsFloat(); oka {
+			if fb, okb := vb.AsFloat(); okb {
+				if fa > 1900 && fa < float64(currentYear) && fb == float64(currentYear)-fa {
+					ages++
+				}
+			}
+		}
+	}
+	if checked < 5 {
+		return ""
+	}
+	frac := func(n int) float64 { return float64(n) / float64(checked) }
+	switch {
+	case frac(copies) >= 0.95:
+		return "copy"
+	case frac(caseCopies) >= 0.95:
+		return "case-copy"
+	case frac(years) >= 0.95:
+		return "year-of"
+	case frac(ages) >= 0.95:
+		return "age-of"
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,81 @@
+package rank
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"sqlcheck/internal/rules"
+)
+
+// The paper's workflow (§3, step ❹) optionally uploads detected APs
+// and measured impact to an online repository; "as new performance
+// data is collected over time, ap-rank will retrain its ranking model
+// to improve the quality of its decisions". ExportObservations and
+// ImportObservations are that repository's exchange format: a JSON
+// document of per-rule measured metric vectors that a later session
+// (or another machine) loads into its model.
+
+// Observation is one rule's measured impact vector.
+type Observation struct {
+	Rule    string  `json:"rule"`
+	Read    float64 `json:"read_perf,omitempty"`
+	Write   float64 `json:"write_perf,omitempty"`
+	Maint   float64 `json:"maintainability,omitempty"`
+	DataAmp float64 `json:"data_amplification,omitempty"`
+	Integ   float64 `json:"data_integrity,omitempty"`
+	Acc     float64 `json:"accuracy,omitempty"`
+}
+
+// ExportObservations writes the model's observed overrides as JSON.
+func (m *Model) ExportObservations(w io.Writer) error {
+	var out []Observation
+	for id, mv := range m.overrides {
+		out = append(out, Observation{
+			Rule: id, Read: mv.ReadPerf, Write: mv.WritePerf,
+			Maint: mv.Maint, DataAmp: mv.DataAmp,
+			Integ: mv.Integrity, Acc: mv.Accuracy,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rule < out[j].Rule })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ImportObservations merges observations from JSON into the model,
+// overriding catalog defaults for the listed rules. Unknown rule IDs
+// are rejected so typos do not silently disappear.
+func (m *Model) ImportObservations(r io.Reader) error {
+	var in []Observation
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return fmt.Errorf("rank: decoding observations: %w", err)
+	}
+	for _, o := range in {
+		if rules.ByID(o.Rule) == nil {
+			return fmt.Errorf("rank: observation for unknown rule %q", o.Rule)
+		}
+	}
+	for _, o := range in {
+		m.Observe(o.Rule, rules.Metrics{
+			ReadPerf: o.Read, WritePerf: o.Write, Maint: o.Maint,
+			DataAmp: o.DataAmp, Integrity: o.Integ, Accuracy: o.Acc,
+		})
+	}
+	return nil
+}
+
+// ObserveMeasurement converts a measured AP-vs-fixed speedup pair into
+// an observation (read and write factors) and records it — the bridge
+// from the benchmark harness to the ranking model.
+func (m *Model) ObserveMeasurement(ruleID string, readFactor, writeFactor float64) {
+	mv := m.MetricsFor(ruleID)
+	if readFactor > 0 {
+		mv.ReadPerf = readFactor
+	}
+	if writeFactor > 0 {
+		mv.WritePerf = writeFactor
+	}
+	m.Observe(ruleID, mv)
+}

@@ -1,0 +1,200 @@
+// Package rules implements sqlcheck's anti-pattern catalog: the 26
+// anti-patterns of the paper's Table 1 plus the Readable Password rule
+// that appears in its Table 3 evaluation. Each rule bundles detection
+// logic (query-, schema-, and data-scoped), the impact flags of
+// Table 1, and a default impact-metric vector used by ap-rank
+// (Figure 7b style).
+//
+// The registry is open for extension (paper §7 "Extensibility"): a
+// downstream user can Register additional rules implementing the same
+// structure.
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sqlcheck/internal/appctx"
+	"sqlcheck/internal/profile"
+	"sqlcheck/internal/qanalyze"
+)
+
+// Category groups anti-patterns as in Table 1.
+type Category string
+
+// Categories.
+const (
+	Logical  Category = "logical design"
+	Physical Category = "physical design"
+	Query    Category = "query"
+	Data     Category = "data"
+)
+
+// ImpactFlags mirrors Table 1's checkmarks: which quality dimensions
+// the anti-pattern affects. DataAmp is +1 when fixing the AP increases
+// data amplification (↑), -1 when fixing decreases it (↓), 0 when
+// unaffected.
+type ImpactFlags struct {
+	Performance     bool
+	Maintainability bool
+	DataAmp         int
+	DataIntegrity   bool
+	Accuracy        bool
+}
+
+// Metrics is the per-AP impact vector consumed by ap-rank (§5.1):
+// raw inputs to the scoring functions of Figure 6.
+type Metrics struct {
+	ReadPerf  float64 // speedup factor for reads when fixed (Srp input)
+	WritePerf float64 // speedup factor for writes when fixed (Swp input)
+	Maint     float64 // refactoring burden 0..5 (Sm input)
+	DataAmp   float64 // storage-amplification factor 0..8 (Sda input)
+	Integrity float64 // 0 or 1 (Sdi input)
+	Accuracy  float64 // 0 or 1 (Sa input)
+}
+
+// Finding is one detected anti-pattern instance.
+type Finding struct {
+	RuleID   string
+	RuleName string
+	Category Category
+	// QueryIndex is the statement's index in the analyzed input, or -1
+	// for schema- and data-scoped findings.
+	QueryIndex int
+	// Table and Column locate the finding when applicable.
+	Table  string
+	Column string
+	// Message is the human-readable diagnosis.
+	Message string
+	// Confidence in (0, 1]: intra-query string heuristics sit low,
+	// context- and data-confirmed findings high.
+	Confidence float64
+	// Detector records which analysis produced the finding: "query",
+	// "schema", or "data".
+	Detector string
+}
+
+// Key returns a deduplication key: one finding per (rule, site).
+func (f Finding) Key() string {
+	return fmt.Sprintf("%s|%d|%s|%s", f.RuleID, f.QueryIndex,
+		strings.ToLower(f.Table), strings.ToLower(f.Column))
+}
+
+// SiteKey ignores the query index: one finding per (rule, table,
+// column), used to merge schema- and data-level duplicates.
+func (f Finding) SiteKey() string {
+	return fmt.Sprintf("%s|%s|%s", f.RuleID,
+		strings.ToLower(f.Table), strings.ToLower(f.Column))
+}
+
+// Rule is one anti-pattern detector.
+type Rule struct {
+	ID          string
+	Name        string
+	Category    Category
+	Description string
+	Flags       ImpactFlags
+	// Metrics is the default impact vector; the experiment harness
+	// can substitute measured values.
+	Metrics Metrics
+
+	// DetectQuery inspects one statement's facts. It may consult ctx
+	// for inter-query refinement; in ModeIntra ctx has no schema or
+	// aggregates. Nil when the rule is not query-scoped.
+	DetectQuery func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding
+	// DetectSchema inspects the whole schema once (inter mode only).
+	DetectSchema func(ctx *appctx.Context) []Finding
+	// DetectData inspects one table's data profile (when a database
+	// is available).
+	DetectData func(tp *profile.TableProfile, ctx *appctx.Context) []Finding
+}
+
+// registry holds all known rules in registration order.
+var registry []*Rule
+
+// Register adds a rule. It panics on duplicate IDs, which would make
+// findings ambiguous.
+func Register(r *Rule) {
+	if r.ID == "" || r.Name == "" {
+		panic("rules: rule must have ID and Name")
+	}
+	for _, existing := range registry {
+		if existing.ID == r.ID {
+			panic("rules: duplicate rule ID " + r.ID)
+		}
+	}
+	registry = append(registry, r)
+}
+
+// All returns the registered rules in registration order.
+func All() []*Rule {
+	out := make([]*Rule, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID returns the rule with the given ID, or nil.
+func ByID(id string) *Rule {
+	for _, r := range registry {
+		if r.ID == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// ByCategory returns rules of one category, ordered by name.
+func ByCategory(c Category) []*Rule {
+	var out []*Rule
+	for _, r := range registry {
+		if r.Category == c {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// finding is a small helper for rule implementations.
+func finding(r *Rule, qi int, table, column, detector, msgFormat string, args ...any) Finding {
+	return Finding{
+		RuleID:     r.ID,
+		RuleName:   r.Name,
+		Category:   r.Category,
+		QueryIndex: qi,
+		Table:      table,
+		Column:     column,
+		Detector:   detector,
+		Confidence: 0.5,
+		Message:    fmt.Sprintf(msgFormat, args...),
+	}
+}
+
+func withConfidence(f Finding, c float64) Finding {
+	f.Confidence = c
+	return f
+}
+
+// nameMatches reports whether the identifier matches any of the given
+// lower-case substrings.
+func nameMatches(ident string, subs ...string) bool {
+	l := strings.ToLower(ident)
+	for _, s := range subs {
+		if strings.Contains(l, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// nameIs reports whether the identifier equals any candidate
+// (case-insensitive).
+func nameIs(ident string, candidates ...string) bool {
+	for _, c := range candidates {
+		if strings.EqualFold(ident, c) {
+			return true
+		}
+	}
+	return false
+}

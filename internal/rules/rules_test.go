@@ -1,0 +1,214 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"sqlcheck/internal/parser"
+	"sqlcheck/internal/schema"
+	"sqlcheck/internal/sqlast"
+)
+
+func TestRegistryInvariants(t *testing.T) {
+	all := All()
+	if len(all) != 27 {
+		t.Fatalf("rules = %d, want 27", len(all))
+	}
+	seen := map[string]bool{}
+	for _, r := range all {
+		if seen[r.ID] {
+			t.Errorf("duplicate rule id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.ID != strings.ToLower(r.ID) || strings.Contains(r.ID, " ") {
+			t.Errorf("rule id %q not kebab-case", r.ID)
+		}
+	}
+	// Returned slice is a copy: mutating it must not corrupt the
+	// registry.
+	all[0] = nil
+	if All()[0] == nil {
+		t.Error("All() exposes internal slice")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty id", func() { Register(&Rule{Name: "x"}) })
+	mustPanic("duplicate id", func() {
+		Register(&Rule{ID: IDGodTable, Name: "dup"})
+	})
+}
+
+// Metric vectors must never claim impact the Table 1 flags deny. The
+// reverse is allowed: Figure 7b's reference vectors deliberately zero
+// out some flagged dimensions (e.g. index-underuse carries only its
+// read-performance factor).
+func TestFlagsMetricsCoherence(t *testing.T) {
+	for _, r := range All() {
+		perfMetric := r.Metrics.ReadPerf > 0 || r.Metrics.WritePerf > 0
+		if perfMetric && !r.Flags.Performance {
+			t.Errorf("%s: perf metric without performance flag", r.ID)
+		}
+		if r.Metrics.Maint > 0 && !r.Flags.Maintainability {
+			t.Errorf("%s: maint metric without flag", r.ID)
+		}
+		if r.Metrics.DataAmp > 0 && r.Flags.DataAmp == 0 {
+			t.Errorf("%s: data-amp metric without flag", r.ID)
+		}
+		if r.Metrics.Integrity > 0 && !r.Flags.DataIntegrity {
+			t.Errorf("%s: integrity metric without flag", r.ID)
+		}
+		if r.Metrics.Accuracy > 0 && !r.Flags.Accuracy {
+			t.Errorf("%s: accuracy metric without flag", r.ID)
+		}
+		// Every rule must have SOME ranking signal.
+		if !perfMetric && r.Metrics.Maint == 0 && r.Metrics.DataAmp == 0 &&
+			r.Metrics.Integrity == 0 && r.Metrics.Accuracy == 0 {
+			t.Errorf("%s: zero metric vector", r.ID)
+		}
+	}
+}
+
+func TestFindingKeys(t *testing.T) {
+	f := Finding{RuleID: "r", QueryIndex: 3, Table: "T", Column: "C"}
+	g := Finding{RuleID: "r", QueryIndex: -1, Table: "t", Column: "c"}
+	if f.Key() == g.Key() {
+		t.Error("different query indexes must differ in Key")
+	}
+	if f.SiteKey() != g.SiteKey() {
+		t.Error("SiteKey must be case-insensitive and query-agnostic")
+	}
+}
+
+func TestNameHelpers(t *testing.T) {
+	if !nameMatches("Shipping_Address", "address") || nameMatches("name", "address") {
+		t.Error("nameMatches")
+	}
+	if !nameIs("ID", "id") || nameIs("ident", "id") {
+		t.Error("nameIs")
+	}
+}
+
+func TestColumnNameSeries(t *testing.T) {
+	cases := []struct {
+		names []string
+		want  string
+	}{
+		{[]string{"q1", "q2", "q3"}, "qN"},
+		{[]string{"sales_2019", "sales_2020", "sales_2021", "other"}, "salesN"},
+		{[]string{"q1", "q2"}, ""},                // below threshold
+		{[]string{"sha256", "addr1", "utf8"}, ""}, // distinct prefixes
+		{[]string{"a", "b", "c"}, ""},
+	}
+	for _, c := range cases {
+		if got := columnNameSeries(c.names); got != c.want {
+			t.Errorf("columnNameSeries(%v) = %q, want %q", c.names, got, c.want)
+		}
+	}
+}
+
+func TestFKCovers(t *testing.T) {
+	tab := &schema.Table{
+		Name: "child",
+		ForeignKeys: []schema.ForeignKey{
+			{Columns: []string{"parent_id"}, RefTable: "parents", RefColumns: []string{"id"}},
+			{Columns: []string{"other_id"}, RefTable: "others"},
+		},
+	}
+	if !fkCovers(tab, "parent_id", "parents", "id") {
+		t.Error("exact fk not covered")
+	}
+	if !fkCovers(tab, "other_id", "others", "anything") {
+		t.Error("implicit-pk fk not covered")
+	}
+	if fkCovers(tab, "parent_id", "others", "id") {
+		t.Error("wrong table covered")
+	}
+	if fkCovers(tab, "nope", "parents", "id") {
+		t.Error("wrong column covered")
+	}
+}
+
+func TestIsPrefix(t *testing.T) {
+	if !isPrefix([]string{"A"}, []string{"a", "b"}) {
+		t.Error("case-insensitive prefix")
+	}
+	if isPrefix([]string{"a", "b"}, []string{"a"}) {
+		t.Error("longer cannot be prefix")
+	}
+	if isPrefix([]string{"b"}, []string{"a", "b"}) {
+		t.Error("wrong leading column")
+	}
+}
+
+func TestInListOf(t *testing.T) {
+	e := parser.ParseExpr("role IN ('a', 'b')")
+	col, vals := inListOf(e)
+	if col != "role" || len(vals) != 2 {
+		t.Errorf("inListOf = %q %v", col, vals)
+	}
+	for _, bad := range []string{"role NOT IN ('a')", "role > 3", "role IN (x, y)"} {
+		if col, _ := inListOf(parser.ParseExpr(bad)); col != "" && bad != "role IN (x, y)" {
+			t.Errorf("inListOf(%q) matched", bad)
+		}
+	}
+}
+
+func TestReferencedTableByName(t *testing.T) {
+	s := schema.NewSchema()
+	s.AddTable(&schema.Table{Name: "tenants"})
+	owner := &schema.Table{Name: "questionnaires"}
+	s.AddTable(owner)
+	if got := referencedTableByName(s, owner, "tenant_id"); got != "tenants" {
+		t.Errorf("got %q", got)
+	}
+	if got := referencedTableByName(s, owner, "questionnaire_id"); got != "" {
+		t.Errorf("self reference resolved: %q", got)
+	}
+	if got := referencedTableByName(s, owner, "name"); got != "" {
+		t.Errorf("non-id column resolved: %q", got)
+	}
+}
+
+func TestPrimaryKeyHelpers(t *testing.T) {
+	ct := parser.Parse("CREATE TABLE t (a INT PRIMARY KEY, b INT)").(*sqlast.CreateTableStatement)
+	if !hasPrimaryKey(ct) || primaryKeyCols(ct)[0] != "a" {
+		t.Error("inline pk")
+	}
+	ct = parser.Parse("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))").(*sqlast.CreateTableStatement)
+	if got := primaryKeyCols(ct); len(got) != 2 {
+		t.Errorf("composite pk = %v", got)
+	}
+	ct = parser.Parse("CREATE TABLE t (a INT)").(*sqlast.CreateTableStatement)
+	if hasPrimaryKey(ct) {
+		t.Error("no pk")
+	}
+}
+
+func TestPasswordNameMatcher(t *testing.T) {
+	for _, yes := range []string{"password", "user_password", "passwd", "pwd", "pass"} {
+		if !isPasswordName(yes) {
+			t.Errorf("%q not matched", yes)
+		}
+	}
+	for _, no := range []string{"passport", "compass_heading", "surpass"} {
+		if isPasswordName(no) {
+			t.Errorf("%q wrongly matched", no)
+		}
+	}
+}
+
+func TestPlural(t *testing.T) {
+	if plural(1, "y", "ies") != "y" || plural(2, "y", "ies") != "ies" {
+		t.Error("plural")
+	}
+}

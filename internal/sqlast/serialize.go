@@ -1,0 +1,492 @@
+package sqlast
+
+import (
+	"strings"
+)
+
+// SQL renders a statement back to SQL text. The output is normalized
+// (single spaces, upper-case keywords) rather than byte-identical to
+// the input; ap-fix uses it to emit repaired statements (paper §6.1,
+// "Tosql").
+func SQL(stmt Statement) string {
+	var b strings.Builder
+	writeStatement(&b, stmt)
+	return b.String()
+}
+
+func writeStatement(b *strings.Builder, stmt Statement) {
+	switch s := stmt.(type) {
+	case *SelectStatement:
+		writeSelect(b, s)
+	case *InsertStatement:
+		writeInsert(b, s)
+	case *UpdateStatement:
+		writeUpdate(b, s)
+	case *DeleteStatement:
+		writeDelete(b, s)
+	case *CreateTableStatement:
+		writeCreateTable(b, s)
+	case *CreateIndexStatement:
+		writeCreateIndex(b, s)
+	case *AlterTableStatement:
+		writeAlterTable(b, s)
+	case *DropStatement:
+		b.WriteString("DROP ")
+		if s.DropKind == KindDropIndex {
+			b.WriteString("INDEX ")
+		} else {
+			b.WriteString("TABLE ")
+		}
+		if s.IfExists {
+			b.WriteString("IF EXISTS ")
+		}
+		b.WriteString(s.Name)
+	default:
+		b.WriteString(stmt.Raw())
+	}
+}
+
+func writeSelect(b *strings.Builder, s *SelectStatement) {
+	if len(s.With) > 0 {
+		b.WriteString("WITH ")
+		for i, c := range s.With {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if c.Recursive {
+				b.WriteString("RECURSIVE ")
+			}
+			b.WriteString(c.Name)
+			b.WriteString(" AS (")
+			writeSelect(b, c.Select)
+			b.WriteString(")")
+		}
+		b.WriteString(" ")
+	}
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			if it.StarTable != "" {
+				b.WriteString(it.StarTable)
+				b.WriteString(".")
+			}
+			b.WriteString("*")
+		} else {
+			b.WriteString(ExprSQL(it.Expr))
+		}
+		if it.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(it.Alias)
+		}
+	}
+	if len(s.From) > 0 {
+		b.WriteString(" FROM ")
+		for i, t := range s.From {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeTableRef(b, t)
+		}
+	}
+	for _, j := range s.Joins {
+		b.WriteString(" ")
+		if j.Kind != "" && j.Kind != "INNER" {
+			b.WriteString(string(j.Kind))
+			b.WriteString(" ")
+		}
+		b.WriteString("JOIN ")
+		writeTableRef(b, j.Table)
+		if j.On != nil {
+			b.WriteString(" ON ")
+			b.WriteString(ExprSQL(j.On))
+		} else if len(j.Using) > 0 {
+			b.WriteString(" USING (")
+			b.WriteString(strings.Join(j.Using, ", "))
+			b.WriteString(")")
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(ExprSQL(s.Where))
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ExprSQL(g))
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		b.WriteString(ExprSQL(s.Having))
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ExprSQL(o.Expr))
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit != nil {
+		b.WriteString(" LIMIT ")
+		b.WriteString(ExprSQL(s.Limit))
+	}
+	if s.Offset != nil {
+		b.WriteString(" OFFSET ")
+		b.WriteString(ExprSQL(s.Offset))
+	}
+	for _, u := range s.Setop {
+		b.WriteString(" UNION ")
+		writeSelect(b, u)
+	}
+}
+
+func writeTableRef(b *strings.Builder, t TableRef) {
+	if t.Sub != nil {
+		b.WriteString("(")
+		writeSelect(b, t.Sub)
+		b.WriteString(")")
+	} else {
+		b.WriteString(t.Name)
+	}
+	if t.Alias != "" {
+		b.WriteString(" AS ")
+		b.WriteString(t.Alias)
+	}
+}
+
+func writeInsert(b *strings.Builder, s *InsertStatement) {
+	if s.OrReplace {
+		b.WriteString("REPLACE INTO ")
+	} else {
+		b.WriteString("INSERT INTO ")
+	}
+	b.WriteString(s.Table)
+	if len(s.Columns) > 0 {
+		b.WriteString(" (")
+		b.WriteString(strings.Join(s.Columns, ", "))
+		b.WriteString(")")
+	}
+	if s.Select != nil {
+		b.WriteString(" ")
+		writeSelect(b, s.Select)
+		return
+	}
+	b.WriteString(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		for j, e := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ExprSQL(e))
+		}
+		b.WriteString(")")
+	}
+}
+
+func writeUpdate(b *strings.Builder, s *UpdateStatement) {
+	b.WriteString("UPDATE ")
+	b.WriteString(s.Table)
+	if s.Alias != "" {
+		b.WriteString(" AS ")
+		b.WriteString(s.Alias)
+	}
+	b.WriteString(" SET ")
+	for i, a := range s.Set {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(columnRefSQL(&a.Column))
+		b.WriteString(" = ")
+		b.WriteString(ExprSQL(a.Value))
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(ExprSQL(s.Where))
+	}
+}
+
+func writeDelete(b *strings.Builder, s *DeleteStatement) {
+	b.WriteString("DELETE FROM ")
+	b.WriteString(s.Table)
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(ExprSQL(s.Where))
+	}
+}
+
+func writeCreateTable(b *strings.Builder, s *CreateTableStatement) {
+	b.WriteString("CREATE TABLE ")
+	if s.IfNotExists {
+		b.WriteString("IF NOT EXISTS ")
+	}
+	b.WriteString(s.Name)
+	if s.AsSelect != nil {
+		b.WriteString(" AS ")
+		writeSelect(b, s.AsSelect)
+		return
+	}
+	b.WriteString(" (")
+	first := true
+	for _, c := range s.Columns {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(ColumnDefSQL(c))
+	}
+	for _, tc := range s.Constraints {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(constraintSQL(tc))
+	}
+	b.WriteString(")")
+}
+
+// ColumnDefSQL renders a single column definition.
+func ColumnDefSQL(c ColumnDef) string {
+	var b strings.Builder
+	b.WriteString(c.Name)
+	b.WriteString(" ")
+	b.WriteString(c.Type)
+	if len(c.TypeParams) > 0 {
+		b.WriteString("(")
+		b.WriteString(strings.Join(c.TypeParams, ", "))
+		b.WriteString(")")
+	}
+	if c.NotNull {
+		b.WriteString(" NOT NULL")
+	}
+	if c.PrimaryKey {
+		b.WriteString(" PRIMARY KEY")
+	}
+	if c.AutoIncrement {
+		b.WriteString(" AUTO_INCREMENT")
+	}
+	if c.Unique {
+		b.WriteString(" UNIQUE")
+	}
+	if c.Default != nil {
+		b.WriteString(" DEFAULT ")
+		b.WriteString(ExprSQL(c.Default))
+	}
+	if c.References != nil {
+		b.WriteString(" REFERENCES ")
+		b.WriteString(c.References.Table)
+		if len(c.References.Columns) > 0 {
+			b.WriteString("(")
+			b.WriteString(strings.Join(c.References.Columns, ", "))
+			b.WriteString(")")
+		}
+		if c.References.OnDelete != "" {
+			b.WriteString(" ON DELETE ")
+			b.WriteString(c.References.OnDelete)
+		}
+	}
+	if c.Check != nil {
+		b.WriteString(" CHECK (")
+		b.WriteString(ExprSQL(c.Check))
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+func constraintSQL(tc TableConstraint) string {
+	var b strings.Builder
+	if tc.Name != "" {
+		b.WriteString("CONSTRAINT ")
+		b.WriteString(tc.Name)
+		b.WriteString(" ")
+	}
+	b.WriteString(tc.CKind)
+	switch tc.CKind {
+	case "PRIMARY KEY", "UNIQUE":
+		b.WriteString(" (")
+		b.WriteString(strings.Join(tc.Columns, ", "))
+		b.WriteString(")")
+	case "FOREIGN KEY":
+		b.WriteString(" (")
+		b.WriteString(strings.Join(tc.Columns, ", "))
+		b.WriteString(") REFERENCES ")
+		if tc.Ref != nil {
+			b.WriteString(tc.Ref.Table)
+			if len(tc.Ref.Columns) > 0 {
+				b.WriteString("(")
+				b.WriteString(strings.Join(tc.Ref.Columns, ", "))
+				b.WriteString(")")
+			}
+			if tc.Ref.OnDelete != "" {
+				b.WriteString(" ON DELETE ")
+				b.WriteString(tc.Ref.OnDelete)
+			}
+		}
+	case "CHECK":
+		b.WriteString(" (")
+		b.WriteString(ExprSQL(tc.Check))
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+func writeCreateIndex(b *strings.Builder, s *CreateIndexStatement) {
+	b.WriteString("CREATE ")
+	if s.Unique {
+		b.WriteString("UNIQUE ")
+	}
+	b.WriteString("INDEX ")
+	b.WriteString(s.Name)
+	b.WriteString(" ON ")
+	b.WriteString(s.Table)
+	b.WriteString(" (")
+	b.WriteString(strings.Join(s.Columns, ", "))
+	b.WriteString(")")
+}
+
+func writeAlterTable(b *strings.Builder, s *AlterTableStatement) {
+	b.WriteString("ALTER TABLE ")
+	b.WriteString(s.Table)
+	switch s.Action {
+	case AlterAddColumn:
+		b.WriteString(" ADD COLUMN ")
+		b.WriteString(ColumnDefSQL(*s.Column))
+	case AlterDropColumn:
+		b.WriteString(" DROP COLUMN ")
+		b.WriteString(s.DropColumn)
+	case AlterAddConstraint:
+		b.WriteString(" ADD ")
+		b.WriteString(constraintSQL(*s.Constraint))
+	case AlterDropConstraint:
+		b.WriteString(" DROP CONSTRAINT ")
+		if s.IfExists {
+			b.WriteString("IF EXISTS ")
+		}
+		b.WriteString(s.DropName)
+	case AlterRename:
+		b.WriteString(" RENAME TO ")
+		b.WriteString(s.NewName)
+	default:
+		// Preserve the unparsed tail of the original text.
+		b.WriteString(" ")
+		b.WriteString(rawTail(s.Raw()))
+	}
+}
+
+// rawTail returns the text after "ALTER TABLE <name>" in the original
+// statement, best-effort.
+func rawTail(raw string) string {
+	fields := strings.Fields(raw)
+	if len(fields) > 3 {
+		return strings.Join(fields[3:], " ")
+	}
+	return ""
+}
+
+// ExprSQL renders an expression to SQL text.
+func ExprSQL(e Expr) string {
+	if e == nil {
+		return ""
+	}
+	switch x := e.(type) {
+	case *ColumnRef:
+		return columnRefSQL(x)
+	case *Literal:
+		switch x.LitKind {
+		case "string":
+			return "'" + strings.ReplaceAll(x.Value, "'", "''") + "'"
+		case "null":
+			return "NULL"
+		default:
+			return x.Value
+		}
+	case *Placeholder:
+		return x.Text
+	case *BinaryExpr:
+		op := x.Op
+		if x.Not {
+			switch op {
+			case "IS":
+				op = "IS NOT"
+			default:
+				op = "NOT " + op
+			}
+		}
+		return ExprSQL(x.Left) + " " + op + " " + ExprSQL(x.Right)
+	case *UnaryExpr:
+		if x.Op == "NOT" {
+			return "NOT " + ExprSQL(x.X)
+		}
+		return x.Op + ExprSQL(x.X)
+	case *FuncCall:
+		var args []string
+		if x.Star {
+			args = []string{"*"}
+		}
+		for _, a := range x.Args {
+			args = append(args, ExprSQL(a))
+		}
+		d := ""
+		if x.Distinct {
+			d = "DISTINCT "
+		}
+		return x.Name + "(" + d + strings.Join(args, ", ") + ")"
+	case *ExprList:
+		var items []string
+		for _, it := range x.Items {
+			items = append(items, ExprSQL(it))
+		}
+		return "(" + strings.Join(items, ", ") + ")"
+	case *SubQuery:
+		return "(" + SQL(x.Select) + ")"
+	case *CaseExpr:
+		var b strings.Builder
+		b.WriteString("CASE")
+		for i := range x.Whens {
+			b.WriteString(" WHEN ")
+			b.WriteString(ExprSQL(x.Whens[i]))
+			b.WriteString(" THEN ")
+			if i < len(x.Thens) {
+				b.WriteString(ExprSQL(x.Thens[i]))
+			}
+		}
+		if x.Else != nil {
+			b.WriteString(" ELSE ")
+			b.WriteString(ExprSQL(x.Else))
+		}
+		b.WriteString(" END")
+		return b.String()
+	case *Raw:
+		var parts []string
+		for _, t := range x.Tokens {
+			parts = append(parts, t.Text)
+		}
+		return strings.Join(parts, " ")
+	default:
+		return ""
+	}
+}
+
+func columnRefSQL(c *ColumnRef) string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}

@@ -1,0 +1,309 @@
+package sqlast
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStatementKindNames(t *testing.T) {
+	cases := map[StatementKind]string{
+		KindSelect:        "SELECT",
+		KindInsert:        "INSERT",
+		KindCreateTable:   "CREATE TABLE",
+		KindAlterTable:    "ALTER TABLE",
+		KindOther:         "OTHER",
+		StatementKind(99): "OTHER",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestSerializeSelectAllClauses(t *testing.T) {
+	sel := &SelectStatement{
+		Distinct: true,
+		With: []CTE{{Name: "r", Recursive: true, Select: &SelectStatement{
+			Items: []SelectItem{{Expr: &Literal{LitKind: "number", Value: "1"}}},
+		}}},
+		Items: []SelectItem{
+			{Expr: &ColumnRef{Table: "t", Column: "a"}, Alias: "x"},
+			{Star: true, StarTable: "u"},
+		},
+		From: []TableRef{{Name: "t", Alias: "tt"}},
+		Joins: []Join{
+			{Kind: "LEFT", Table: TableRef{Name: "u"},
+				On: &BinaryExpr{Op: "=", Left: &ColumnRef{Table: "t", Column: "id"}, Right: &ColumnRef{Table: "u", Column: "tid"}}},
+			{Kind: "INNER", Table: TableRef{Name: "v"}, Using: []string{"k1", "k2"}},
+		},
+		Where:   &BinaryExpr{Op: "IS", Not: true, Left: &ColumnRef{Column: "a"}, Right: &Literal{LitKind: "null", Value: "NULL"}},
+		GroupBy: []Expr{&ColumnRef{Column: "a"}},
+		Having:  &BinaryExpr{Op: ">", Left: &FuncCall{Name: "COUNT", Star: true}, Right: &Literal{LitKind: "number", Value: "1"}},
+		OrderBy: []OrderItem{{Expr: &ColumnRef{Column: "a"}, Desc: true}},
+		Limit:   &Literal{LitKind: "number", Value: "10"},
+		Offset:  &Literal{LitKind: "number", Value: "5"},
+		Setop:   []*SelectStatement{{Items: []SelectItem{{Star: true}}, From: []TableRef{{Name: "w"}}}},
+	}
+	got := SQL(sel)
+	for _, want := range []string{
+		"WITH RECURSIVE r AS (SELECT 1)",
+		"SELECT DISTINCT t.a AS x, u.*",
+		"FROM t AS tt",
+		"LEFT JOIN u ON t.id = u.tid",
+		"JOIN v USING (k1, k2)",
+		"WHERE a IS NOT NULL",
+		"GROUP BY a",
+		"HAVING COUNT(*) > 1",
+		"ORDER BY a DESC",
+		"LIMIT 10 OFFSET 5",
+		"UNION SELECT * FROM w",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("SQL() missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSerializeSubquerySource(t *testing.T) {
+	sel := &SelectStatement{
+		Items: []SelectItem{{Star: true}},
+		From: []TableRef{{Sub: &SelectStatement{
+			Items: []SelectItem{{Expr: &ColumnRef{Column: "x"}}},
+			From:  []TableRef{{Name: "inner_t"}},
+		}, Alias: "s"}},
+	}
+	got := SQL(sel)
+	if !strings.Contains(got, "FROM (SELECT x FROM inner_t) AS s") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSerializeInsertVariants(t *testing.T) {
+	ins := &InsertStatement{Table: "t", Columns: []string{"a", "b"},
+		Rows: [][]Expr{
+			{&Literal{LitKind: "number", Value: "1"}, &Literal{LitKind: "string", Value: "x"}},
+			{&Literal{LitKind: "number", Value: "2"}, &Literal{LitKind: "null", Value: "NULL"}},
+		}}
+	got := SQL(ins)
+	if got != "INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)" {
+		t.Errorf("got %q", got)
+	}
+	rep := &InsertStatement{Table: "t", OrReplace: true, Rows: [][]Expr{{&Literal{LitKind: "number", Value: "1"}}}}
+	if !strings.HasPrefix(SQL(rep), "REPLACE INTO t") {
+		t.Errorf("got %q", SQL(rep))
+	}
+	insSel := &InsertStatement{Table: "t", Select: &SelectStatement{
+		Items: []SelectItem{{Star: true}}, From: []TableRef{{Name: "src"}}}}
+	if !strings.Contains(SQL(insSel), "INSERT INTO t SELECT * FROM src") {
+		t.Errorf("got %q", SQL(insSel))
+	}
+}
+
+func TestSerializeUpdateDelete(t *testing.T) {
+	up := &UpdateStatement{Table: "t", Alias: "x",
+		Set:   []Assignment{{Column: ColumnRef{Column: "a"}, Value: &Literal{LitKind: "number", Value: "1"}}},
+		Where: &BinaryExpr{Op: "=", Left: &ColumnRef{Column: "id"}, Right: &Literal{LitKind: "number", Value: "2"}}}
+	if got := SQL(up); got != "UPDATE t AS x SET a = 1 WHERE id = 2" {
+		t.Errorf("got %q", got)
+	}
+	del := &DeleteStatement{Table: "t"}
+	if got := SQL(del); got != "DELETE FROM t" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSerializeCreateTableFull(t *testing.T) {
+	ct := &CreateTableStatement{
+		Name:        "t",
+		IfNotExists: true,
+		Columns: []ColumnDef{
+			{Name: "id", Type: "INT", PrimaryKey: true, AutoIncrement: true},
+			{Name: "v", Type: "VARCHAR", TypeParams: []string{"10"}, NotNull: true, Unique: true,
+				Default: &Literal{LitKind: "string", Value: "x"}},
+			{Name: "r", Type: "INT", References: &ForeignKeyRef{Table: "u", Columns: []string{"id"}, OnDelete: "CASCADE"}},
+			{Name: "c", Type: "INT", Check: &BinaryExpr{Op: ">", Left: &ColumnRef{Column: "c"}, Right: &Literal{LitKind: "number", Value: "0"}}},
+		},
+		Constraints: []TableConstraint{
+			{Name: "pk2", CKind: "UNIQUE", Columns: []string{"v", "r"}},
+			{CKind: "FOREIGN KEY", Columns: []string{"r"}, Ref: &ForeignKeyRef{Table: "u", Columns: []string{"id"}, OnDelete: "SET NULL"}},
+			{Name: "ck", CKind: "CHECK", Check: &BinaryExpr{Op: "IN",
+				Left:  &ColumnRef{Column: "v"},
+				Right: &ExprList{Items: []Expr{&Literal{LitKind: "string", Value: "a"}}}}},
+		},
+	}
+	got := SQL(ct)
+	for _, want := range []string{
+		"CREATE TABLE IF NOT EXISTS t",
+		"id INT PRIMARY KEY AUTO_INCREMENT",
+		"v VARCHAR(10) NOT NULL UNIQUE DEFAULT 'x'",
+		"r INT REFERENCES u(id) ON DELETE CASCADE",
+		"c INT CHECK (c > 0)",
+		"CONSTRAINT pk2 UNIQUE (v, r)",
+		"FOREIGN KEY (r) REFERENCES u(id) ON DELETE SET NULL",
+		"CONSTRAINT ck CHECK (v IN ('a'))",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestSerializeCreateTableAsSelect(t *testing.T) {
+	ct := &CreateTableStatement{Name: "t", AsSelect: &SelectStatement{
+		Items: []SelectItem{{Star: true}}, From: []TableRef{{Name: "src"}}}}
+	if got := SQL(ct); got != "CREATE TABLE t AS SELECT * FROM src" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSerializeAlterAndDrop(t *testing.T) {
+	cases := []struct {
+		stmt Statement
+		want string
+	}{
+		{&AlterTableStatement{Table: "t", Action: AlterAddColumn,
+			Column: &ColumnDef{Name: "c", Type: "INT"}}, "ALTER TABLE t ADD COLUMN c INT"},
+		{&AlterTableStatement{Table: "t", Action: AlterDropColumn, DropColumn: "c"},
+			"ALTER TABLE t DROP COLUMN c"},
+		{&AlterTableStatement{Table: "t", Action: AlterDropConstraint, DropName: "ck", IfExists: true},
+			"ALTER TABLE t DROP CONSTRAINT IF EXISTS ck"},
+		{&AlterTableStatement{Table: "t", Action: AlterRename, NewName: "t2"},
+			"ALTER TABLE t RENAME TO t2"},
+		{&DropStatement{DropKind: KindDropTable, Name: "t", IfExists: true},
+			"DROP TABLE IF EXISTS t"},
+		{&DropStatement{DropKind: KindDropIndex, Name: "i"},
+			"DROP INDEX i"},
+	}
+	for _, c := range cases {
+		if got := SQL(c.stmt); got != c.want {
+			t.Errorf("SQL() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSerializeAlterOtherPreservesTail(t *testing.T) {
+	at := &AlterTableStatement{
+		Base:   Base{Text: "ALTER TABLE t OWNER TO bob"},
+		Table:  "t",
+		Action: AlterOther,
+	}
+	if got := SQL(at); !strings.Contains(got, "OWNER TO bob") {
+		t.Errorf("tail lost: %q", got)
+	}
+}
+
+func TestSerializeExprForms(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&Placeholder{Text: "$1"}, "$1"},
+		{&UnaryExpr{Op: "-", X: &Literal{LitKind: "number", Value: "3"}}, "-3"},
+		{&UnaryExpr{Op: "NOT", X: &ColumnRef{Column: "f"}}, "NOT f"},
+		{&FuncCall{Name: "NOW"}, "NOW()"},
+		{&SubQuery{Select: &SelectStatement{Items: []SelectItem{{Expr: &Literal{LitKind: "number", Value: "1"}}}}}, "(SELECT 1)"},
+		{&CaseExpr{
+			Whens: []Expr{&ColumnRef{Column: "a"}},
+			Thens: []Expr{&Literal{LitKind: "number", Value: "1"}},
+			Else:  &Literal{LitKind: "number", Value: "0"},
+		}, "CASE WHEN a THEN 1 ELSE 0 END"},
+		{&BinaryExpr{Op: "LIKE", Not: true,
+			Left:  &ColumnRef{Column: "n"},
+			Right: &Literal{LitKind: "string", Value: "x%"}}, "n NOT LIKE 'x%'"},
+		{nil, ""},
+	}
+	for _, c := range cases {
+		if got := ExprSQL(c.e); got != c.want {
+			t.Errorf("ExprSQL(%#v) = %q, want %q", c.e, got, c.want)
+		}
+	}
+}
+
+func TestWalkExprsCoversAllStatementShapes(t *testing.T) {
+	countRefs := func(s Statement) int {
+		n := 0
+		WalkExprs(s, func(e Expr) bool {
+			if _, ok := e.(*ColumnRef); ok {
+				n++
+			}
+			return true
+		})
+		return n
+	}
+	sel := &SelectStatement{
+		Items:   []SelectItem{{Expr: &ColumnRef{Column: "a"}}},
+		From:    []TableRef{{Sub: &SelectStatement{Items: []SelectItem{{Expr: &ColumnRef{Column: "b"}}}}}},
+		Joins:   []Join{{On: &ColumnRef{Column: "c"}, Table: TableRef{Sub: &SelectStatement{Where: &ColumnRef{Column: "d"}}}}},
+		Where:   &ColumnRef{Column: "e"},
+		GroupBy: []Expr{&ColumnRef{Column: "f"}},
+		Having:  &ColumnRef{Column: "g"},
+		OrderBy: []OrderItem{{Expr: &ColumnRef{Column: "h"}}},
+		Limit:   &ColumnRef{Column: "i"},
+		Setop:   []*SelectStatement{{Where: &ColumnRef{Column: "j"}}},
+		With:    []CTE{{Select: &SelectStatement{Where: &ColumnRef{Column: "k"}}}},
+	}
+	if got := countRefs(sel); got != 11 {
+		t.Errorf("select refs = %d, want 11", got)
+	}
+	ins := &InsertStatement{Rows: [][]Expr{{&ColumnRef{Column: "a"}}},
+		Select: &SelectStatement{Where: &ColumnRef{Column: "b"}}}
+	if got := countRefs(ins); got != 2 {
+		t.Errorf("insert refs = %d", got)
+	}
+	up := &UpdateStatement{
+		Set:   []Assignment{{Value: &ColumnRef{Column: "a"}}},
+		Where: &ColumnRef{Column: "b"}}
+	if got := countRefs(up); got != 2 {
+		t.Errorf("update refs = %d", got)
+	}
+	ct := &CreateTableStatement{
+		Columns:     []ColumnDef{{Check: &ColumnRef{Column: "a"}, Default: &ColumnRef{Column: "b"}}},
+		Constraints: []TableConstraint{{Check: &ColumnRef{Column: "c"}}},
+		AsSelect:    &SelectStatement{Where: &ColumnRef{Column: "d"}}}
+	if got := countRefs(ct); got != 4 {
+		t.Errorf("create refs = %d", got)
+	}
+	at := &AlterTableStatement{
+		Column:     &ColumnDef{Check: &ColumnRef{Column: "a"}},
+		Constraint: &TableConstraint{Check: &ColumnRef{Column: "b"}}}
+	if got := countRefs(at); got != 2 {
+		t.Errorf("alter refs = %d", got)
+	}
+}
+
+func TestWalkExprEarlyStop(t *testing.T) {
+	e := &BinaryExpr{Op: "AND",
+		Left:  &BinaryExpr{Op: "=", Left: &ColumnRef{Column: "a"}, Right: &ColumnRef{Column: "b"}},
+		Right: &ColumnRef{Column: "c"}}
+	visits := 0
+	WalkExpr(e, func(Expr) bool {
+		visits++
+		return false // stop immediately: children skipped
+	})
+	if visits != 1 {
+		t.Errorf("visits = %d, want 1", visits)
+	}
+}
+
+func TestWalkExprSubquery(t *testing.T) {
+	e := &SubQuery{Select: &SelectStatement{Where: &ColumnRef{Column: "x"}}}
+	found := false
+	WalkExpr(e, func(x Expr) bool {
+		if cr, ok := x.(*ColumnRef); ok && cr.Column == "x" {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("subquery not walked")
+	}
+}
+
+func TestRawExprSerialization(t *testing.T) {
+	// Raw nodes round-trip token text with spaces.
+	r := &Raw{}
+	if ExprSQL(r) != "" {
+		t.Error("empty raw")
+	}
+}

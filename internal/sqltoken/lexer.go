@@ -1,0 +1,303 @@
+package sqltoken
+
+import (
+	"strings"
+)
+
+// Lex tokenizes the input SQL text. It never returns an error: input
+// that cannot be classified becomes TokenOther tokens. The returned
+// slice always ends with a TokenEOF token.
+func Lex(input string) []Token {
+	l := &lexer{src: input, line: 1}
+	var toks []Token
+	for {
+		t := l.next()
+		toks = append(toks, t)
+		if t.Kind == TokenEOF {
+			return toks
+		}
+	}
+}
+
+// LexSignificant tokenizes input and drops whitespace and comment
+// tokens, which most analyses do not care about. The trailing EOF
+// token is retained.
+func LexSignificant(input string) []Token {
+	all := Lex(input)
+	out := all[:0:0]
+	for _, t := range all {
+		if t.Kind == TokenWhitespace || t.Kind == TokenComment {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) next() Token {
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokenEOF, Pos: l.pos, Line: l.line}
+	}
+	start, startLine := l.pos, l.line
+	c := l.src[l.pos]
+	switch {
+	case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+		for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+			if l.src[l.pos] == '\n' {
+				l.line++
+			}
+			l.pos++
+		}
+		return l.tok(TokenWhitespace, start, startLine)
+	case c == '-' && l.peekAt(1) == '-':
+		for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+			l.pos++
+		}
+		return l.tok(TokenComment, start, startLine)
+	case c == '#':
+		// MySQL line comment.
+		for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+			l.pos++
+		}
+		return l.tok(TokenComment, start, startLine)
+	case c == '/' && l.peekAt(1) == '*':
+		l.pos += 2
+		for l.pos < len(l.src) {
+			if l.src[l.pos] == '*' && l.peekAt(1) == '/' {
+				l.pos += 2
+				break
+			}
+			if l.src[l.pos] == '\n' {
+				l.line++
+			}
+			l.pos++
+		}
+		return l.tok(TokenComment, start, startLine)
+	case c == '\'':
+		l.scanQuoted('\'')
+		return l.tok(TokenString, start, startLine)
+	case c == '"':
+		l.scanQuoted('"')
+		return l.tok(TokenQuotedIdent, start, startLine)
+	case c == '`':
+		l.scanQuoted('`')
+		return l.tok(TokenQuotedIdent, start, startLine)
+	case c == '[' && looksLikeBracketIdent(l.src[l.pos:]):
+		for l.pos < len(l.src) && l.src[l.pos] != ']' {
+			l.pos++
+		}
+		if l.pos < len(l.src) {
+			l.pos++ // consume ']'
+		}
+		return l.tok(TokenQuotedIdent, start, startLine)
+	case isDigit(c) || (c == '.' && isDigit(l.peekAt(1))):
+		l.scanNumber()
+		return l.tok(TokenNumber, start, startLine)
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		kind := TokenIdent
+		if keywords[strings.ToUpper(word)] {
+			kind = TokenKeyword
+		}
+		return l.tok(kind, start, startLine)
+	case c == '?':
+		l.pos++
+		return l.tok(TokenPlaceholder, start, startLine)
+	case c == '$' && isDigit(l.peekAt(1)):
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		return l.tok(TokenPlaceholder, start, startLine)
+	case c == ':' && isIdentStart(l.peekAt(1)):
+		l.pos++
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return l.tok(TokenPlaceholder, start, startLine)
+	case c == '%' && l.peekAt(1) == 's':
+		// Python-style interpolation placeholder, common in embedded SQL.
+		l.pos += 2
+		return l.tok(TokenPlaceholder, start, startLine)
+	case c == '(' || c == ')' || c == ',' || c == ';' || c == '.' || c == '[' || c == ']' || c == '{' || c == '}':
+		l.pos++
+		return l.tok(TokenPunct, start, startLine)
+	default:
+		if op := l.scanOperator(); op {
+			return l.tok(TokenOperator, start, startLine)
+		}
+		l.pos++
+		return l.tok(TokenOther, start, startLine)
+	}
+}
+
+func (l *lexer) tok(k Kind, start, line int) Token {
+	return Token{Kind: k, Text: l.src[start:l.pos], Pos: start, Line: line}
+}
+
+// scanQuoted consumes a quoted region starting at the current position
+// (which must hold the opening quote). Doubled quotes escape the quote
+// character; backslash escapes are honored inside single quotes since
+// MySQL permits them. An unterminated quote consumes to end of input
+// rather than failing — the lexer is non-validating.
+func (l *lexer) scanQuoted(q byte) {
+	l.pos++ // opening quote
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\\' && q == '\'' && l.pos+1 < len(l.src) {
+			l.pos += 2
+			continue
+		}
+		if c == q {
+			if l.peekAt(1) == q { // doubled quote escape
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return
+		}
+		if c == '\n' {
+			l.line++
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) scanNumber() {
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.peek() == '.' {
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	if c := l.peek(); c == 'e' || c == 'E' {
+		save := l.pos
+		l.pos++
+		if c := l.peek(); c == '+' || c == '-' {
+			l.pos++
+		}
+		if !isDigit(l.peek()) {
+			l.pos = save // not an exponent after all
+			return
+		}
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+}
+
+// multi-byte operators, longest first.
+var operators = []string{
+	"<=>", "::", "||", "<<", ">>", "<=", ">=", "<>", "!=", "==", "->>",
+	"->", "=", "<", ">", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!",
+}
+
+func (l *lexer) scanOperator() bool {
+	rest := l.src[l.pos:]
+	for _, op := range operators {
+		if strings.HasPrefix(rest, op) {
+			l.pos += len(op)
+			return true
+		}
+	}
+	return false
+}
+
+// looksLikeBracketIdent reports whether a '[' opens a SQL Server style
+// bracketed identifier (as opposed to, say, a regex character class
+// inside a LIKE pattern, which would be inside a string anyway).
+func looksLikeBracketIdent(s string) bool {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case ']':
+			return i > 1
+		case '\n', '(', ')', ',', '\'':
+			return false
+		}
+		if i > 128 {
+			return false
+		}
+	}
+	return false
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || isDigit(c) || c == '$'
+}
+
+// SplitStatements splits SQL text into individual statements on
+// top-level semicolons. Semicolons inside strings, comments, or
+// parentheses do not split. Empty statements are dropped. The returned
+// statements retain their original text (without the terminating
+// semicolon).
+func SplitStatements(input string) []string {
+	toks := Lex(input)
+	var (
+		stmts []string
+		depth int
+		begin = -1
+	)
+	flush := func(end int) {
+		if begin < 0 {
+			return
+		}
+		s := strings.TrimSpace(input[begin:end])
+		if s != "" {
+			stmts = append(stmts, s)
+		}
+		begin = -1
+	}
+	for _, t := range toks {
+		switch {
+		case t.Kind == TokenEOF:
+			flush(t.Pos)
+		case t.Kind == TokenWhitespace || t.Kind == TokenComment:
+			// does not begin a statement
+		case t.IsPunct(";") && depth == 0:
+			flush(t.Pos)
+		default:
+			if begin < 0 {
+				begin = t.Pos
+			}
+			if t.IsPunct("(") {
+				depth++
+			} else if t.IsPunct(")") && depth > 0 {
+				depth--
+			}
+		}
+	}
+	return stmts
+}

@@ -1,0 +1,300 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sqlcheck/internal/schema"
+)
+
+// Database is a named collection of tables.
+type Database struct {
+	Name   string
+	tables map[string]*Table
+	order  []string
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{Name: name, tables: make(map[string]*Table)}
+}
+
+// AddTable registers a table with the database, wiring it for foreign
+// key resolution.
+func (db *Database) AddTable(t *Table) {
+	key := strings.ToLower(t.Name)
+	if _, ok := db.tables[key]; !ok {
+		db.order = append(db.order, key)
+	}
+	db.tables[key] = t
+	t.db = db
+}
+
+// CreateTable creates and registers a table.
+func (db *Database) CreateTable(name string, cols []ColumnDef) *Table {
+	t := NewTable(name, cols)
+	db.AddTable(t)
+	return t
+}
+
+// DropTable removes a table; reports whether it existed.
+func (db *Database) DropTable(name string) bool {
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; !ok {
+		return false
+	}
+	delete(db.tables, key)
+	for i, k := range db.order {
+		if k == key {
+			db.order = append(db.order[:i], db.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Table returns the named table (case-insensitive), or nil.
+func (db *Database) Table(name string) *Table {
+	return db.tables[strings.ToLower(name)]
+}
+
+// Tables returns all tables in creation order.
+func (db *Database) Tables() []*Table {
+	out := make([]*Table, 0, len(db.order))
+	for _, k := range db.order {
+		out = append(out, db.tables[k])
+	}
+	return out
+}
+
+// applyReferentialActions handles deletes from parent: for each table
+// with a foreign key referencing parent, apply its ON DELETE action to
+// rows matching the deleted parent row.
+func (db *Database) applyReferentialActions(parent *Table, parentRow Row) error {
+	for _, child := range db.Tables() {
+		for _, fk := range child.fks {
+			if !strings.EqualFold(fk.RefTable, parent.Name) {
+				continue
+			}
+			// Values of the referenced columns in the parent row.
+			refVals := make([]Value, 0, len(fk.RefCols))
+			if len(fk.RefCols) == 0 {
+				for _, o := range parent.pkCols {
+					refVals = append(refVals, parentRow[o])
+				}
+			} else {
+				for _, rc := range fk.RefCols {
+					o := parent.ColIndex(rc)
+					if o < 0 {
+						return fmt.Errorf("storage: fk %s references unknown column %s", fk.Name, rc)
+					}
+					refVals = append(refVals, parentRow[o])
+				}
+			}
+			// Find referencing rows in the child.
+			var hits []int64
+			if ix := child.matchIndex(fk.Cols); ix != nil {
+				hits = append(hits, ix.tree.Get(EncodeKey(refVals...))...)
+			} else {
+				child.Scan(func(id int64, r Row) bool {
+					for i, c := range fk.Cols {
+						if !Equal(r[c], refVals[i]) {
+							return true
+						}
+					}
+					hits = append(hits, id)
+					return true
+				})
+			}
+			if len(hits) == 0 {
+				continue
+			}
+			switch fk.OnDelete {
+			case "CASCADE":
+				for _, id := range hits {
+					if err := child.Delete(id); err != nil {
+						return err
+					}
+				}
+			case "SET NULL":
+				for _, id := range hits {
+					row := child.rows[id].Clone()
+					for _, c := range fk.Cols {
+						row[c] = Null()
+					}
+					if err := child.Update(id, row); err != nil {
+						return err
+					}
+				}
+			default: // RESTRICT / NO ACTION
+				return fmt.Errorf("%w: %s referenced by %s", ErrRestrict, parent.Name, child.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// ResetIO clears the buffer pools and I/O stats of every table.
+func (db *Database) ResetIO() {
+	for _, t := range db.Tables() {
+		t.ResetIO()
+	}
+}
+
+// TotalIO sums the I/O stats across tables.
+func (db *Database) TotalIO() IOStats {
+	var s IOStats
+	for _, t := range db.Tables() {
+		st := t.IOStats()
+		s.PageReads += st.PageReads
+		s.CacheHits += st.CacheHits
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Schema bridging
+// ---------------------------------------------------------------------------
+
+// CreateTableFromSchema instantiates a storage table from a catalog
+// definition, including primary key, foreign keys, unique indexes, and
+// in-list CHECK constraints.
+func (db *Database) CreateTableFromSchema(ts *schema.Table) (*Table, error) {
+	cols := make([]ColumnDef, len(ts.Columns))
+	for i, c := range ts.Columns {
+		cols[i] = ColumnDef{Name: c.Name, Class: c.Class, NotNull: c.NotNull}
+	}
+	t := db.CreateTable(ts.Name, cols)
+	if len(ts.PrimaryKey) > 0 {
+		if err := t.SetPrimaryKey(ts.PrimaryKey...); err != nil {
+			return nil, err
+		}
+	}
+	for _, fk := range ts.ForeignKeys {
+		if err := t.AddForeignKey(fk.Name, fk.Columns, fk.RefTable, fk.RefColumns, fk.OnDelete); err != nil {
+			return nil, err
+		}
+	}
+	for _, ix := range ts.Indexes {
+		if _, err := t.CreateIndex(ix.Name, ix.Unique, ix.Columns...); err != nil {
+			return nil, err
+		}
+	}
+	for i, c := range ts.Columns {
+		if len(c.CheckInValues) > 0 {
+			name := fmt.Sprintf("%s_%s_check", ts.Name, c.Name)
+			if err := t.AddCheckInList(name, ts.Columns[i].Name, c.CheckInValues); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, ck := range ts.Checks {
+		if ck.Column != "" && len(ck.InValues) > 0 {
+			// Skip duplicates already added via the column mirror.
+			dup := false
+			ord := t.ColIndex(ck.Column)
+			for _, existing := range t.checks {
+				if existing.Col == ord {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				if err := t.AddCheckInList(ck.Name, ck.Column, ck.InValues); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// Reflect produces a schema catalog describing this database — the
+// storage-engine analogue of SQLAlchemy reflection, used by the
+// context builder when a live database is supplied (paper §4.2).
+func (db *Database) Reflect() *schema.Schema {
+	s := schema.NewSchema()
+	for _, t := range db.Tables() {
+		ts := &schema.Table{Name: t.Name}
+		for _, c := range t.Cols {
+			ts.Columns = append(ts.Columns, schema.Column{
+				Name:    c.Name,
+				Type:    classToType(c.Class),
+				Class:   c.Class,
+				NotNull: c.NotNull,
+			})
+		}
+		for _, o := range t.pkCols {
+			ts.PrimaryKey = append(ts.PrimaryKey, t.Cols[o].Name)
+		}
+		for _, fk := range t.fks {
+			sfk := schema.ForeignKey{
+				Name:       fk.Name,
+				RefTable:   fk.RefTable,
+				RefColumns: fk.RefCols,
+				OnDelete:   fk.OnDelete,
+			}
+			for _, o := range fk.Cols {
+				sfk.Columns = append(sfk.Columns, t.Cols[o].Name)
+			}
+			ts.ForeignKeys = append(ts.ForeignKeys, sfk)
+			if strings.EqualFold(fk.RefTable, t.Name) {
+				ts.SelfRefFK = true
+			}
+		}
+		for _, ix := range t.indexes {
+			six := schema.Index{Name: ix.Name, Unique: ix.Unique}
+			for _, o := range ix.Cols {
+				six.Columns = append(six.Columns, t.Cols[o].Name)
+			}
+			ts.Indexes = append(ts.Indexes, six)
+		}
+		for _, ck := range t.checks {
+			vals := make([]string, 0, len(ck.Allowed))
+			for v := range ck.Allowed {
+				vals = append(vals, v)
+			}
+			sort.Strings(vals)
+			col := t.Cols[ck.Col].Name
+			ts.Checks = append(ts.Checks, schema.CheckConstraint{
+				Name: ck.Name, Column: col, InValues: vals,
+				Expr: col + " IN (...)",
+			})
+			if c := ts.Column(col); c != nil {
+				c.CheckInValues = vals
+			}
+		}
+		s.AddTable(ts)
+	}
+	return s
+}
+
+func classToType(c schema.TypeClass) string {
+	switch c {
+	case schema.ClassInteger:
+		return "INTEGER"
+	case schema.ClassExactNumeric:
+		return "NUMERIC"
+	case schema.ClassApproxNumeric:
+		return "FLOAT"
+	case schema.ClassChar:
+		return "VARCHAR"
+	case schema.ClassText:
+		return "TEXT"
+	case schema.ClassBool:
+		return "BOOLEAN"
+	case schema.ClassDate:
+		return "DATE"
+	case schema.ClassTimeTZ:
+		return "TIMESTAMP WITH TIME ZONE"
+	case schema.ClassTimeNoTZ:
+		return "TIMESTAMP"
+	case schema.ClassEnum:
+		return "ENUM"
+	case schema.ClassBlob:
+		return "BLOB"
+	default:
+		return "TEXT"
+	}
+}

@@ -1,0 +1,551 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"sqlcheck/internal/btree"
+	"sqlcheck/internal/schema"
+)
+
+// Constraint violation errors returned by DML operations.
+var (
+	ErrNotNull      = errors.New("storage: NOT NULL constraint violated")
+	ErrDuplicateKey = errors.New("storage: duplicate key violates unique constraint")
+	ErrForeignKey   = errors.New("storage: foreign key constraint violated")
+	ErrCheck        = errors.New("storage: CHECK constraint violated")
+	ErrArity        = errors.New("storage: row arity does not match table columns")
+	ErrNoRow        = errors.New("storage: row id not found")
+	ErrRestrict     = errors.New("storage: row is referenced by another table")
+)
+
+// ColumnDef declares one column of a storage table.
+type ColumnDef struct {
+	Name    string
+	Class   schema.TypeClass
+	NotNull bool
+}
+
+// Index is a secondary index over one or more columns, implemented as
+// a B+tree keyed by the encoded column values.
+type Index struct {
+	Name    string
+	Cols    []int // column ordinals
+	Unique  bool
+	tree    *btree.Tree
+	touches int64 // maintenance operation count, for stats
+}
+
+// ColumnsOf returns the indexed column ordinals.
+func (ix *Index) ColumnsOf() []int { return ix.Cols }
+
+// Tree exposes the underlying B+tree for ordered traversal by the
+// executor.
+func (ix *Index) Tree() *btree.Tree { return ix.tree }
+
+func (ix *Index) keyFor(r Row) string {
+	vals := make([]Value, len(ix.Cols))
+	for i, c := range ix.Cols {
+		vals[i] = r[c]
+	}
+	return EncodeKey(vals...)
+}
+
+// ForeignKey enforces that values in Cols exist in RefTable.RefCols.
+type ForeignKey struct {
+	Name     string
+	Cols     []int
+	RefTable string
+	RefCols  []string
+	OnDelete string // "", "CASCADE", "RESTRICT", "SET NULL"
+}
+
+// CheckInList is a domain constraint restricting a column to a fixed
+// value set — the storage-level realization of CHECK (col IN (...)).
+type CheckInList struct {
+	Name    string
+	Col     int
+	Allowed map[string]bool
+}
+
+// Table is an in-memory table with page-cost-modeled access.
+type Table struct {
+	Name    string
+	Cols    []ColumnDef
+	colIdx  map[string]int
+	rows    []Row // slot index = row id; nil slot = deleted
+	live    int
+	pk      *Index // unique index enforcing the primary key, may be nil
+	pkCols  []int
+	indexes []*Index
+	fks     []ForeignKey
+	checks  []CheckInList
+	db      *Database
+	pool    *bufferPool
+}
+
+// NewTable creates a table with the given columns.
+func NewTable(name string, cols []ColumnDef) *Table {
+	t := &Table{Name: name, Cols: cols, colIdx: make(map[string]int), pool: newBufferPool(0)}
+	for i, c := range cols {
+		t.colIdx[strings.ToLower(c.Name)] = i
+	}
+	return t
+}
+
+// ColIndex returns the ordinal of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	if i, ok := t.colIdx[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// Len returns the number of live rows.
+func (t *Table) Len() int { return t.live }
+
+// Cap returns the number of row slots (live + deleted).
+func (t *Table) Cap() int { return len(t.rows) }
+
+// IOStats returns the accumulated simulated I/O counters.
+func (t *Table) IOStats() IOStats { return t.pool.stats }
+
+// ResetIO clears the buffer pool and stats (used between benchmark
+// phases so each measurement starts cold, as the paper's repeated
+// cold-cache runs do).
+func (t *Table) ResetIO() { t.pool.reset() }
+
+// SetBufferPages resizes the simulated buffer pool.
+func (t *Table) SetBufferPages(n int) {
+	t.pool = newBufferPool(n)
+}
+
+func (t *Table) touchRowPage(id int64) { t.pool.touch(id / PageRows) }
+
+// SetPrimaryKey declares the primary key columns. Must be called
+// before rows are inserted.
+func (t *Table) SetPrimaryKey(cols ...string) error {
+	if len(t.rows) > 0 {
+		return errors.New("storage: primary key must be set before inserts")
+	}
+	var ords []int
+	for _, c := range cols {
+		i := t.ColIndex(c)
+		if i < 0 {
+			return fmt.Errorf("storage: unknown pk column %q", c)
+		}
+		ords = append(ords, i)
+		t.Cols[i].NotNull = true
+	}
+	t.pkCols = ords
+	t.pk = &Index{Name: t.Name + "_pkey", Cols: ords, Unique: true, tree: btree.New()}
+	return nil
+}
+
+// PrimaryKey returns the pk column ordinals (nil when none).
+func (t *Table) PrimaryKey() []int { return t.pkCols }
+
+// AddForeignKey declares a foreign key to refTable(refCols...).
+func (t *Table) AddForeignKey(name string, cols []string, refTable string, refCols []string, onDelete string) error {
+	fk := ForeignKey{Name: name, RefTable: refTable, RefCols: refCols, OnDelete: strings.ToUpper(onDelete)}
+	for _, c := range cols {
+		i := t.ColIndex(c)
+		if i < 0 {
+			return fmt.Errorf("storage: unknown fk column %q", c)
+		}
+		fk.Cols = append(fk.Cols, i)
+	}
+	t.fks = append(t.fks, fk)
+	return nil
+}
+
+// ForeignKeys returns the declared foreign keys.
+func (t *Table) ForeignKeys() []ForeignKey { return t.fks }
+
+// AddCheckInList adds a CHECK (col IN (allowed...)) constraint,
+// validating all existing rows first (a full scan, as ALTER TABLE ADD
+// CONSTRAINT performs in a real DBMS — this cost is the heart of the
+// enumerated-types experiment, Figure 8g–h).
+func (t *Table) AddCheckInList(name, col string, allowed []string) error {
+	ord := t.ColIndex(col)
+	if ord < 0 {
+		return fmt.Errorf("storage: unknown check column %q", col)
+	}
+	set := make(map[string]bool, len(allowed))
+	for _, a := range allowed {
+		set[a] = true
+	}
+	var violation error
+	t.Scan(func(id int64, r Row) bool {
+		v := r[ord]
+		if !v.IsNull() && !set[v.String()] {
+			violation = fmt.Errorf("%w: %s=%q not in domain (constraint %s)", ErrCheck, col, v.String(), name)
+			return false
+		}
+		return true
+	})
+	if violation != nil {
+		return violation
+	}
+	t.checks = append(t.checks, CheckInList{Name: name, Col: ord, Allowed: set})
+	return nil
+}
+
+// DropCheck removes the named CHECK constraint. Returns false if no
+// such constraint exists.
+func (t *Table) DropCheck(name string) bool {
+	for i := range t.checks {
+		if strings.EqualFold(t.checks[i].Name, name) {
+			t.checks = append(t.checks[:i], t.checks[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Checks returns the in-list CHECK constraints.
+func (t *Table) Checks() []CheckInList { return t.checks }
+
+// CreateIndex builds a secondary index over the given columns,
+// populating it from existing rows.
+func (t *Table) CreateIndex(name string, unique bool, cols ...string) (*Index, error) {
+	var ords []int
+	for _, c := range cols {
+		i := t.ColIndex(c)
+		if i < 0 {
+			return nil, fmt.Errorf("storage: unknown index column %q", c)
+		}
+		ords = append(ords, i)
+	}
+	ix := &Index{Name: name, Cols: ords, Unique: unique, tree: btree.New()}
+	var dup error
+	t.Scan(func(id int64, r Row) bool {
+		k := ix.keyFor(r)
+		if unique && len(ix.tree.Get(k)) > 0 {
+			dup = fmt.Errorf("%w: index %s key %s", ErrDuplicateKey, name, k)
+			return false
+		}
+		ix.tree.Insert(k, id)
+		return true
+	})
+	if dup != nil {
+		return nil, dup
+	}
+	t.indexes = append(t.indexes, ix)
+	return ix, nil
+}
+
+// DropIndex removes the named index; reports whether it existed.
+func (t *Table) DropIndex(name string) bool {
+	for i, ix := range t.indexes {
+		if strings.EqualFold(ix.Name, name) {
+			t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Indexes returns the secondary indexes (not including the pk).
+func (t *Table) Indexes() []*Index { return t.indexes }
+
+// IndexOnLeading returns an index whose leading column is the given
+// ordinal. Single-column indexes (which support exact point lookups)
+// are preferred over composite ones; among equals the primary key
+// wins.
+func (t *Table) IndexOnLeading(col int) *Index {
+	if t.pk != nil && len(t.pkCols) == 1 && t.pkCols[0] == col {
+		return t.pk
+	}
+	for _, ix := range t.indexes {
+		if len(ix.Cols) == 1 && ix.Cols[0] == col {
+			return ix
+		}
+	}
+	if t.pk != nil && t.pkCols[0] == col {
+		return t.pk
+	}
+	for _, ix := range t.indexes {
+		if ix.Cols[0] == col {
+			return ix
+		}
+	}
+	return nil
+}
+
+// PKIndex returns the primary key index, or nil.
+func (t *Table) PKIndex() *Index { return t.pk }
+
+// checkRow validates NOT NULL and CHECK constraints.
+func (t *Table) checkRow(r Row) error {
+	if len(r) != len(t.Cols) {
+		return fmt.Errorf("%w: got %d values, want %d", ErrArity, len(r), len(t.Cols))
+	}
+	for i, c := range t.Cols {
+		if c.NotNull && r[i].IsNull() {
+			return fmt.Errorf("%w: column %s", ErrNotNull, c.Name)
+		}
+	}
+	for _, ck := range t.checks {
+		v := r[ck.Col]
+		if !v.IsNull() && !ck.Allowed[v.String()] {
+			return fmt.Errorf("%w: %s=%q (constraint %s)", ErrCheck, t.Cols[ck.Col].Name, v.String(), ck.Name)
+		}
+	}
+	return nil
+}
+
+// checkFKs validates foreign keys for the row, performing indexed
+// lookups into referenced tables (each lookup pays simulated I/O on
+// the referenced table's pages — the overhead visible in Figure 8d).
+func (t *Table) checkFKs(r Row) error {
+	for _, fk := range t.fks {
+		if t.db == nil {
+			continue
+		}
+		ref := t.db.Table(fk.RefTable)
+		if ref == nil {
+			continue
+		}
+		allNull := true
+		vals := make([]Value, len(fk.Cols))
+		for i, c := range fk.Cols {
+			vals[i] = r[c]
+			if !r[c].IsNull() {
+				allNull = false
+			}
+		}
+		if allNull {
+			continue
+		}
+		ids := ref.lookupByCols(fk.RefCols, vals)
+		if len(ids) == 0 {
+			return fmt.Errorf("%w: %s -> %s", ErrForeignKey, t.Name, fk.RefTable)
+		}
+	}
+	return nil
+}
+
+// lookupByCols finds rows whose named columns equal vals, using an
+// index when one matches, else a sequential scan.
+func (t *Table) lookupByCols(cols []string, vals []Value) []int64 {
+	var ords []int
+	if len(cols) == 0 && t.pk != nil {
+		ords = t.pkCols
+	} else {
+		for _, c := range cols {
+			i := t.ColIndex(c)
+			if i < 0 {
+				return nil
+			}
+			ords = append(ords, i)
+		}
+	}
+	if ix := t.matchIndex(ords); ix != nil {
+		key := EncodeKey(vals...)
+		ids := ix.tree.Get(key)
+		// Pay for fetching the referenced pages.
+		for _, id := range ids {
+			t.touchRowPage(id)
+		}
+		return ids
+	}
+	var out []int64
+	t.Scan(func(id int64, r Row) bool {
+		for i, o := range ords {
+			if !Equal(r[o], vals[i]) {
+				return true
+			}
+		}
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// matchIndex finds an index exactly covering the given ordinals.
+func (t *Table) matchIndex(ords []int) *Index {
+	match := func(ix *Index) bool {
+		if len(ix.Cols) != len(ords) {
+			return false
+		}
+		for i := range ords {
+			if ix.Cols[i] != ords[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if t.pk != nil && match(t.pk) {
+		return t.pk
+	}
+	for _, ix := range t.indexes {
+		if match(ix) {
+			return ix
+		}
+	}
+	return nil
+}
+
+// Insert adds a row, enforcing all constraints and maintaining every
+// index (per-index maintenance cost is what Figure 8a measures).
+func (t *Table) Insert(r Row) (int64, error) {
+	if err := t.checkRow(r); err != nil {
+		return 0, err
+	}
+	if err := t.checkFKs(r); err != nil {
+		return 0, err
+	}
+	if t.pk != nil {
+		if len(t.pk.tree.Get(t.pk.keyFor(r))) > 0 {
+			return 0, fmt.Errorf("%w: table %s pk", ErrDuplicateKey, t.Name)
+		}
+	}
+	for _, ix := range t.indexes {
+		if ix.Unique && len(ix.tree.Get(ix.keyFor(r))) > 0 {
+			return 0, fmt.Errorf("%w: index %s", ErrDuplicateKey, ix.Name)
+		}
+	}
+	id := int64(len(t.rows))
+	t.rows = append(t.rows, r.Clone())
+	t.live++
+	t.touchRowPage(id)
+	if t.pk != nil {
+		t.pk.tree.Insert(t.pk.keyFor(r), id)
+		t.pk.touches++
+	}
+	for _, ix := range t.indexes {
+		ix.tree.Insert(ix.keyFor(r), id)
+		ix.touches++
+	}
+	return id, nil
+}
+
+// MustInsert inserts and panics on constraint violation; intended for
+// workload generators building known-good data.
+func (t *Table) MustInsert(vals ...Value) int64 {
+	id, err := t.Insert(Row(vals))
+	if err != nil {
+		panic(fmt.Sprintf("MustInsert into %s: %v", t.Name, err))
+	}
+	return id
+}
+
+// Fetch returns the row with the given id (paying page cost), or
+// ErrNoRow.
+func (t *Table) Fetch(id int64) (Row, error) {
+	if id < 0 || id >= int64(len(t.rows)) || t.rows[id] == nil {
+		return nil, ErrNoRow
+	}
+	t.touchRowPage(id)
+	return t.rows[id], nil
+}
+
+// Scan iterates all live rows in physical order, paying page cost once
+// per page. fn returning false stops the scan.
+func (t *Table) Scan(fn func(id int64, r Row) bool) {
+	lastPage := int64(-1)
+	for id := int64(0); id < int64(len(t.rows)); id++ {
+		if t.rows[id] == nil {
+			continue
+		}
+		if p := id / PageRows; p != lastPage {
+			t.pool.touch(p)
+			lastPage = p
+		}
+		if !fn(id, t.rows[id]) {
+			return
+		}
+	}
+}
+
+// Update replaces the row with the given id, re-checking constraints
+// and maintaining indexes.
+func (t *Table) Update(id int64, newRow Row) error {
+	if id < 0 || id >= int64(len(t.rows)) || t.rows[id] == nil {
+		return ErrNoRow
+	}
+	if err := t.checkRow(newRow); err != nil {
+		return err
+	}
+	if err := t.checkFKs(newRow); err != nil {
+		return err
+	}
+	old := t.rows[id]
+	if t.pk != nil {
+		newKey := t.pk.keyFor(newRow)
+		if newKey != t.pk.keyFor(old) {
+			if len(t.pk.tree.Get(newKey)) > 0 {
+				return fmt.Errorf("%w: table %s pk", ErrDuplicateKey, t.Name)
+			}
+		}
+	}
+	for _, ix := range t.indexes {
+		newKey := ix.keyFor(newRow)
+		oldKey := ix.keyFor(old)
+		if ix.Unique && newKey != oldKey && len(ix.tree.Get(newKey)) > 0 {
+			return fmt.Errorf("%w: index %s", ErrDuplicateKey, ix.Name)
+		}
+	}
+	t.touchRowPage(id)
+	if t.pk != nil {
+		oldKey, newKey := t.pk.keyFor(old), t.pk.keyFor(newRow)
+		if oldKey != newKey {
+			t.pk.tree.Delete(oldKey, id)
+			t.pk.tree.Insert(newKey, id)
+			t.pk.touches += 2
+		}
+	}
+	for _, ix := range t.indexes {
+		oldKey, newKey := ix.keyFor(old), ix.keyFor(newRow)
+		if oldKey != newKey {
+			ix.tree.Delete(oldKey, id)
+			ix.tree.Insert(newKey, id)
+			ix.touches += 2
+		}
+	}
+	t.rows[id] = newRow.Clone()
+	return nil
+}
+
+// Delete removes the row with the given id, enforcing referential
+// actions declared by other tables' foreign keys onto this one:
+// RESTRICT (default) refuses, CASCADE deletes referencing rows,
+// SET NULL clears the referencing columns.
+func (t *Table) Delete(id int64) error {
+	if id < 0 || id >= int64(len(t.rows)) || t.rows[id] == nil {
+		return ErrNoRow
+	}
+	row := t.rows[id]
+	if t.db != nil {
+		if err := t.db.applyReferentialActions(t, row); err != nil {
+			return err
+		}
+	}
+	t.touchRowPage(id)
+	if t.pk != nil {
+		t.pk.tree.Delete(t.pk.keyFor(row), id)
+		t.pk.touches++
+	}
+	for _, ix := range t.indexes {
+		ix.tree.Delete(ix.keyFor(row), id)
+		ix.touches++
+	}
+	t.rows[id] = nil
+	t.live--
+	return nil
+}
+
+// IndexTouches returns the total index-maintenance operations
+// performed, across all indexes including the pk.
+func (t *Table) IndexTouches() int64 {
+	var n int64
+	if t.pk != nil {
+		n += t.pk.touches
+	}
+	for _, ix := range t.indexes {
+		n += ix.touches
+	}
+	return n
+}

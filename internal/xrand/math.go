@@ -1,0 +1,5 @@
+package xrand
+
+import "math"
+
+func mathPow(base, exp float64) float64 { return math.Pow(base, exp) }

@@ -1,0 +1,299 @@
+// Package sqlcheck is a Go reimplementation of SQLCheck (Dintyala,
+// Narechania, Arulraj — SIGMOD 2020): a toolchain that detects SQL
+// anti-patterns with combined query and data analysis, ranks them by
+// estimated impact on performance, maintainability, and accuracy, and
+// suggests rule-based fixes.
+//
+// The one-call entry point:
+//
+//	report, err := sqlcheck.New().CheckSQL(`
+//	    CREATE TABLE t (id INT PRIMARY KEY, total FLOAT);
+//	    SELECT * FROM t ORDER BY RAND() LIMIT 5;
+//	`)
+//	for _, f := range report.Findings {
+//	    fmt.Println(f.Rule, f.Message, f.Fix.Guidance)
+//	}
+//
+// For data analysis (the paper's §4.2), attach a live database built
+// with the embedded engine:
+//
+//	db := sqlcheck.NewDatabase("app")
+//	db.MustExec("CREATE TABLE tenants (id INT PRIMARY KEY, user_ids TEXT)")
+//	db.MustExec("INSERT INTO tenants (id, user_ids) VALUES (1, 'U1,U2,U3')")
+//	report, err := sqlcheck.New().CheckApplication(workloadSQL, db)
+package sqlcheck
+
+import (
+	"errors"
+	"sort"
+	"strings"
+
+	"sqlcheck/internal/appctx"
+	"sqlcheck/internal/core"
+	"sqlcheck/internal/fix"
+	"sqlcheck/internal/rank"
+	"sqlcheck/internal/rules"
+)
+
+// Mode selects intra-query-only or full inter-query analysis.
+type Mode int
+
+// Analysis modes (paper §4.1 / §8.1).
+const (
+	// InterQuery builds the full application context (default).
+	InterQuery Mode = iota
+	// IntraQuery applies rules to each statement in isolation.
+	IntraQuery
+)
+
+// WeightProfile selects a ranking-model weight configuration.
+type WeightProfile int
+
+// Weight profiles (paper Figure 7a).
+const (
+	// ReadHeavy is the paper's C1: analytical workloads.
+	ReadHeavy WeightProfile = iota
+	// Hybrid is the paper's C2: balanced read/write workloads.
+	Hybrid
+)
+
+// Options configures a Checker. The zero value is usable and matches
+// the paper's defaults.
+type Options struct {
+	// Mode selects intra- or inter-query analysis.
+	Mode Mode
+	// MinConfidence drops findings below the threshold (default 0.5).
+	MinConfidence float64
+	// GodTableColumns is the god-table threshold (default 10).
+	GodTableColumns int
+	// TooManyJoins is the join-count threshold (default 4).
+	TooManyJoins int
+	// Weights selects the ranking configuration (default ReadHeavy).
+	Weights WeightProfile
+	// RankQueriesByCount switches the inter-query ranking component
+	// from total score to finding count (paper §5.2).
+	RankQueriesByCount bool
+	// Rules restricts detection to the listed rule IDs (nil = all).
+	Rules []string
+	// SampleSize bounds data-analysis sampling per table (default
+	// 1000 rows).
+	SampleSize int
+}
+
+// Checker runs the detect → rank → fix pipeline.
+type Checker struct {
+	opts Options
+}
+
+// New builds a Checker. With no argument it uses defaults; with one
+// argument it uses the given options.
+func New(opts ...Options) *Checker {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return &Checker{opts: o}
+}
+
+// Finding is one detected anti-pattern with its fix.
+type Finding struct {
+	// Rule is the stable rule ID (e.g. "multi-valued-attribute").
+	Rule string `json:"rule"`
+	// Name is the human-readable rule name.
+	Name string `json:"name"`
+	// Category is one of "logical design", "physical design",
+	// "query", "data".
+	Category string `json:"category"`
+	// Query is the statement index the finding refers to, or -1 for
+	// schema/data findings.
+	Query int `json:"query"`
+	// Table and Column locate the finding when applicable.
+	Table  string `json:"table,omitempty"`
+	Column string `json:"column,omitempty"`
+	// Message is the diagnosis.
+	Message string `json:"message"`
+	// Confidence is the detector's confidence in (0, 1].
+	Confidence float64 `json:"confidence"`
+	// Score is the ranking model's impact score; findings are sorted
+	// by it, highest first.
+	Score float64 `json:"score"`
+	// Fix is the suggested repair.
+	Fix Fix `json:"fix"`
+}
+
+// Fix is a suggested repair (paper §6): statement rewrites, new
+// statements, or textual guidance.
+type Fix struct {
+	// Rewrites are transformed statements, parallel to the original
+	// statement list.
+	Rewrites []Rewrite `json:"rewrites,omitempty"`
+	// NewStatements are additional DDL/DML to run.
+	NewStatements []string `json:"new_statements,omitempty"`
+	// Guidance is the textual fix when no unambiguous rewrite exists.
+	Guidance string `json:"guidance,omitempty"`
+	// ImpactedQueries lists other statement indexes the fix forces
+	// changes to.
+	ImpactedQueries []int `json:"impacted_queries,omitempty"`
+}
+
+// Rewrite is one transformed statement.
+type Rewrite struct {
+	Query    int    `json:"query"`
+	Original string `json:"original"`
+	Fixed    string `json:"fixed"`
+}
+
+// Automated reports whether the fix has executable output.
+func (f Fix) Automated() bool {
+	return len(f.Rewrites) > 0 || len(f.NewStatements) > 0
+}
+
+// QueryReport aggregates the findings of one statement for the
+// inter-query ranking component.
+type QueryReport struct {
+	// Query is the statement index (-1 groups schema/data findings).
+	Query int `json:"query"`
+	// SQL is the statement text ("" for the schema group).
+	SQL string `json:"sql,omitempty"`
+	// Count and TotalScore aggregate the statement's findings.
+	Count      int     `json:"count"`
+	TotalScore float64 `json:"total_score"`
+}
+
+// Report is the ranked result of a check.
+type Report struct {
+	// Findings are ordered by decreasing impact score.
+	Findings []Finding `json:"findings"`
+	// Queries are ordered by the inter-query ranking component.
+	Queries []QueryReport `json:"queries"`
+	// Statements is the number of statements analyzed.
+	Statements int `json:"statements"`
+}
+
+// ByRule returns the findings for one rule ID.
+func (r *Report) ByRule(ruleID string) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Rule == ruleID {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Has reports whether any finding matches the rule ID.
+func (r *Report) Has(ruleID string) bool { return len(r.ByRule(ruleID)) > 0 }
+
+// CheckSQL analyzes a SQL script (queries and DDL) without data
+// analysis.
+func (c *Checker) CheckSQL(sql string) (*Report, error) {
+	return c.CheckApplication(sql, nil)
+}
+
+// CheckApplication analyzes a SQL workload together with an optional
+// live database; with a database attached the data rules run too.
+func (c *Checker) CheckApplication(sql string, db *Database) (*Report, error) {
+	if strings.TrimSpace(sql) == "" && db == nil {
+		return nil, errors.New("sqlcheck: nothing to analyze")
+	}
+	opts := core.DefaultOptions()
+	if c.opts.Mode == IntraQuery {
+		opts.Config.Mode = appctx.ModeIntra
+	}
+	if c.opts.MinConfidence > 0 {
+		opts.MinConfidence = c.opts.MinConfidence
+	}
+	if c.opts.GodTableColumns > 0 {
+		opts.Config.GodTableColumns = c.opts.GodTableColumns
+	}
+	if c.opts.TooManyJoins > 0 {
+		opts.Config.TooManyJoins = c.opts.TooManyJoins
+	}
+	if c.opts.SampleSize > 0 {
+		opts.Config.Profile.SampleSize = c.opts.SampleSize
+	}
+	opts.Rules = c.opts.Rules
+
+	var inner *Database
+	if db != nil {
+		inner = db
+	}
+	res := core.DetectSQL(sql, innerDB(inner), opts)
+
+	weights := rank.C1
+	if c.opts.Weights == Hybrid {
+		weights = rank.C2
+	}
+	model := rank.NewModel(weights)
+	if c.opts.RankQueriesByCount {
+		model.Mode = rank.ByCount
+	}
+	engine := fix.New(res.Context)
+
+	report := &Report{Statements: len(res.Context.Facts)}
+	for _, ranked := range model.Rank(res.Findings) {
+		fx := engine.Repair(ranked.Finding)
+		if g := guidanceFor(ranked.RuleID); g != "" && !fx.Automated() {
+			fx.Textual = g
+		}
+		pf := Finding{
+			Rule:       ranked.RuleID,
+			Name:       ranked.RuleName,
+			Category:   string(ranked.Category),
+			Query:      ranked.QueryIndex,
+			Table:      ranked.Table,
+			Column:     ranked.Column,
+			Message:    ranked.Message,
+			Confidence: ranked.Confidence,
+			Score:      ranked.Score,
+			Fix: Fix{
+				NewStatements:   fx.NewStatements,
+				Guidance:        fx.Textual,
+				ImpactedQueries: fx.Impacted,
+			},
+		}
+		for _, rw := range fx.Rewrites {
+			pf.Fix.Rewrites = append(pf.Fix.Rewrites, Rewrite{
+				Query: rw.QueryIndex, Original: rw.Original, Fixed: rw.Fixed,
+			})
+		}
+		report.Findings = append(report.Findings, pf)
+	}
+	for _, qr := range model.RankQueries(res.Findings) {
+		q := QueryReport{Query: qr.QueryIndex, Count: qr.Count, TotalScore: qr.TotalScore}
+		if qr.QueryIndex >= 0 && qr.QueryIndex < len(res.Context.Facts) {
+			q.SQL = res.Context.Facts[qr.QueryIndex].Raw
+		}
+		report.Queries = append(report.Queries, q)
+	}
+	return report, nil
+}
+
+// Rules describes the anti-pattern catalog: rule IDs, names,
+// categories, and descriptions, grouped and sorted by category.
+func Rules() []RuleInfo {
+	var out []RuleInfo
+	for _, r := range rules.All() {
+		out = append(out, RuleInfo{
+			ID:          r.ID,
+			Name:        r.Name,
+			Category:    string(r.Category),
+			Description: r.Description,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Category != out[j].Category {
+			return out[i].Category < out[j].Category
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// RuleInfo describes one catalog entry.
+type RuleInfo struct {
+	ID          string `json:"id"`
+	Name        string `json:"name"`
+	Category    string `json:"category"`
+	Description string `json:"description"`
+}

@@ -1,0 +1,359 @@
+package sqlcheck
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCheckSQLBasic(t *testing.T) {
+	report, err := New().CheckSQL(`
+		CREATE TABLE orders (id INT PRIMARY KEY, total FLOAT);
+		SELECT * FROM orders ORDER BY RAND() LIMIT 5;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Statements != 2 {
+		t.Errorf("statements = %d", report.Statements)
+	}
+	for _, want := range []string{"rounding-errors", "order-by-rand", "column-wildcard", "generic-primary-key"} {
+		if !report.Has(want) {
+			t.Errorf("missing finding %s; got %v", want, ruleIDs(report))
+		}
+	}
+	// Findings are sorted by score, descending.
+	for i := 1; i < len(report.Findings); i++ {
+		if report.Findings[i].Score > report.Findings[i-1].Score+1e-9 {
+			t.Fatal("findings not sorted by score")
+		}
+	}
+	// Every finding carries a fix of some kind.
+	for _, f := range report.Findings {
+		if !f.Fix.Automated() && f.Fix.Guidance == "" {
+			t.Errorf("finding %s has no fix", f.Rule)
+		}
+	}
+}
+
+func ruleIDs(r *Report) []string {
+	var out []string
+	for _, f := range r.Findings {
+		out = append(out, f.Rule)
+	}
+	return out
+}
+
+func TestCheckSQLEmpty(t *testing.T) {
+	if _, err := New().CheckSQL("   "); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestCheckApplicationWithData(t *testing.T) {
+	db := NewDatabase("app")
+	db.MustExec("CREATE TABLE tenants (tenant_id INT PRIMARY KEY, user_ids TEXT)")
+	for i := 0; i < 60; i++ {
+		db.MustExec("INSERT INTO tenants (tenant_id, user_ids) VALUES (" +
+			itoa(i) + ", 'U1,U2,U3')")
+	}
+	report, err := New().CheckApplication("SELECT tenant_id FROM tenants", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Has("multi-valued-attribute") {
+		t.Errorf("data rule missed; got %v", ruleIDs(report))
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestModesDiffer(t *testing.T) {
+	sql := `
+		CREATE TABLE a (a_id INT PRIMARY KEY);
+		CREATE TABLE b (b_id INT PRIMARY KEY, a_id INT);
+		SELECT * FROM b JOIN a ON a.a_id = b.a_id;
+	`
+	inter, err := New().CheckSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra, err := New(Options{Mode: IntraQuery}).CheckSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inter.Has("no-foreign-key") {
+		t.Error("inter mode missed no-foreign-key")
+	}
+	if intra.Has("no-foreign-key") {
+		t.Error("intra mode detected an inter-query AP")
+	}
+}
+
+func TestWeightProfilesChangeOrder(t *testing.T) {
+	// A live database confirms both findings at equal confidence so
+	// the ordering reflects the weight profiles alone (paper
+	// Example 6 compares impact vectors, not detector confidence).
+	mkdb := func() *Database {
+		db := NewDatabase("w")
+		db.MustExec("CREATE TABLE t (t_id INT PRIMARY KEY, zone VARCHAR(10), role VARCHAR(5) CHECK (role IN ('a','b')))")
+		for i := 0; i < 100; i++ {
+			role := "a"
+			if i%2 == 0 {
+				role = "b"
+			}
+			db.MustExec("INSERT INTO t (t_id, zone, role) VALUES (" + itoa(i) + ", 'z" + itoa(i) + "', '" + role + "')")
+		}
+		return db
+	}
+	sql := `
+		SELECT t_id FROM t WHERE zone = 'z1';
+		SELECT t_id FROM t WHERE zone = 'z2';
+	`
+	read, _ := New(Options{Weights: ReadHeavy}).CheckApplication(sql, mkdb())
+	hybrid, _ := New(Options{Weights: Hybrid}).CheckApplication(sql, mkdb())
+	pos := func(r *Report, rule string) int {
+		for i, f := range r.Findings {
+			if f.Rule == rule {
+				return i
+			}
+		}
+		return -1
+	}
+	// ReadHeavy (C1) puts index-underuse ahead of enumerated-types;
+	// Hybrid (C2) reverses them (paper Example 6).
+	if !(pos(read, "index-underuse") < pos(read, "enumerated-types")) {
+		t.Errorf("C1 order wrong: %v", ruleIDs(read))
+	}
+	if !(pos(hybrid, "enumerated-types") < pos(hybrid, "index-underuse")) {
+		t.Errorf("C2 order wrong: %v", ruleIDs(hybrid))
+	}
+}
+
+func TestRuleFilterOption(t *testing.T) {
+	report, err := New(Options{Rules: []string{"column-wildcard"}}).CheckSQL(
+		"SELECT * FROM t ORDER BY RAND()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Has("column-wildcard") || report.Has("order-by-rand") {
+		t.Errorf("filter not applied: %v", ruleIDs(report))
+	}
+}
+
+func TestQueryRanking(t *testing.T) {
+	report, err := New().CheckSQL(`
+		SELECT a FROM t WHERE x = 1;
+		SELECT * FROM t ORDER BY RAND();
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Queries) == 0 {
+		t.Fatal("no query ranking")
+	}
+	if report.Queries[0].Query != 1 {
+		t.Errorf("worst query = %d, want 1", report.Queries[0].Query)
+	}
+	if report.Queries[0].SQL == "" {
+		t.Error("query SQL missing")
+	}
+}
+
+func TestFixRewriteSurfaced(t *testing.T) {
+	report, err := New().CheckSQL(`
+		CREATE TABLE t (a INT PRIMARY KEY, b TEXT);
+		INSERT INTO t VALUES (1, 'x');
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := report.ByRule("implicit-columns")
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v", ruleIDs(report))
+	}
+	if len(fs[0].Fix.Rewrites) != 1 || !strings.Contains(fs[0].Fix.Rewrites[0].Fixed, "(a, b)") {
+		t.Errorf("fix = %+v", fs[0].Fix)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	report, err := New().CheckSQL("SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Findings) != len(report.Findings) {
+		t.Error("JSON round trip lost findings")
+	}
+}
+
+func TestRulesCatalog(t *testing.T) {
+	catalog := Rules()
+	// 27 built-ins; custom-rule tests in this package may have added
+	// more (the registry is process-global).
+	if len(catalog) < 27 {
+		t.Fatalf("catalog = %d rules", len(catalog))
+	}
+	for _, r := range catalog {
+		if r.ID == "" || r.Name == "" || r.Category == "" || r.Description == "" {
+			t.Errorf("incomplete rule info: %+v", r)
+		}
+	}
+}
+
+func TestDatabaseFacade(t *testing.T) {
+	db := NewDatabase("demo")
+	db.MustExec("CREATE TABLE users (user_id INT PRIMARY KEY, name TEXT NOT NULL)")
+	if got := db.Tables(); len(got) != 1 || got[0] != "users" {
+		t.Fatalf("tables = %v", got)
+	}
+	res := db.MustExec("INSERT INTO users (user_id, name) VALUES (1, 'Ada')")
+	if res.Affected != 1 {
+		t.Error("insert affected")
+	}
+	res = db.MustExec("SELECT name FROM users WHERE user_id = 1")
+	if len(res.Rows) != 1 || res.Rows[0][0] != "Ada" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if db.RowCount("users") != 1 || db.RowCount("ghost") != -1 {
+		t.Error("RowCount")
+	}
+	if _, err := db.Exec("INSERT INTO users (user_id) VALUES (2)"); err == nil {
+		t.Error("NOT NULL violation accepted")
+	}
+	if err := db.ExecScript("UPDATE users SET name = 'Grace' WHERE user_id = 1; DELETE FROM users WHERE user_id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if db.RowCount("users") != 0 {
+		t.Error("script did not apply")
+	}
+	if err := db.ExecScript("SELECT * FROM missing"); err == nil {
+		t.Error("script error swallowed")
+	}
+	// NULL rendering.
+	db.MustExec("CREATE TABLE n (a INT, b TEXT)")
+	db.MustExec("INSERT INTO n (a) VALUES (1)")
+	res = db.MustExec("SELECT b FROM n")
+	if res.Rows[0][0] != "NULL" {
+		t.Errorf("null rendering = %q", res.Rows[0][0])
+	}
+}
+
+func TestEndToEndRepairLoop(t *testing.T) {
+	// Detect the enum AP, apply its suggested fix statements to a live
+	// database, and confirm the lookup table exists afterward — the
+	// full detect → fix → apply loop.
+	db := NewDatabase("loop")
+	db.MustExec("CREATE TABLE staff (staff_id INT PRIMARY KEY, role VARCHAR(5) CHECK (role IN ('R1','R2')))")
+	report, err := New().CheckApplication(
+		"CREATE TABLE staff (staff_id INT PRIMARY KEY, role VARCHAR(5) CHECK (role IN ('R1','R2')))", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := report.ByRule("enumerated-types")
+	if len(fs) == 0 {
+		t.Fatal("enum AP not found")
+	}
+	for _, stmt := range fs[0].Fix.NewStatements {
+		if _, err := db.Exec(stmt); err != nil {
+			t.Fatalf("applying fix %q: %v", stmt, err)
+		}
+	}
+	found := false
+	for _, name := range db.Tables() {
+		if strings.Contains(strings.ToLower(name), "lookup") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("lookup table not created; tables = %v", db.Tables())
+	}
+}
+
+func TestRegisterCustomRule(t *testing.T) {
+	err := RegisterRule(CustomRule{
+		ID:          "hinted-index",
+		Name:        "Optimizer Hint",
+		Description: "optimizer hints pin plans and rot as data changes",
+		Pattern:     `/\*\+.*\*/|USE\s+INDEX`,
+		Guidance:    "remove the hint; fix the underlying statistics or index instead",
+		Impact:      Impact{ReadPerf: 1.2, Maint: 2},
+	})
+	// The registry is process-global: tolerate re-registration when the
+	// test runs more than once in a process (-count=2).
+	if err != nil && !strings.Contains(err.Error(), "already registered") {
+		t.Fatal(err)
+	}
+	report, err := New().CheckSQL("SELECT * FROM t USE INDEX (ix_a) WHERE a = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := report.ByRule("hinted-index")
+	if len(fs) != 1 {
+		t.Fatalf("custom rule findings = %v", ruleIDs(report))
+	}
+	if fs[0].Fix.Guidance != "remove the hint; fix the underlying statistics or index instead" {
+		t.Errorf("guidance = %q", fs[0].Fix.Guidance)
+	}
+	if fs[0].Score <= 0 {
+		t.Error("custom impact not scored")
+	}
+	// Clean statements are not flagged.
+	report, _ = New().CheckSQL("SELECT a FROM t WHERE a = 1")
+	if report.Has("hinted-index") {
+		t.Error("custom rule false positive")
+	}
+}
+
+func TestRegisterRuleValidation(t *testing.T) {
+	if err := RegisterRule(CustomRule{Name: "x", Pattern: "a"}); err == nil {
+		t.Error("missing ID accepted")
+	}
+	if err := RegisterRule(CustomRule{ID: "column-wildcard", Name: "dup", Pattern: "a"}); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if err := RegisterRule(CustomRule{ID: "no-matcher", Name: "x"}); err == nil {
+		t.Error("missing matcher accepted")
+	}
+	if err := RegisterRule(CustomRule{ID: "bad-re", Name: "x", Pattern: "["}); err == nil {
+		t.Error("bad regex accepted")
+	}
+	if err := RegisterRule(CustomRule{ID: "bad-cat", Name: "x", Pattern: "a", Category: "cosmic"}); err == nil {
+		t.Error("bad category accepted")
+	}
+}
+
+func TestCustomRuleWithMatchFunc(t *testing.T) {
+	err := RegisterRule(CustomRule{
+		ID:       "very-long-statement",
+		Name:     "Very Long Statement",
+		Category: "query",
+		Match:    func(sql string) bool { return len(sql) > 500 },
+	})
+	if err != nil && !strings.Contains(err.Error(), "already registered") {
+		t.Fatal(err)
+	}
+	long := "SELECT " + strings.Repeat("a, ", 200) + "b FROM t"
+	report, _ := New().CheckSQL(long)
+	if !report.Has("very-long-statement") {
+		t.Error("match func not applied")
+	}
+}
