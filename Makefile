@@ -1,0 +1,34 @@
+# Local dev and CI run the same commands: .github/workflows/ci.yml
+# invokes these targets.
+
+GO ?= go
+
+.PHONY: build test test-full bench bench-smoke lint ci
+
+build:
+	$(GO) build ./...
+
+# -short skips the wall-clock-factor experiment tests, which are
+# load-sensitive and would flake on shared CI runners; test-full
+# includes them for quiet machines.
+test:
+	$(GO) test -race -short ./...
+
+test-full:
+	$(GO) test -race ./...
+
+# Full benchmark suite (regenerates every paper artifact; see
+# DESIGN.md §4).
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+# One iteration per benchmark — CI's cheap regression canary.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+ci: build lint test

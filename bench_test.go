@@ -1,6 +1,7 @@
 // Benchmarks regenerating every table and figure of the paper's
-// evaluation (one benchmark per artifact — see DESIGN.md §4 for the
-// index and EXPERIMENTS.md for the recorded paper-vs-measured shapes).
+// evaluation, plus the pipeline benchmarks gating this repo's
+// concurrency work (one benchmark per artifact — DESIGN.md §4 is the
+// index mapping each benchmark to its paper figure).
 //
 //	go test -bench=. -benchmem
 //
@@ -9,13 +10,18 @@
 package sqlcheck
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strings"
 	"testing"
 
+	"sqlcheck/internal/appctx"
+	"sqlcheck/internal/core"
 	"sqlcheck/internal/corpus"
 	"sqlcheck/internal/exec"
 	"sqlcheck/internal/experiments"
+	"sqlcheck/internal/parser"
 	"sqlcheck/internal/storage"
 )
 
@@ -180,6 +186,114 @@ func BenchmarkDetectThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := checker.CheckSQL(sqlText); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// corpusWorkloads builds repo-sized SQL scripts from the synthetic
+// GitHub corpus: `repos` workloads of `stmtsPer` statements each.
+func corpusWorkloads(repos, stmtsPer int) (workloads []string, total int) {
+	c := corpus.GitHub(corpus.GitHubOptions{
+		Repos: repos, Seed: 42,
+		MinStatements: stmtsPer, MaxStatements: stmtsPer,
+	})
+	for _, r := range c.Repos {
+		var sb strings.Builder
+		for _, s := range r.Statements {
+			sb.WriteString(s)
+			sb.WriteString(";\n")
+			total++
+		}
+		workloads = append(workloads, sb.String())
+	}
+	return workloads, total
+}
+
+// BenchmarkCheckSQLParallel measures the concurrent batched pipeline
+// against the sequential path on a multi-hundred-statement corpus
+// workload (DESIGN.md §4). Both variants run the identical algorithm
+// and produce identical reports; on a multi-core runner the parallel
+// variant demonstrates the worker pool's speedup, on a single core
+// it shows parity. The headline metric is statements per second.
+func BenchmarkCheckSQLParallel(b *testing.B) {
+	workloads, total := corpusWorkloads(6, 40)
+	for _, cfg := range []struct {
+		name string
+		conc int
+	}{
+		{"sequential", 1},
+		{"parallel", 0}, // GOMAXPROCS workers
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			checker := New(Options{Concurrency: cfg.conc})
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := checker.CheckBatch(context.Background(), workloads); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(total*b.N)/b.Elapsed().Seconds(), "stmt/s")
+		})
+	}
+}
+
+// cleanCRUD builds a production-shaped workload: simple lookups and
+// writes with no anti-patterns, where the dispatch prefilter should
+// skip nearly the whole catalog per statement.
+func cleanCRUD(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			fmt.Fprintf(&sb, "SELECT id FROM users WHERE email = 'u%d@example.com';\n", i)
+		case 1:
+			fmt.Fprintf(&sb, "UPDATE sessions SET expires_at = %d WHERE token = 'tok%d';\n", i, i)
+		case 2:
+			fmt.Fprintf(&sb, "SELECT name FROM products WHERE sku = %d;\n", i)
+		case 3:
+			fmt.Fprintf(&sb, "DELETE FROM carts WHERE id = %d;\n", i)
+		}
+	}
+	return sb.String()
+}
+
+// BenchmarkRuleDispatch isolates the rule-dispatch prefilter: the
+// per-statement query-rule phase over a prebuilt context, with gates
+// versus a full catalog scan per statement (DESIGN.md §4). The
+// context build and global phases are excluded so the two variants
+// differ only in dispatch. Two workload shapes: "clean" is
+// production-style CRUD where the prefilter skips most of the
+// catalog; "dense" is the anti-pattern-saturated evaluation corpus —
+// the prefilter's worst case, where gates admit most rules and add
+// only overhead.
+func BenchmarkRuleDispatch(b *testing.B) {
+	dense, _ := corpusWorkloads(1, 200)
+	for _, w := range []struct {
+		name string
+		sql  string
+	}{
+		{"clean", cleanCRUD(200)},
+		{"dense", dense[0]},
+	} {
+		stmts := parser.ParseAll(w.sql)
+		actx := appctx.Build(stmts, nil, core.DefaultOptions().Config)
+		for _, cfg := range []struct {
+			name  string
+			noPre bool
+		}{
+			{"prefilter", false},
+			{"full-scan", true},
+		} {
+			b.Run(w.name+"/"+cfg.name, func(b *testing.B) {
+				opts := core.DefaultOptions()
+				opts.NoPrefilter = cfg.noPre
+				b.ResetTimer()
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					core.DetectQueries(actx, opts)
+				}
+			})
 		}
 	}
 }

@@ -1,6 +1,6 @@
 // Command apbench regenerates the paper's evaluation tables and
-// figures on the in-repo substrates (see EXPERIMENTS.md for the
-// paper-vs-measured record).
+// figures on the in-repo substrates (see DESIGN.md §4 for the
+// artifact index).
 //
 // Usage:
 //

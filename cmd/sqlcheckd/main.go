@@ -3,14 +3,22 @@
 //
 //	POST /api/check   {"query": "INSERT INTO Users VALUES (1,'foo')"}
 //	  -> full JSON report (findings, fixes, query ranking)
+//	POST /api/check   {"queries": ["<workload 1>", "<workload 2>"]}
+//	  -> {"reports": [...]} — one report per workload, in order
 //	GET  /api/rules   -> the anti-pattern catalog
 //	GET  /healthz     -> "ok"
 //
-// Flags: -addr (default :8686), -mode, -weights.
+// All requests share one Checker, so concurrent checks draw from a
+// single bounded worker pool and parsed-AST cache instead of
+// oversubscribing the host; client disconnects cancel the analysis.
+//
+// Flags: -addr (default :8686), -mode, -weights, -concurrency.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -22,13 +30,14 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8686", "listen address")
-		mode    = flag.String("mode", "inter", "analysis mode: inter or intra")
-		weights = flag.String("weights", "c1", "ranking weights: c1 or c2")
+		addr        = flag.String("addr", ":8686", "listen address")
+		mode        = flag.String("mode", "inter", "analysis mode: inter or intra")
+		weights     = flag.String("weights", "c1", "ranking weights: c1 or c2")
+		concurrency = flag.Int("concurrency", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	opts := sqlcheck.Options{}
+	opts := sqlcheck.Options{Concurrency: *concurrency}
 	if *mode == "intra" {
 		opts.Mode = sqlcheck.IntraQuery
 	}
@@ -43,9 +52,17 @@ func main() {
 	}
 }
 
-// CheckRequest is the POST /api/check payload.
+// CheckRequest is the POST /api/check payload: either a single query
+// script or a batch of independent workloads (exactly one of the two).
 type CheckRequest struct {
-	Query string `json:"query"`
+	Query   string   `json:"query,omitempty"`
+	Queries []string `json:"queries,omitempty"`
+}
+
+// BatchResponse is returned for batch requests: one report per
+// workload, in request order.
+type BatchResponse struct {
+	Reports []*sqlcheck.Report `json:"reports"`
 }
 
 // ErrorResponse is returned for malformed requests.
@@ -72,18 +89,38 @@ func NewHandler(checker *sqlcheck.Checker) http.Handler {
 			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "malformed JSON: " + err.Error()})
 			return
 		}
-		if req.Query == "" {
+		switch {
+		case req.Query != "" && req.Queries != nil:
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "provide either query or queries, not both"})
+		case req.Query != "":
+			report, err := checker.CheckSQLContext(r.Context(), req.Query)
+			if err != nil {
+				writeCheckError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, report)
+		case len(req.Queries) > 0:
+			reports, err := checker.CheckBatch(r.Context(), req.Queries)
+			if err != nil {
+				writeCheckError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, BatchResponse{Reports: reports})
+		default:
 			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing query"})
-			return
 		}
-		report, err := checker.CheckSQL(req.Query)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
-			return
-		}
-		writeJSON(w, http.StatusOK, report)
 	})
 	return mux
+}
+
+// writeCheckError maps analysis errors to responses. A canceled
+// request context means the client went away mid-analysis: nothing is
+// written (and nothing should be logged as a client error).
+func writeCheckError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -2,9 +2,11 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"sqlcheck"
@@ -96,5 +98,91 @@ func TestRulesEndpoint(t *testing.T) {
 	}
 	if len(catalog) != 27 {
 		t.Errorf("catalog = %d rules", len(catalog))
+	}
+}
+
+func TestCheckEndpointBatch(t *testing.T) {
+	srv := server(t)
+	body := `{"queries": [
+		"CREATE TABLE t (id INT PRIMARY KEY, v FLOAT); SELECT * FROM t ORDER BY RAND()",
+		"INSERT INTO Users VALUES (1,'foo')"
+	]}`
+	resp, err := http.Post(srv.URL+"/api/check", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var batch BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Reports) != 2 {
+		t.Fatalf("reports = %d, want 2", len(batch.Reports))
+	}
+	if !batch.Reports[0].Has("order-by-rand") {
+		t.Errorf("workload 0 findings = %+v", batch.Reports[0].Findings)
+	}
+	if !batch.Reports[1].Has("implicit-columns") {
+		t.Errorf("workload 1 findings = %+v", batch.Reports[1].Findings)
+	}
+}
+
+func TestCheckEndpointBatchErrors(t *testing.T) {
+	srv := server(t)
+	for _, body := range []string{
+		`{"queries": []}`,
+		`{"query": "SELECT 1", "queries": ["SELECT 2"]}`,
+		`{}`,
+	} {
+		resp, err := http.Post(srv.URL+"/api/check", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%q: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestCheckEndpointConcurrent fires overlapping requests at one
+// handler — all drawing from the checker's shared worker pool. Run
+// under -race this is the daemon's thread-safety test.
+func TestCheckEndpointConcurrent(t *testing.T) {
+	srv := server(t)
+	workload := `{"query": "CREATE TABLE t (id INT PRIMARY KEY, total FLOAT); SELECT * FROM t ORDER BY RAND() LIMIT 5"}`
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				resp, err := http.Post(srv.URL+"/api/check", "application/json", strings.NewReader(workload))
+				if err != nil {
+					errc <- err
+					return
+				}
+				var report sqlcheck.Report
+				err = json.NewDecoder(resp.Body).Decode(&report)
+				resp.Body.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !report.Has("order-by-rand") || !report.Has("rounding-errors") {
+					errc <- fmt.Errorf("incomplete report: %v", report.Findings)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
 	}
 }

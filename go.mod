@@ -1,0 +1,3 @@
+module sqlcheck
+
+go 1.24

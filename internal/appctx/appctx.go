@@ -88,6 +88,14 @@ type Context struct {
 // Build constructs the context from statements and an optional live
 // database.
 func Build(stmts []sqlast.Statement, db *storage.Database, cfg Config) *Context {
+	return BuildWithFacts(stmts, qanalyze.AnalyzeAll(stmts), db, cfg)
+}
+
+// BuildWithFacts constructs the context from statements whose facts
+// were already extracted (the concurrent pipeline analyzes statements
+// in parallel before the global context build). facts must be
+// parallel to stmts.
+func BuildWithFacts(stmts []sqlast.Statement, facts []*qanalyze.Facts, db *storage.Database, cfg Config) *Context {
 	ctx := &Context{
 		Config:         cfg,
 		Schema:         schema.NewSchema(),
@@ -97,7 +105,7 @@ func Build(stmts []sqlast.Statement, db *storage.Database, cfg Config) *Context 
 		columnRefs:     map[string]int{},
 		tableQueries:   map[string][]int{},
 	}
-	ctx.Facts = qanalyze.AnalyzeAll(stmts)
+	ctx.Facts = facts
 	if cfg.Mode == ModeIntra {
 		return ctx
 	}

@@ -12,6 +12,7 @@ import (
 
 	"sqlcheck/internal/appctx"
 	"sqlcheck/internal/parser"
+	"sqlcheck/internal/qanalyze"
 	"sqlcheck/internal/rules"
 	"sqlcheck/internal/sqlast"
 	"sqlcheck/internal/storage"
@@ -27,6 +28,10 @@ type Options struct {
 	MinConfidence float64
 	// Rules restricts detection to the given rule IDs (nil = all).
 	Rules []string
+	// NoPrefilter disables the rule-dispatch prefilter, running every
+	// query-scoped rule on every statement. Kept as the benchmark
+	// baseline and for verifying gate conservatism.
+	NoPrefilter bool
 }
 
 // DefaultOptions returns the standard configuration (full inter-query
@@ -74,26 +79,67 @@ func detectWithContext(ctx *appctx.Context, opts Options) *Result {
 
 	// Phase 1: query rules per statement (intra-query detection with
 	// contextual refinement).
+	buf := make([]*rules.Rule, 0, len(all))
 	for qi, f := range ctx.Facts {
-		for _, r := range all {
-			if r.DetectQuery == nil || !ruleEnabled(opts, r.ID) {
-				continue
-			}
-			res.Findings = append(res.Findings, r.DetectQuery(qi, f, ctx)...)
-		}
+		res.Findings = append(res.Findings, queryFindings(ctx, opts, all, qi, f, buf)...)
 	}
 
-	// Phase 2: schema rules (inter-query detection).
+	// Phases 2 and 3: inter-query and data rules.
+	res.Findings = append(res.Findings, globalFindings(ctx, opts, all)...)
+
+	res.Findings = dedupe(res.Findings, opts.MinConfidence)
+	return res
+}
+
+// queryFindings runs the query-scoped rules over one statement —
+// the per-statement unit of work the concurrent pipeline fans out.
+// Unless disabled, the dispatch prefilter narrows the catalog to the
+// rules whose gates admit the statement. buf is optional dispatch
+// scratch space reused across statements by sequential callers.
+func queryFindings(ctx *appctx.Context, opts Options, all []*rules.Rule, qi int, f *qanalyze.Facts, buf []*rules.Rule) []rules.Finding {
+	candidates := all
+	if !opts.NoPrefilter {
+		candidates = rules.QueryRulesFor(f, all, buf)
+	}
+	var out []rules.Finding
+	for _, r := range candidates {
+		if r.DetectQuery == nil || !ruleEnabled(opts, r.ID) {
+			continue
+		}
+		out = append(out, r.DetectQuery(qi, f, ctx)...)
+	}
+	return out
+}
+
+// DetectQueries runs only the per-statement query-rule phase over a
+// prebuilt context. It exists so BenchmarkRuleDispatch can time rule
+// dispatch and evaluation without the context build and global
+// phases diluting the measurement.
+// Findings are returned raw: no dedupe or confidence threshold runs
+// on this path.
+func DetectQueries(ctx *appctx.Context, opts Options) []rules.Finding {
+	all := rules.All()
+	buf := make([]*rules.Rule, 0, len(all))
+	var out []rules.Finding
+	for qi, f := range ctx.Facts {
+		out = append(out, queryFindings(ctx, opts, all, qi, f, buf)...)
+	}
+	return out
+}
+
+// globalFindings runs the phases that need the whole application
+// context at once: schema rules (phase 2, inter-query detection) and
+// data rules per table profile (phase 3, Algorithm 3).
+func globalFindings(ctx *appctx.Context, opts Options, all []*rules.Rule) []rules.Finding {
+	var out []rules.Finding
 	if ctx.Inter() {
 		for _, r := range all {
 			if r.DetectSchema == nil || !ruleEnabled(opts, r.ID) {
 				continue
 			}
-			res.Findings = append(res.Findings, r.DetectSchema(ctx)...)
+			out = append(out, r.DetectSchema(ctx)...)
 		}
 	}
-
-	// Phase 3: data rules per table profile (Algorithm 3).
 	if ctx.HasData() {
 		// Deterministic table order.
 		var names []string
@@ -107,13 +153,11 @@ func detectWithContext(ctx *appctx.Context, opts Options) *Result {
 				if r.DetectData == nil || !ruleEnabled(opts, r.ID) {
 					continue
 				}
-				res.Findings = append(res.Findings, r.DetectData(tp, ctx)...)
+				out = append(out, r.DetectData(tp, ctx)...)
 			}
 		}
 	}
-
-	res.Findings = dedupe(res.Findings, opts.MinConfidence)
-	return res
+	return out
 }
 
 // dedupe drops sub-threshold findings, merges exact duplicates, and

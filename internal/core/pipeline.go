@@ -1,0 +1,253 @@
+package core
+
+// Concurrent batched analysis pipeline. The detection algorithm
+// splits cleanly into per-statement work (tokenize, parse, fact
+// extraction, intra-query rule evaluation) and global work (the
+// application-context build, inter-query rules, data rules). An
+// Engine fans the per-statement stages out across a bounded worker
+// pool while keeping the global stages and the final dedupe order
+// identical to the sequential path, so an Engine run returns exactly
+// what Detect returns — just faster on multi-core hardware and on
+// workloads with repeated statements.
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sqlcheck/internal/appctx"
+	"sqlcheck/internal/parser"
+	"sqlcheck/internal/qanalyze"
+	"sqlcheck/internal/rules"
+	"sqlcheck/internal/sqlast"
+	"sqlcheck/internal/sqltoken"
+	"sqlcheck/internal/storage"
+)
+
+// Pool is a bounded worker pool. The zero size (via NewPool(0)) means
+// GOMAXPROCS workers; size 1 degenerates to inline sequential
+// execution with no goroutines.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool builds a pool with n workers (n <= 0 means GOMAXPROCS).
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// Size returns the worker bound.
+func (p *Pool) Size() int { return cap(p.sem) }
+
+// run executes fn inline while holding one pool slot, so sequential
+// stages count against the same bound as fanned-out work. fn must not
+// acquire the same pool.
+func (p *Pool) run(ctx context.Context, fn func()) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case p.sem <- struct{}{}:
+	}
+	defer func() { <-p.sem }()
+	fn()
+	return nil
+}
+
+// each runs fn(i) for every i in [0, n), bounded by the pool, and
+// waits for all scheduled calls. When ctx is canceled it stops
+// scheduling new work, waits for in-flight calls, and returns the
+// context error. Slots are released before each waiting caller
+// returns, so nested each calls on *different* pools never deadlock.
+func (p *Pool) each(ctx context.Context, n int, fn func(i int)) error {
+	if cap(p.sem) == 1 {
+		// Single worker: run inline, no goroutines — but still take
+		// the slot per item so the bound holds across concurrent
+		// callers sharing the pool.
+		for i := 0; i < n && ctx.Err() == nil; i++ {
+			select {
+			case <-ctx.Done():
+			case p.sem <- struct{}{}:
+				fn(i)
+				<-p.sem
+			}
+		}
+		return ctx.Err()
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n && ctx.Err() == nil; i++ {
+		select {
+		case <-ctx.Done():
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				fn(i)
+			}(i)
+		}
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// defaultParseCacheSize bounds the parsed-AST cache. ORM-generated
+// workloads repeat far fewer distinct statements than this.
+const defaultParseCacheSize = 4096
+
+// parseCache memoizes parsed statements keyed by their exact text, so
+// repeated statements — the common case in ORM-generated workloads —
+// parse once. Cached ASTs are shared read-only: every consumer
+// (fact extraction, schema building, rules, the fix engine) either
+// only reads the AST or copies the statement before rewriting it.
+type parseCache struct {
+	mu     sync.RWMutex
+	m      map[string]sqlast.Statement
+	max    int
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newParseCache(max int) *parseCache {
+	if max <= 0 {
+		max = defaultParseCacheSize
+	}
+	return &parseCache{m: make(map[string]sqlast.Statement), max: max}
+}
+
+func (c *parseCache) parse(text string) sqlast.Statement {
+	c.mu.RLock()
+	s, ok := c.m[text]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return s
+	}
+	c.misses.Add(1)
+	s = parser.Parse(text)
+	c.mu.Lock()
+	if len(c.m) >= c.max {
+		// Epoch reset: dropping the whole map is O(1) amortized and
+		// keeps the cache bounded without tracking recency.
+		c.m = make(map[string]sqlast.Statement, c.max/4)
+	}
+	c.m[text] = s
+	c.mu.Unlock()
+	return s
+}
+
+// Engine is a reusable concurrent detection pipeline: a bounded
+// worker pool plus a parsed-AST cache shared across runs. One Engine
+// safely serves any number of concurrent DetectSQL and DetectBatch
+// calls, which is what lets a long-running daemon share one pool
+// across requests instead of spawning per-request workers.
+type Engine struct {
+	opts Options
+	// stmts bounds per-statement work (parse, facts, query rules);
+	// workloads bounds how many batch workloads are open at once.
+	// Statement slots never wait on workload slots, so the layered
+	// acquisition cannot deadlock.
+	stmts     *Pool
+	workloads *Pool
+	cache     *parseCache
+}
+
+// NewEngine builds an Engine. concurrency bounds the worker pool
+// (<= 0 means GOMAXPROCS, 1 means sequential).
+func NewEngine(opts Options, concurrency int) *Engine {
+	if opts.MinConfidence == 0 {
+		opts.MinConfidence = 0.5
+	}
+	return &Engine{
+		opts:      opts,
+		stmts:     NewPool(concurrency),
+		workloads: NewPool(concurrency),
+		cache:     newParseCache(0),
+	}
+}
+
+// Concurrency returns the engine's worker bound.
+func (e *Engine) Concurrency() int { return e.stmts.Size() }
+
+// CacheStats returns the parse-cache hit and miss counts since the
+// engine was built.
+func (e *Engine) CacheStats() (hits, misses int64) {
+	return e.cache.hits.Load(), e.cache.misses.Load()
+}
+
+// DetectSQL runs the pipeline over one SQL workload. The result is
+// identical to Detect over the same input; the error is non-nil only
+// when ctx is canceled.
+func (e *Engine) DetectSQL(ctx context.Context, sqlText string, db *storage.Database) (*Result, error) {
+	texts := sqltoken.SplitStatements(sqlText)
+	stmts := make([]sqlast.Statement, len(texts))
+	facts := make([]*qanalyze.Facts, len(texts))
+
+	// Stage 1, per statement: tokenize + parse (through the AST
+	// cache) + fact extraction.
+	if err := e.stmts.each(ctx, len(texts), func(i int) {
+		stmts[i] = e.cache.parse(texts[i])
+		facts[i] = qanalyze.Analyze(stmts[i])
+	}); err != nil {
+		return nil, err
+	}
+
+	// Stage 2, global: application-context build (schema replay,
+	// cross-statement aggregates, data profiles). Global stages hold
+	// a statement-pool slot so concurrent checks on a shared engine
+	// stay bounded end to end, not just during fan-out.
+	var actx *appctx.Context
+	if err := e.stmts.run(ctx, func() {
+		actx = appctx.BuildWithFacts(stmts, facts, db, e.opts.Config)
+	}); err != nil {
+		return nil, err
+	}
+
+	// Stage 3, per statement: query-rule evaluation behind the
+	// dispatch prefilter. The context is read-only from here on;
+	// per-statement result slots keep ordering deterministic.
+	all := rules.All()
+	perStmt := make([][]rules.Finding, len(facts))
+	if err := e.stmts.each(ctx, len(facts), func(i int) {
+		perStmt[i] = queryFindings(actx, e.opts, all, i, facts[i], nil)
+	}); err != nil {
+		return nil, err
+	}
+
+	// Stage 4, global: inter-query and data rules, then dedupe — in
+	// the sequential path's exact append order, so results match
+	// Detect byte for byte.
+	res := &Result{Context: actx}
+	if err := e.stmts.run(ctx, func() {
+		for _, fs := range perStmt {
+			res.Findings = append(res.Findings, fs...)
+		}
+		res.Findings = append(res.Findings, globalFindings(actx, e.opts, all)...)
+		res.Findings = dedupe(res.Findings, e.opts.MinConfidence)
+	}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// DetectBatch analyzes independent workloads concurrently on the
+// shared pool and returns one Result per workload, in input order.
+// All workloads see the same optional database. The error is non-nil
+// only when ctx is canceled, in which case no results are returned.
+func (e *Engine) DetectBatch(ctx context.Context, sqls []string, db *storage.Database) ([]*Result, error) {
+	out := make([]*Result, len(sqls))
+	err := e.workloads.each(ctx, len(sqls), func(i int) {
+		r, err := e.DetectSQL(ctx, sqls[i], db)
+		if err != nil {
+			return // ctx canceled; surfaced below
+		}
+		out[i] = r
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// pipelineCorpus mixes DDL, DML, and anti-patterns so every pipeline
+// stage has work: schema replay, cross-statement aggregates, query
+// rules, and schema rules.
+var pipelineCorpus = []string{
+	`CREATE TABLE tenants (tenant_id INT PRIMARY KEY, user_ids TEXT, label VARCHAR)`,
+	`CREATE TABLE hosting (id INT PRIMARY KEY, tenant_id INT, user_id VARCHAR)`,
+	`CREATE TABLE prices (id INT PRIMARY KEY, amount FLOAT)`,
+	`SELECT * FROM tenants ORDER BY RAND() LIMIT 3`,
+	`SELECT label FROM tenants WHERE user_ids LIKE '%U12%'`,
+	`SELECT DISTINCT t.label FROM tenants t JOIN hosting h ON t.tenant_id = h.tenant_id`,
+	`INSERT INTO prices VALUES (1, 9.99)`,
+	`SELECT h.user_id FROM hosting h WHERE h.tenant_id = 4`,
+	`UPDATE tenants SET label = 'x' WHERE tenant_id = 2`,
+}
+
+func pipelineSQL(times int) string {
+	var b strings.Builder
+	for i := 0; i < times; i++ {
+		for _, s := range pipelineCorpus {
+			b.WriteString(s)
+			b.WriteString(";\n")
+		}
+	}
+	return b.String()
+}
+
+// TestEngineMatchesSequential is the pipeline contract: the engine's
+// result equals the sequential path's result exactly, at any
+// concurrency, with and without the prefilter.
+func TestEngineMatchesSequential(t *testing.T) {
+	sql := pipelineSQL(3)
+	want := DetectSQL(sql, nil, DefaultOptions())
+	for _, conc := range []int{1, 2, 8} {
+		for _, noPre := range []bool{false, true} {
+			opts := DefaultOptions()
+			opts.NoPrefilter = noPre
+			eng := NewEngine(opts, conc)
+			got, err := eng.DetectSQL(context.Background(), sql, nil)
+			if err != nil {
+				t.Fatalf("conc=%d noPrefilter=%v: %v", conc, noPre, err)
+			}
+			if !reflect.DeepEqual(want.Findings, got.Findings) {
+				t.Errorf("conc=%d noPrefilter=%v: findings diverge from sequential path\nwant %d findings, got %d",
+					conc, noPre, len(want.Findings), len(got.Findings))
+			}
+		}
+	}
+}
+
+// TestEngineDeterministic re-runs the same workload many times on a
+// parallel engine; result ordering must never vary.
+func TestEngineDeterministic(t *testing.T) {
+	sql := pipelineSQL(2)
+	eng := NewEngine(DefaultOptions(), 8)
+	first, err := eng.DetectSQL(context.Background(), sql, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := eng.DetectSQL(context.Background(), sql, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first.Findings, again.Findings) {
+			t.Fatalf("run %d produced different findings", i)
+		}
+	}
+}
+
+func TestEngineBatch(t *testing.T) {
+	workloads := []string{
+		pipelineSQL(1),
+		`CREATE TABLE nopk (x INT); SELECT * FROM nopk`,
+		``,
+	}
+	eng := NewEngine(DefaultOptions(), 4)
+	results, err := eng.DetectBatch(context.Background(), workloads, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(workloads) {
+		t.Fatalf("results = %d, want %d", len(results), len(workloads))
+	}
+	for i, w := range workloads {
+		want := DetectSQL(w, nil, DefaultOptions())
+		if !reflect.DeepEqual(want.Findings, results[i].Findings) {
+			t.Errorf("workload %d diverges from sequential path", i)
+		}
+	}
+	if len(results[2].Findings) != 0 || len(results[2].Context.Facts) != 0 {
+		t.Errorf("empty workload should produce an empty result")
+	}
+}
+
+func TestEngineCancellation(t *testing.T) {
+	eng := NewEngine(DefaultOptions(), 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.DetectSQL(ctx, pipelineSQL(1), nil); err == nil {
+		t.Error("DetectSQL ignored a canceled context")
+	}
+	if _, err := eng.DetectBatch(ctx, []string{pipelineSQL(1)}, nil); err == nil {
+		t.Error("DetectBatch ignored a canceled context")
+	}
+}
+
+// TestEngineParseCache verifies repeated statements parse once: the
+// second identical workload should be all cache hits.
+func TestEngineParseCache(t *testing.T) {
+	eng := NewEngine(DefaultOptions(), 2)
+	sql := pipelineSQL(4) // 4 repetitions of 9 distinct statements
+	if _, err := eng.DetectSQL(context.Background(), sql, nil); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := eng.CacheStats()
+	if misses != int64(len(pipelineCorpus)) {
+		t.Errorf("misses = %d, want %d (one per distinct statement)", misses, len(pipelineCorpus))
+	}
+	if hits != int64(3*len(pipelineCorpus)) {
+		t.Errorf("hits = %d, want %d", hits, 3*len(pipelineCorpus))
+	}
+}
+
+func TestPoolBounds(t *testing.T) {
+	if n := NewPool(0).Size(); n < 1 {
+		t.Errorf("NewPool(0).Size() = %d", n)
+	}
+	if n := NewPool(3).Size(); n != 3 {
+		t.Errorf("NewPool(3).Size() = %d", n)
+	}
+}
+
+// TestPoolSizeOneBoundsCallers verifies the Concurrency=1 contract:
+// the bound holds across concurrent callers sharing the pool, not
+// just within one call.
+func TestPoolSizeOneBoundsCallers(t *testing.T) {
+	p := NewPool(1)
+	var cur, peak atomic.Int32
+	fn := func(int) {
+		c := cur.Add(1)
+		for {
+			old := peak.Load()
+			if c <= old || peak.CompareAndSwap(old, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.each(context.Background(), 5, fn); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if peak.Load() != 1 {
+		t.Errorf("peak concurrent executions = %d, want 1", peak.Load())
+	}
+}

@@ -5,7 +5,7 @@
 // numbers differ from the paper (the substrate is this repository's
 // engine, not PostgreSQL on the authors' hardware); the tracked claim
 // per experiment is the *shape* — who wins and by roughly what factor
-// (see EXPERIMENTS.md).
+// (DESIGN.md §4 indexes the artifacts).
 package experiments
 
 import (

@@ -53,7 +53,7 @@ func TestExample6Ordering(t *testing.T) {
 		t.Errorf("C2 index-underuse score = %v, want 0.12", c2iu)
 	}
 	// The paper reports ~0.47 for C2 enum-types; the formulae of
-	// Figure 6 give 0.445 — same ordering, see EXPERIMENTS.md.
+	// Figure 6 give 0.445 — same ordering either way.
 	if c2et <= c2iu {
 		t.Errorf("C2 must rank enum-types first (%v vs %v)", c2et, c2iu)
 	}

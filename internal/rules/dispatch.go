@@ -1,0 +1,136 @@
+package rules
+
+// Rule-dispatch prefilter: before the detection loop invokes a
+// query-scoped rule, its Gate — a cheap statement-kind and keyword
+// check — decides whether the rule can possibly fire on the
+// statement. Gates are conservative: a gate may admit a statement the
+// detector then rejects, but it must never reject a statement the
+// detector would flag, so prefiltered detection produces exactly the
+// findings a full registry scan would. On realistic workloads most
+// statements are plain DML that can trigger only a handful of the
+// catalog's rules, so dispatch cost drops from |rules| detector calls
+// per statement to a few substring probes plus the admitted calls.
+
+import (
+	"strings"
+
+	"sqlcheck/internal/qanalyze"
+	"sqlcheck/internal/sqlast"
+)
+
+// Gate is a dispatch prefilter for a query-scoped rule. The zero
+// value (and a nil *Gate) admits every statement. A gate must cost
+// less than the detector calls it skips: statement-kind checks and
+// Match probes over precomputed Facts fields are near-free, while
+// token scans upper-case the statement text and so are reserved for
+// kind-gated DDL rules where few statements reach the scan.
+type Gate struct {
+	// Kinds admits only statements of the listed kinds (empty = any).
+	Kinds []sqlast.StatementKind
+	// Match, when set, decides admission from the statement's
+	// precomputed facts (after Kinds). It must be conservative: true
+	// whenever the detector could emit a finding.
+	Match func(f *qanalyze.Facts) bool
+	// AnyToken admits statements whose upper-cased text contains at
+	// least one of the entries (upper-case; empty = no requirement).
+	// Ignored when Match is set.
+	AnyToken []string
+	// AllTokens requires every entry to appear in the upper-cased
+	// text. Ignored when Match is set.
+	AllTokens []string
+}
+
+// kindAdmits is the token-free part of the gate.
+func (g *Gate) kindAdmits(kind sqlast.StatementKind) bool {
+	if len(g.Kinds) == 0 {
+		return true
+	}
+	for _, k := range g.Kinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// needsTokens reports whether the gate has token requirements.
+func (g *Gate) needsTokens() bool {
+	return len(g.AnyToken) > 0 || len(g.AllTokens) > 0
+}
+
+// tokensAdmit checks the token requirements against the upper-cased
+// statement text.
+func (g *Gate) tokensAdmit(upperRaw string) bool {
+	if len(g.AnyToken) > 0 {
+		ok := false
+		for _, t := range g.AnyToken {
+			if strings.Contains(upperRaw, t) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	for _, t := range g.AllTokens {
+		if !strings.Contains(upperRaw, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Admits reports whether the statement can possibly trigger the
+// gated rule.
+func (g *Gate) Admits(f *qanalyze.Facts) bool {
+	var upper string
+	var uppered bool
+	return g.admitsLazy(f, &upper, &uppered)
+}
+
+// admitsLazy is the single admission implementation behind Admits
+// and QueryRulesFor. The upper-cased statement text — the only
+// allocation — is computed at most once and shared across gates via
+// upper/uppered.
+func (g *Gate) admitsLazy(f *qanalyze.Facts, upper *string, uppered *bool) bool {
+	if g == nil {
+		return true
+	}
+	if !g.kindAdmits(f.Kind) {
+		return false
+	}
+	if g.Match != nil {
+		return g.Match(f)
+	}
+	if !g.needsTokens() {
+		return true
+	}
+	if !*uppered {
+		*upper = strings.ToUpper(f.Raw)
+		*uppered = true
+	}
+	return g.tokensAdmit(*upper)
+}
+
+// QueryRulesFor returns the subset of rules whose DetectQuery could
+// fire on the statement, admitting through each rule's Gate. Rules
+// without a DetectQuery are dropped; order is preserved so dispatch
+// stays deterministic. buf, when non-nil, is reused as the backing
+// array to keep dispatch allocation-free in hot loops; the lazily
+// upper-cased text is shared across all gates of the statement.
+func QueryRulesFor(f *qanalyze.Facts, all []*Rule, buf []*Rule) []*Rule {
+	out := buf[:0]
+	var upper string
+	var uppered bool
+	for _, r := range all {
+		if r.DetectQuery == nil {
+			continue
+		}
+		if !r.Gate.admitsLazy(f, &upper, &uppered) {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package rules
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"sqlcheck/internal/appctx"
+	"sqlcheck/internal/parser"
+	"sqlcheck/internal/qanalyze"
+	"sqlcheck/internal/sqlast"
+)
+
+func factsFor(t *testing.T, sql string) *qanalyze.Facts {
+	t.Helper()
+	stmts := parser.ParseAll(sql)
+	if len(stmts) != 1 {
+		t.Fatalf("parsed %d statements from %q", len(stmts), sql)
+	}
+	return qanalyze.Analyze(stmts[0])
+}
+
+func TestGateAdmits(t *testing.T) {
+	sel := &Gate{Kinds: []sqlast.StatementKind{sqlast.KindSelect}}
+	if !sel.Admits(factsFor(t, "SELECT 1")) {
+		t.Error("kind gate rejected a matching kind")
+	}
+	if sel.Admits(factsFor(t, "INSERT INTO t VALUES (1)")) {
+		t.Error("kind gate admitted a non-matching kind")
+	}
+
+	tok := &Gate{AnyToken: []string{"RAND", "GLOB"}}
+	if !tok.Admits(factsFor(t, "select * from t order by rand()")) {
+		t.Error("token gate rejected matching text (case-insensitive)")
+	}
+	if tok.Admits(factsFor(t, "SELECT id FROM t")) {
+		t.Error("token gate admitted text without any token")
+	}
+
+	all := &Gate{AnyToken: []string{"JOIN", ","}, AllTokens: []string{"DISTINCT"}}
+	if !all.Admits(factsFor(t, "SELECT DISTINCT a FROM t JOIN u ON t.x = u.x")) {
+		t.Error("combined gate rejected matching text")
+	}
+	if all.Admits(factsFor(t, "SELECT a FROM t JOIN u ON t.x = u.x")) {
+		t.Error("combined gate admitted text missing an AllTokens entry")
+	}
+
+	match := &Gate{Match: func(f *qanalyze.Facts) bool { return f.SelectStar }}
+	if !match.Admits(factsFor(t, "SELECT * FROM t")) {
+		t.Error("match gate rejected a matching statement")
+	}
+	if match.Admits(factsFor(t, "SELECT id FROM t")) {
+		t.Error("match gate admitted a non-matching statement")
+	}
+
+	var nilGate *Gate
+	if !nilGate.Admits(factsFor(t, "DROP TABLE t")) {
+		t.Error("nil gate must admit everything")
+	}
+}
+
+// dispatchCorpus exercises every query-scoped rule in the catalog plus
+// plain statements no rule can fire on.
+var dispatchCorpus = []string{
+	`CREATE TABLE tenants (tenant_id INT PRIMARY KEY, user_ids TEXT, label VARCHAR)`,
+	`CREATE TABLE notes (id INT PRIMARY KEY, body TEXT)`,
+	`CREATE TABLE files (file_id INT PRIMARY KEY, file_path VARCHAR)`,
+	`CREATE TABLE prices (id INT PRIMARY KEY, amount FLOAT, price_usd DOUBLE)`,
+	`CREATE TABLE accounts (id INT, password VARCHAR, status ENUM('a','b'))`,
+	`CREATE TABLE comments (comment_id INT PRIMARY KEY, parent_id INT REFERENCES comments(comment_id))`,
+	`CREATE TABLE wide (c1 INT, c2 INT, c3 INT, c4 INT, c5 INT, c6 INT, c7 INT, c8 INT, c9 INT, c10 INT, c11 INT)`,
+	`CREATE TABLE sales_2019 (id INT PRIMARY KEY, q1 INT, q2 INT, q3 INT, q4 INT)`,
+	`CREATE TABLE nopk (x INT, y INT)`,
+	`SELECT * FROM tenants ORDER BY RAND() LIMIT 5`,
+	`SELECT label FROM tenants WHERE user_ids LIKE '%U12%'`,
+	`SELECT label FROM tenants WHERE user_ids REGEXP '[[:<:]]U12[[:>:]]'`,
+	`SELECT t.label FROM tenants t JOIN notes n ON t.user_ids SIMILAR TO n.body`,
+	`SELECT DISTINCT t.label FROM tenants t JOIN notes n ON t.tenant_id = n.id`,
+	`SELECT a.id FROM tenants a, notes b, files c, prices d, accounts e WHERE a.tenant_id = b.id`,
+	`SELECT label || user_ids FROM tenants`,
+	`INSERT INTO notes VALUES (1, 'hello')`,
+	`INSERT INTO tenants (tenant_id, user_ids) VALUES (2, 'U1,U2,U3')`,
+	`INSERT INTO accounts (id, password) VALUES (1, 'hunter2')`,
+	`UPDATE accounts SET password = 'secret' WHERE id = 3`,
+	`SELECT id FROM accounts WHERE password = 'letmein'`,
+	`SELECT y FROM nopk WHERE x = 5`,
+	`DELETE FROM notes WHERE id = 9`,
+	`DROP TABLE sales_2019`,
+}
+
+// TestPrefilterPreservesFindings is the dispatch contract: for every
+// statement, running only the gate-admitted rules yields exactly the
+// findings a full scan over the catalog yields.
+func TestPrefilterPreservesFindings(t *testing.T) {
+	sql := strings.Join(dispatchCorpus, ";\n")
+	stmts := parser.ParseAll(sql)
+	for _, mode := range []appctx.Mode{appctx.ModeInter, appctx.ModeIntra} {
+		cfg := appctx.DefaultConfig()
+		cfg.Mode = mode
+		ctx := appctx.Build(stmts, nil, cfg)
+		all := All()
+		for qi, f := range ctx.Facts {
+			var full, gated []Finding
+			for _, r := range all {
+				if r.DetectQuery == nil {
+					continue
+				}
+				full = append(full, r.DetectQuery(qi, f, ctx)...)
+			}
+			for _, r := range QueryRulesFor(f, all, nil) {
+				gated = append(gated, r.DetectQuery(qi, f, ctx)...)
+			}
+			if !reflect.DeepEqual(full, gated) {
+				t.Errorf("mode %v statement %d %q:\nfull  = %+v\ngated = %+v",
+					mode, qi, f.Raw, full, gated)
+			}
+		}
+	}
+}
+
+// TestPrefilterSkipsRules guards the point of the prefilter: a plain
+// single-table lookup must not dispatch to the whole catalog.
+func TestPrefilterSkipsRules(t *testing.T) {
+	stmts := parser.ParseAll(`SELECT y FROM nopk WHERE x = 5`)
+	ctx := appctx.Build(stmts, nil, appctx.DefaultConfig())
+	all := All()
+	queryScoped := 0
+	for _, r := range all {
+		if r.DetectQuery != nil {
+			queryScoped++
+		}
+	}
+	admitted := QueryRulesFor(ctx.Facts[0], all, nil)
+	if len(admitted) >= queryScoped {
+		t.Errorf("prefilter admitted %d of %d query-scoped rules for a trivial lookup",
+			len(admitted), queryScoped)
+	}
+}

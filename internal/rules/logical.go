@@ -41,6 +41,31 @@ func init() {
 			"pattern matching and referential integrity is unenforceable.",
 		Flags:   ImpactFlags{Performance: true, Maintainability: true, DataAmp: -1, DataIntegrity: true, Accuracy: true},
 		Metrics: Metrics{ReadPerf: 5, WritePerf: 2, Maint: 3, DataAmp: 2, Integrity: 1, Accuracy: 1},
+		// Every detection path needs a pattern-match operator (the
+		// SIMILAR TO case arrives as ExprJoin + PatternMatching) or a
+		// delimiter character inside a compared/inserted literal.
+		Gate: &Gate{Match: func(f *qanalyze.Facts) bool {
+			if f.ExprJoin && f.PatternMatching {
+				return true
+			}
+			for _, p := range f.Predicates {
+				switch p.Op {
+				case "LIKE", "ILIKE", "REGEXP", "RLIKE", "GLOB":
+					return true
+				}
+				if strings.ContainsAny(p.Literal, ",;|") {
+					return true
+				}
+			}
+			for _, row := range f.InsertLiterals {
+				for _, lit := range row {
+					if strings.ContainsAny(lit, ",;|") {
+						return true
+					}
+				}
+			}
+			return false
+		}},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			var out []Finding
 			r := ByID(IDMultiValuedAttribute)
@@ -155,6 +180,7 @@ func init() {
 			"identity; duplicates accumulate and replication breaks.",
 		Flags:   ImpactFlags{Performance: true, Maintainability: true, DataAmp: 1, DataIntegrity: true},
 		Metrics: Metrics{ReadPerf: 2, Maint: 2, DataAmp: 1, Integrity: 1},
+		Gate:    &Gate{Kinds: []sqlast.StatementKind{sqlast.KindCreateTable}},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			ct, ok := f.Stmt.(*sqlast.CreateTableStatement)
 			if !ok || ct.AsSelect != nil {
@@ -235,6 +261,7 @@ func init() {
 			"domain key and invites duplicate logical rows.",
 		Flags:   ImpactFlags{Maintainability: true},
 		Metrics: Metrics{Maint: 1},
+		Gate:    &Gate{Kinds: []sqlast.StatementKind{sqlast.KindCreateTable}},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			ct, ok := f.Stmt.(*sqlast.CreateTableStatement)
 			if !ok {
@@ -269,6 +296,7 @@ func init() {
 			"sales_2019, sales_2020) forces DDL changes as data grows.",
 		Flags:   ImpactFlags{Performance: true, Maintainability: true, DataAmp: -1, DataIntegrity: true, Accuracy: true},
 		Metrics: Metrics{ReadPerf: 1, Maint: 4, DataAmp: 1, Integrity: 1, Accuracy: 1},
+		Gate:    &Gate{Kinds: []sqlast.StatementKind{sqlast.KindCreateTable}},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			ct, ok := f.Stmt.(*sqlast.CreateTableStatement)
 			if !ok {
@@ -309,6 +337,10 @@ func init() {
 			"but makes depth queries and subtree deletes expensive.",
 		Flags:   ImpactFlags{Performance: true},
 		Metrics: Metrics{ReadPerf: 1.1},
+		Gate: &Gate{
+			Kinds:    []sqlast.StatementKind{sqlast.KindCreateTable},
+			AnyToken: []string{"REFERENCES", "FOREIGN"},
+		},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			ct, ok := f.Stmt.(*sqlast.CreateTableStatement)
 			if !ok {
@@ -356,6 +388,7 @@ func init() {
 			"several entities and update patterns.",
 		Flags:   ImpactFlags{Performance: true, Maintainability: true},
 		Metrics: Metrics{ReadPerf: 1.2, Maint: 3},
+		Gate:    &Gate{Kinds: []sqlast.StatementKind{sqlast.KindCreateTable}},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			ct, ok := f.Stmt.(*sqlast.CreateTableStatement)
 			if !ok {

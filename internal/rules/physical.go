@@ -36,6 +36,11 @@ func init() {
 			"NUMERIC/DECIMAL).",
 		Flags:   ImpactFlags{Accuracy: true},
 		Metrics: Metrics{Accuracy: 1},
+		// Approximate-numeric type names all contain one of these.
+		Gate: &Gate{
+			Kinds:    []sqlast.StatementKind{sqlast.KindCreateTable},
+			AnyToken: []string{"FLOAT", "REAL", "DOUBLE"},
+		},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			ct, ok := f.Stmt.(*sqlast.CreateTableStatement)
 			if !ok {
@@ -89,6 +94,10 @@ func init() {
 			"constraint surgery over the whole table (paper Example 4).",
 		Flags:   ImpactFlags{Performance: true, Maintainability: true, DataAmp: -1},
 		Metrics: Metrics{WritePerf: 10, Maint: 2, DataAmp: 1},
+		Gate: &Gate{
+			Kinds:    []sqlast.StatementKind{sqlast.KindCreateTable, sqlast.KindAlterTable},
+			AnyToken: []string{"ENUM", "SET", "CHECK"},
+		},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			r := ByID(IDEnumeratedTypes)
 			var out []Finding
@@ -165,6 +174,10 @@ func init() {
 			"referenced bytes outside transactions and backups.",
 		Flags:   ImpactFlags{Maintainability: true, DataIntegrity: true, Accuracy: true},
 		Metrics: Metrics{Maint: 1, Integrity: 1, Accuracy: 1},
+		Gate: &Gate{
+			Kinds:    []sqlast.StatementKind{sqlast.KindCreateTable},
+			AnyToken: []string{"PATH", "FILE", "ATTACHMENT", "IMAGE_URL"},
+		},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			ct, ok := f.Stmt.(*sqlast.CreateTableStatement)
 			if !ok {
@@ -348,6 +361,7 @@ func init() {
 			}
 			return out
 		},
+		Gate: &Gate{Kinds: []sqlast.StatementKind{sqlast.KindCreateTable}},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			// Intra-mode fallback: a single CREATE TABLE with a
 			// numbered suffix is a weak clone signal (this is what a

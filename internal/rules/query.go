@@ -33,6 +33,10 @@ func init() {
 			"list; refactoring the table silently breaks consumers.",
 		Flags:   ImpactFlags{Performance: true, Accuracy: true},
 		Metrics: Metrics{ReadPerf: 1.3, Accuracy: 1},
+		Gate: &Gate{
+			Kinds: []sqlast.StatementKind{sqlast.KindSelect},
+			Match: func(f *qanalyze.Facts) bool { return f.SelectStar },
+		},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			if !f.SelectStar {
 				return nil
@@ -52,6 +56,7 @@ func init() {
 			"concatenation.",
 		Flags:   ImpactFlags{Accuracy: true},
 		Metrics: Metrics{Accuracy: 1},
+		Gate:    &Gate{Match: func(f *qanalyze.Facts) bool { return len(f.ConcatColumns) > 0 }},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			if len(f.ConcatColumns) == 0 {
 				return nil
@@ -96,6 +101,7 @@ func init() {
 			"result to pick a few rows.",
 		Flags:   ImpactFlags{Performance: true},
 		Metrics: Metrics{ReadPerf: 3},
+		Gate:    &Gate{Match: func(f *qanalyze.Facts) bool { return f.OrderByRand }},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			if !f.OrderByRand {
 				return nil
@@ -115,6 +121,20 @@ func init() {
 			"indexes and scan every row.",
 		Flags:   ImpactFlags{Performance: true},
 		Metrics: Metrics{ReadPerf: 4},
+		// Mirrors the detector's trigger set: heavy predicates or a
+		// pattern-matching join.
+		Gate: &Gate{Match: func(f *qanalyze.Facts) bool {
+			if f.ExprJoin && f.PatternMatching {
+				return true
+			}
+			for _, p := range f.Predicates {
+				if p.LeadingWildcard || p.Op == "REGEXP" || p.Op == "RLIKE" ||
+					p.Op == "SIMILAR TO" || strings.Contains(p.Literal, "[[:") {
+					return true
+				}
+			}
+			return false
+		}},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			r := ByID(IDPatternMatching)
 			var out []Finding
@@ -146,6 +166,7 @@ func init() {
 			"evolves (paper Example 2).",
 		Flags:   ImpactFlags{Maintainability: true, DataIntegrity: true},
 		Metrics: Metrics{Maint: 2, Integrity: 1},
+		Gate:    &Gate{Kinds: []sqlast.StatementKind{sqlast.KindInsert}},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			if !f.InsertNoColumns {
 				return nil
@@ -165,6 +186,10 @@ func init() {
 			"missing semi-join (EXISTS) and re-sorts the whole result.",
 		Flags:   ImpactFlags{Performance: true, Maintainability: true},
 		Metrics: Metrics{ReadPerf: 1.5, Maint: 1},
+		Gate: &Gate{
+			Kinds: []sqlast.StatementKind{sqlast.KindSelect},
+			Match: func(f *qanalyze.Facts) bool { return f.Distinct && f.JoinCount > 0 },
+		},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			if !f.Distinct || f.JoinCount == 0 {
 				return nil
@@ -185,6 +210,10 @@ func init() {
 			"ORM-generated queries.",
 		Flags:   ImpactFlags{Performance: true},
 		Metrics: Metrics{ReadPerf: 2},
+		Gate: &Gate{
+			Kinds: []sqlast.StatementKind{sqlast.KindSelect, sqlast.KindInsert},
+			Match: func(f *qanalyze.Facts) bool { return f.JoinCount > 0 },
+		},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			threshold := ctx.Config.TooManyJoins
 			if threshold <= 0 {
@@ -208,6 +237,8 @@ func init() {
 			"expose every account on any leak; store salted hashes.",
 		Flags:   ImpactFlags{DataIntegrity: true, Accuracy: true},
 		Metrics: Metrics{Integrity: 1, Accuracy: 1},
+		// No gate: the detector's own column-name scan over extracted
+		// facts is already as cheap as any prefilter could be.
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			r := ByID(IDReadablePassword)
 			var out []Finding

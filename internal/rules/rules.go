@@ -99,6 +99,11 @@ type Rule struct {
 	// can substitute measured values.
 	Metrics Metrics
 
+	// Gate is the dispatch prefilter for DetectQuery: a conservative
+	// statement-kind and keyword check that admits every statement the
+	// detector could flag. Nil runs the detector on every statement.
+	Gate *Gate
+
 	// DetectQuery inspects one statement's facts. It may consult ctx
 	// for inter-query refinement; in ModeIntra ctx has no schema or
 	// aggregates. Nil when the rule is not query-scoped.

@@ -24,9 +24,11 @@
 package sqlcheck
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"strings"
+	"sync"
 
 	"sqlcheck/internal/appctx"
 	"sqlcheck/internal/core"
@@ -78,11 +80,22 @@ type Options struct {
 	// SampleSize bounds data-analysis sampling per table (default
 	// 1000 rows).
 	SampleSize int
+	// Concurrency bounds the analysis worker pool shared by every
+	// check made through the Checker — CheckSQL, CheckApplication,
+	// and CheckBatch all draw per-statement work from the same pool.
+	// 0 uses GOMAXPROCS; 1 runs sequentially.
+	Concurrency int
 }
 
-// Checker runs the detect → rank → fix pipeline.
+// Checker runs the detect → rank → fix pipeline. A Checker is safe
+// for concurrent use: all checks share one bounded worker pool and
+// one parsed-AST cache, so a server can hold a single Checker and
+// serve overlapping requests without oversubscribing the host.
 type Checker struct {
 	opts Options
+
+	engineOnce sync.Once
+	eng        *core.Engine
 }
 
 // New builds a Checker. With no argument it uses defaults; with one
@@ -190,12 +203,62 @@ func (c *Checker) CheckSQL(sql string) (*Report, error) {
 	return c.CheckApplication(sql, nil)
 }
 
+// CheckSQLContext is CheckSQL with cancellation: analysis stops early
+// and returns the context error when ctx is canceled.
+func (c *Checker) CheckSQLContext(ctx context.Context, sql string) (*Report, error) {
+	return c.CheckApplicationContext(ctx, sql, nil)
+}
+
 // CheckApplication analyzes a SQL workload together with an optional
 // live database; with a database attached the data rules run too.
 func (c *Checker) CheckApplication(sql string, db *Database) (*Report, error) {
+	return c.CheckApplicationContext(context.Background(), sql, db)
+}
+
+// CheckApplicationContext is CheckApplication with cancellation.
+func (c *Checker) CheckApplicationContext(ctx context.Context, sql string, db *Database) (*Report, error) {
 	if strings.TrimSpace(sql) == "" && db == nil {
 		return nil, errors.New("sqlcheck: nothing to analyze")
 	}
+	res, err := c.engine().DetectSQL(ctx, sql, innerDB(db))
+	if err != nil {
+		return nil, err
+	}
+	return c.buildReport(res), nil
+}
+
+// CheckBatch analyzes independent SQL workloads — one script per
+// repository or application, the paper's unit of evaluation —
+// concurrently on the Checker's shared pool, and returns one ranked
+// Report per workload in input order. A blank workload yields an
+// empty report rather than failing the batch. The error is non-nil
+// only for an empty batch or a canceled ctx.
+func (c *Checker) CheckBatch(ctx context.Context, workloads []string) ([]*Report, error) {
+	if len(workloads) == 0 {
+		return nil, errors.New("sqlcheck: no workloads")
+	}
+	results, err := c.engine().DetectBatch(ctx, workloads, nil)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]*Report, len(results))
+	for i, res := range results {
+		reports[i] = c.buildReport(res)
+	}
+	return reports, nil
+}
+
+// engine lazily builds the Checker's shared analysis engine.
+func (c *Checker) engine() *core.Engine {
+	c.engineOnce.Do(func() {
+		c.eng = core.NewEngine(c.coreOptions(), c.opts.Concurrency)
+	})
+	return c.eng
+}
+
+// coreOptions translates the public Options into the detection
+// engine's configuration.
+func (c *Checker) coreOptions() core.Options {
 	opts := core.DefaultOptions()
 	if c.opts.Mode == IntraQuery {
 		opts.Config.Mode = appctx.ModeIntra
@@ -213,13 +276,11 @@ func (c *Checker) CheckApplication(sql string, db *Database) (*Report, error) {
 		opts.Config.Profile.SampleSize = c.opts.SampleSize
 	}
 	opts.Rules = c.opts.Rules
+	return opts
+}
 
-	var inner *Database
-	if db != nil {
-		inner = db
-	}
-	res := core.DetectSQL(sql, innerDB(inner), opts)
-
+// buildReport ranks a detection result and attaches fixes.
+func (c *Checker) buildReport(res *core.Result) *Report {
 	weights := rank.C1
 	if c.opts.Weights == Hybrid {
 		weights = rank.C2
@@ -266,7 +327,7 @@ func (c *Checker) CheckApplication(sql string, db *Database) (*Report, error) {
 		}
 		report.Queries = append(report.Queries, q)
 	}
-	return report, nil
+	return report
 }
 
 // Rules describes the anti-pattern catalog: rule IDs, names,

@@ -1,8 +1,10 @@
 package sqlcheck
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -356,4 +358,86 @@ func TestCustomRuleWithMatchFunc(t *testing.T) {
 	if !report.Has("very-long-statement") {
 		t.Error("match func not applied")
 	}
+}
+
+func TestCheckBatch(t *testing.T) {
+	workloads := []string{
+		`CREATE TABLE orders (id INT PRIMARY KEY, total FLOAT);
+		 SELECT * FROM orders ORDER BY RAND() LIMIT 5;`,
+		`CREATE TABLE nopk (x INT, y INT);
+		 SELECT y FROM nopk WHERE x = 5;`,
+		`   `, // blank workload: empty report, not an error
+	}
+	reports, err := New().CheckBatch(context.Background(), workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(workloads) {
+		t.Fatalf("reports = %d, want %d", len(reports), len(workloads))
+	}
+	// Each batch slot matches the one-shot path on the same workload.
+	for i, w := range workloads[:2] {
+		want, err := New().CheckSQL(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reports[i].Findings) != len(want.Findings) {
+			t.Errorf("workload %d: batch found %d, CheckSQL found %d",
+				i, len(reports[i].Findings), len(want.Findings))
+		}
+	}
+	if !reports[0].Has("order-by-rand") || reports[1].Has("order-by-rand") {
+		t.Error("batch reports not mapped to their workloads in order")
+	}
+	if len(reports[2].Findings) != 0 || reports[2].Statements != 0 {
+		t.Errorf("blank workload report = %+v", reports[2])
+	}
+}
+
+func TestCheckBatchEmpty(t *testing.T) {
+	if _, err := New().CheckBatch(context.Background(), nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+}
+
+func TestCheckBatchCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New().CheckBatch(ctx, []string{"SELECT 1"}); err == nil {
+		t.Error("canceled context ignored")
+	}
+}
+
+// TestCheckerConcurrentUse hammers one Checker from many goroutines —
+// the daemon's usage pattern. Run under -race this verifies the
+// shared pool and parse cache are safe.
+func TestCheckerConcurrentUse(t *testing.T) {
+	checker := New(Options{Concurrency: 4})
+	workload := `CREATE TABLE t (id INT PRIMARY KEY, v FLOAT);
+		SELECT * FROM t ORDER BY RAND();
+		INSERT INTO t VALUES (1, 2.5);`
+	want, err := checker.CheckSQL(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				got, err := checker.CheckSQL(workload)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(got.Findings) != len(want.Findings) {
+					t.Errorf("concurrent run found %d findings, want %d",
+						len(got.Findings), len(want.Findings))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
