@@ -3,7 +3,18 @@
 
 GO ?= go
 
-.PHONY: build test test-full bench bench-smoke lint ci
+# Recipes pipe benchmark output through tee; without pipefail a
+# failing `go test` would exit 0 through the pipe and the regression
+# gate would compare partial output.
+SHELL := /bin/bash -o pipefail
+
+# The benchmarks gating CI regressions (DESIGN.md §4). bench-baseline
+# regenerates the checked-in reference; bench-check compares a fresh
+# run against it and fails on >20% median regression.
+BENCH_GATE = BenchmarkCheckSQLParallel|BenchmarkRuleDispatch|BenchmarkProfileParallel
+BENCH_COUNT ?= 5
+
+.PHONY: build test test-full bench bench-baseline bench-check lint ci
 
 build:
 	$(GO) build ./...
@@ -22,9 +33,22 @@ test-full:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
-# One iteration per benchmark — CI's cheap regression canary.
-bench-smoke:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+# Regenerate the checked-in baseline for the gated benchmarks. Run on
+# a quiet machine; commit bench/baseline.txt with the change that
+# legitimately moves the numbers.
+bench-baseline:
+	$(GO) test -bench '$(BENCH_GATE)' -count $(BENCH_COUNT) -benchtime 0.3s -run '^$$' . | tee bench/baseline.txt
+
+# Compare a fresh run of the gated benchmarks against a baseline;
+# fails on >20% median regression or a missing gated benchmark.
+# BENCH_BASELINE defaults to the checked-in reference; CI's
+# pull-request job points it at a base-ref run from the same runner,
+# which removes hardware variance from the comparison.
+BENCH_BASELINE ?= bench/baseline.txt
+bench-check:
+	$(GO) test -bench '$(BENCH_GATE)' -count $(BENCH_COUNT) -benchtime 0.3s -run '^$$' . | tee bench-current.txt
+	$(GO) run ./cmd/benchcmp -baseline $(BENCH_BASELINE) -current bench-current.txt \
+		-max-regression 20 -require 'CheckSQLParallel,RuleDispatch,ProfileParallel'
 
 lint:
 	$(GO) vet ./...

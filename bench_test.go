@@ -22,6 +22,7 @@ import (
 	"sqlcheck/internal/exec"
 	"sqlcheck/internal/experiments"
 	"sqlcheck/internal/parser"
+	"sqlcheck/internal/schema"
 	"sqlcheck/internal/storage"
 )
 
@@ -234,6 +235,65 @@ func BenchmarkCheckSQLParallel(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(total*b.N)/b.Elapsed().Seconds(), "stmt/s")
+		})
+	}
+}
+
+// profileBenchDB builds a multi-table fixture sized so the data
+// phase dominates analysis: `tables` tables of `rows` rows with
+// mixed column shapes (numbers-as-text, list-like strings, FD pairs)
+// so every profiling pass does real work.
+func profileBenchDB(tables, rows int) *Database {
+	inner := storage.NewDatabase("profilebench")
+	for t := 0; t < tables; t++ {
+		tab := inner.CreateTable(fmt.Sprintf("bench_t%02d", t), []storage.ColumnDef{
+			{Name: "id", Class: schema.ClassInteger},
+			{Name: "city", Class: schema.ClassChar},
+			{Name: "zip", Class: schema.ClassChar},
+			{Name: "val", Class: schema.ClassChar},
+			{Name: "tags", Class: schema.ClassText},
+		})
+		for i := 0; i < rows; i++ {
+			city := fmt.Sprintf("C%d", i%17)
+			tab.MustInsert(
+				storage.Int(int64(i)),
+				storage.Str(city),
+				storage.Str("Z-"+city),
+				storage.Str(fmt.Sprintf("%d", i*3)),
+				storage.Str(fmt.Sprintf("a%d,b%d,c%d", i%7, i%5, i%3)),
+			)
+		}
+	}
+	return &Database{inner: inner}
+}
+
+// BenchmarkProfileParallel measures the data-analysis phase — per-
+// table profiling, the phase the paper says dominates on real
+// applications — serial versus fanned out on the worker pool
+// (DESIGN.md §4). Reports are identical either way; on an N-core
+// runner the parallel variant approaches min(N, tables)x. The
+// headline metric is table profiles per second.
+func BenchmarkProfileParallel(b *testing.B) {
+	const tables, rows = 16, 2000
+	db := profileBenchDB(tables, rows)
+	workloads := []Workload{{SQL: `SELECT city FROM bench_t00 WHERE id = 7`, DB: db}}
+	for _, cfg := range []struct {
+		name string
+		conc int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // GOMAXPROCS workers
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			checker := New(Options{Concurrency: cfg.conc})
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := checker.CheckWorkloads(context.Background(), workloads); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(tables*b.N)/b.Elapsed().Seconds(), "profiles/s")
 		})
 	}
 }

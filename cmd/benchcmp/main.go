@@ -1,0 +1,141 @@
+// Command benchcmp compares two `go test -bench` outputs and fails
+// when gated benchmarks regress — the repo's CI regression gate
+// (DESIGN.md §4), in the spirit of benchstat but dependency-free so
+// it runs from a bare checkout.
+//
+//	go test -bench 'CheckSQLParallel|RuleDispatch|ProfileParallel' \
+//	    -count 5 -run '^$' . > bench/current.txt
+//	go run ./cmd/benchcmp -baseline bench/baseline.txt \
+//	    -current bench/current.txt -max-regression 20
+//
+// Each benchmark's samples (one line per -count repetition) are
+// reduced to their median ns/op, which is robust to the odd noisy
+// run. A benchmark regresses when its current median exceeds the
+// baseline median by more than -max-regression percent. Benchmarks
+// named by -require must be present in the current output, so a gate
+// cannot silently vanish by being renamed or skipped.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one result line, e.g.
+// "BenchmarkProfileParallel/serial-8  10  1234567 ns/op  12 B/op".
+// The -8 GOMAXPROCS suffix is stripped so runs from machines with
+// different core counts still line up by name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func parse(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out[m[1]] = append(out[m[1]], ns)
+	}
+	return out, sc.Err()
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "bench/baseline.txt", "checked-in baseline bench output")
+		currentPath  = flag.String("current", "", "bench output to compare (required)")
+		maxRegress   = flag.Float64("max-regression", 20, "fail when median ns/op regresses by more than this percent")
+		require      = flag.String("require", "", "comma-separated substrings; each must match a current benchmark")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -current is required")
+		os.Exit(2)
+	}
+	base, err := parse(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := parse(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: current: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, want := range strings.Split(*require, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		found := false
+		for name := range cur {
+			if strings.Contains(name, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("MISSING  %-52s required benchmark absent from current output\n", want)
+			failed = true
+		}
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		curSamples, ok := cur[name]
+		if !ok {
+			fmt.Printf("SKIP     %-52s not in current output\n", name)
+			continue
+		}
+		b, c := median(base[name]), median(curSamples)
+		delta := 100 * (c - b) / b
+		status := "ok"
+		if delta > *maxRegress {
+			status = "REGRESS"
+			failed = true
+		}
+		fmt.Printf("%-8s %-52s %12.0f -> %12.0f ns/op  %+6.1f%%\n", status, name, b, c, delta)
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("NEW      %-52s %12.0f ns/op (no baseline)\n", name, median(cur[name]))
+		}
+	}
+	if failed {
+		fmt.Printf("\nbenchcmp: FAIL (threshold %+.0f%%)\n", *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchcmp: ok (threshold %+.0f%%)\n", *maxRegress)
+}

@@ -5,14 +5,22 @@
 //	  -> full JSON report (findings, fixes, query ranking)
 //	POST /api/check   {"queries": ["<workload 1>", "<workload 2>"]}
 //	  -> {"reports": [...]} — one report per workload, in order
+//	POST /api/check   {"workloads": [{"sql": "...", "fixture": "<DDL+DML>"}]}
+//	  -> {"reports": [...]} — database-attached analysis: each
+//	     workload's fixture script builds an in-memory database, so
+//	     the data rules (paper §4.2) run over HTTP too
 //	GET  /api/rules   -> the anti-pattern catalog
+//	GET  /metrics     -> observability: Prometheus text format, or
+//	                     JSON with ?format=json — cache hit rate,
+//	                     pool saturation, per-phase latency histograms
 //	GET  /healthz     -> "ok"
 //
 // All requests share one Checker, so concurrent checks draw from a
 // single bounded worker pool and parsed-AST cache instead of
 // oversubscribing the host; client disconnects cancel the analysis.
 //
-// Flags: -addr (default :8686), -mode, -weights, -concurrency.
+// Flags: -addr (default :8686), -mode, -weights, -concurrency,
+// -cache-bytes.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 
 	"sqlcheck"
 )
@@ -34,10 +43,14 @@ func main() {
 		mode        = flag.String("mode", "inter", "analysis mode: inter or intra")
 		weights     = flag.String("weights", "c1", "ranking weights: c1 or c2")
 		concurrency = flag.Int("concurrency", 0, "analysis worker pool size (0 = GOMAXPROCS)")
+		cacheBytes  = flag.Int64("cache-bytes", 64<<20, "parsed-statement cache budget in estimated resident bytes")
 	)
 	flag.Parse()
 
-	opts := sqlcheck.Options{Concurrency: *concurrency}
+	opts := sqlcheck.Options{
+		Concurrency: *concurrency,
+		SharedCache: sqlcheck.NewCache(*cacheBytes),
+	}
 	if *mode == "intra" {
 		opts.Mode = sqlcheck.IntraQuery
 	}
@@ -52,11 +65,27 @@ func main() {
 	}
 }
 
-// CheckRequest is the POST /api/check payload: either a single query
-// script or a batch of independent workloads (exactly one of the two).
+// CheckRequest is the POST /api/check payload: a single query script,
+// a batch of SQL-only workloads, or a batch of database-attached
+// workloads (exactly one of the three).
 type CheckRequest struct {
-	Query   string   `json:"query,omitempty"`
-	Queries []string `json:"queries,omitempty"`
+	Query     string            `json:"query,omitempty"`
+	Queries   []string          `json:"queries,omitempty"`
+	Workloads []WorkloadRequest `json:"workloads,omitempty"`
+}
+
+// WorkloadRequest is one database-attached workload: the SQL under
+// analysis plus an optional fixture script (DDL and DML) that builds
+// the workload's in-memory database before analysis, so schema and
+// data rules see real tuples.
+type WorkloadRequest struct {
+	SQL string `json:"sql"`
+	// Fixture is executed statement by statement into a fresh
+	// embedded database; errors fail the request with 400.
+	Fixture string `json:"fixture,omitempty"`
+	// SampleSize bounds data-analysis sampling for this workload
+	// (0 = server default).
+	SampleSize int `json:"sample_size,omitempty"`
 }
 
 // BatchResponse is returned for batch requests: one report per
@@ -79,6 +108,16 @@ func NewHandler(checker *sqlcheck.Checker) http.Handler {
 	mux.HandleFunc("/api/rules", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, sqlcheck.Rules())
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		m := checker.Metrics()
+		if r.URL.Query().Get("format") == "json" ||
+			strings.Contains(r.Header.Get("Accept"), "application/json") {
+			writeJSON(w, http.StatusOK, m)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, m)
+	})
 	mux.HandleFunc("/api/check", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required"})
@@ -89,9 +128,15 @@ func NewHandler(checker *sqlcheck.Checker) http.Handler {
 			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "malformed JSON: " + err.Error()})
 			return
 		}
+		given := 0
+		for _, set := range []bool{req.Query != "", len(req.Queries) > 0, len(req.Workloads) > 0} {
+			if set {
+				given++
+			}
+		}
 		switch {
-		case req.Query != "" && req.Queries != nil:
-			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "provide either query or queries, not both"})
+		case given > 1:
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "provide exactly one of query, queries, or workloads"})
 		case req.Query != "":
 			report, err := checker.CheckSQLContext(r.Context(), req.Query)
 			if err != nil {
@@ -101,6 +146,28 @@ func NewHandler(checker *sqlcheck.Checker) http.Handler {
 			writeJSON(w, http.StatusOK, report)
 		case len(req.Queries) > 0:
 			reports, err := checker.CheckBatch(r.Context(), req.Queries)
+			if err != nil {
+				writeCheckError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, BatchResponse{Reports: reports})
+		case len(req.Workloads) > 0:
+			workloads := make([]sqlcheck.Workload, len(req.Workloads))
+			for i, wr := range req.Workloads {
+				cw := sqlcheck.Workload{SQL: wr.SQL, SampleSize: wr.SampleSize}
+				if wr.Fixture != "" {
+					db := sqlcheck.NewDatabase(fmt.Sprintf("fixture-%d", i))
+					if err := db.ExecScript(wr.Fixture); err != nil {
+						writeJSON(w, http.StatusBadRequest, ErrorResponse{
+							Error: fmt.Sprintf("workload %d fixture: %v", i, err),
+						})
+						return
+					}
+					cw.DB = db
+				}
+				workloads[i] = cw
+			}
+			reports, err := checker.CheckWorkloads(r.Context(), workloads)
 			if err != nil {
 				writeCheckError(w, err)
 				return

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -184,5 +185,148 @@ func TestCheckEndpointConcurrent(t *testing.T) {
 	close(errc)
 	for err := range errc {
 		t.Error(err)
+	}
+}
+
+// TestCheckEndpointWorkloads: database-attached analysis over HTTP —
+// fixtures build real tables, so data rules fire.
+func TestCheckEndpointWorkloads(t *testing.T) {
+	srv := server(t)
+	fixture := `CREATE TABLE tenants (id INT PRIMARY KEY, user_ids TEXT);` +
+		`INSERT INTO tenants VALUES (1, 'U1,U2,U3');` +
+		`INSERT INTO tenants VALUES (2, 'U4,U5,U6');` +
+		`INSERT INTO tenants VALUES (3, 'U7,U8,U9');` +
+		`INSERT INTO tenants VALUES (4, 'U1,U5,U9');` +
+		`INSERT INTO tenants VALUES (5, 'U2,U4,U8');` +
+		`INSERT INTO tenants VALUES (6, 'U3,U6,U7');` +
+		`INSERT INTO tenants VALUES (7, 'U1,U4,U7');` +
+		`INSERT INTO tenants VALUES (8, 'U2,U5,U8');` +
+		`INSERT INTO tenants VALUES (9, 'U3,U5,U7');` +
+		`INSERT INTO tenants VALUES (10, 'U2,U6,U9');`
+	req := map[string]any{
+		"workloads": []map[string]any{
+			{"sql": "SELECT * FROM tenants WHERE user_ids LIKE '%U5%'", "fixture": fixture},
+			{"sql": "SELECT * FROM t ORDER BY RAND()"},
+		},
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+"/api/check", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var batch BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Reports) != 2 {
+		t.Fatalf("reports = %d, want 2", len(batch.Reports))
+	}
+	if !batch.Reports[0].Has("multi-valued-attribute") {
+		t.Errorf("data rule did not fire on fixture workload; findings = %+v", batch.Reports[0].Findings)
+	}
+	if !batch.Reports[1].Has("order-by-rand") {
+		t.Errorf("plain workload findings = %+v", batch.Reports[1].Findings)
+	}
+}
+
+func TestCheckEndpointWorkloadErrors(t *testing.T) {
+	srv := server(t)
+	for _, body := range []string{
+		`{"workloads": [{"sql": "SELECT 1", "fixture": "INSERT INTO missing VALUES (1)"}]}`,
+		`{"query": "SELECT 1", "workloads": [{"sql": "SELECT 2"}]}`,
+		`{"workloads": []}`,
+	} {
+		resp, err := http.Post(srv.URL+"/api/check", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%q: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestMetricsEndpoint drives a repeated batch through the daemon and
+// asserts /metrics reports a non-zero cache hit rate, in both the
+// Prometheus text and JSON renderings.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := server(t)
+	body := `{"queries": [
+		"CREATE TABLE t (id INT PRIMARY KEY, v FLOAT); SELECT * FROM t ORDER BY RAND()",
+		"CREATE TABLE t (id INT PRIMARY KEY, v FLOAT); SELECT * FROM t ORDER BY RAND()"
+	]}`
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(srv.URL+"/api/check", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m sqlcheck.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+
+	// Content negotiation must also honor real-world Accept headers
+	// (parameters, alternatives), not just the bare media type.
+	req, _ := http.NewRequest("GET", srv.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/json, text/plain;q=0.5")
+	accResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaAccept sqlcheck.Metrics
+	err = json.NewDecoder(accResp.Body).Decode(&viaAccept)
+	accResp.Body.Close()
+	if err != nil {
+		t.Errorf("Accept: application/json did not yield JSON: %v", err)
+	}
+	if m.Cache.Hits == 0 {
+		t.Errorf("batch of repeated statements produced no cache hits: %+v", m.Cache)
+	}
+	if m.Cache.HitRate() == 0 {
+		t.Errorf("hit rate = 0; stats %+v", m.Cache)
+	}
+	if m.Statements.Tasks == 0 || m.Workloads.Tasks == 0 {
+		t.Errorf("pool tasks not counted: %+v / %+v", m.Statements, m.Workloads)
+	}
+
+	text, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer text.Body.Close()
+	raw, err := io.ReadAll(text.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	if ct := text.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	for _, want := range []string{
+		"sqlcheck_cache_hits_total",
+		"sqlcheck_cache_hit_rate",
+		`sqlcheck_pool_in_use{pool="statements"}`,
+		`sqlcheck_phase_seconds_bucket{phase="parse",le="+Inf"}`,
+		`sqlcheck_phase_seconds_count{phase="global"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "sqlcheck_cache_hits_total 0\n") {
+		t.Error("prometheus output reports zero cache hits after repeated batches")
 	}
 }

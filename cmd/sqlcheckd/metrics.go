@@ -1,0 +1,57 @@
+package main
+
+// Prometheus text-format rendering of the checker's metrics snapshot.
+// Hand-rolled on purpose: the exposition format is a dozen lines of
+// printf and not worth a client-library dependency for one endpoint.
+
+import (
+	"fmt"
+	"io"
+
+	"sqlcheck"
+)
+
+// writePrometheus renders the snapshot in Prometheus text exposition
+// format (version 0.0.4). Metric names and semantics are documented
+// in DESIGN.md's /metrics reference.
+func writePrometheus(w io.Writer, m sqlcheck.Metrics) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("sqlcheck_cache_hits_total", "Parse cache hits.", m.Cache.Hits)
+	counter("sqlcheck_cache_misses_total", "Parse cache misses.", m.Cache.Misses)
+	counter("sqlcheck_cache_evictions_total", "Parse cache evictions.", m.Cache.Evictions)
+	gauge("sqlcheck_cache_bytes", "Estimated resident bytes in the parse cache.", m.Cache.Bytes)
+	gauge("sqlcheck_cache_max_bytes", "Parse cache byte budget.", m.Cache.MaxBytes)
+	gauge("sqlcheck_cache_entries", "Entries resident in the parse cache.", int64(m.Cache.Entries))
+	fmt.Fprintf(w, "# HELP sqlcheck_cache_hit_rate Hits over lookups since start.\n# TYPE sqlcheck_cache_hit_rate gauge\nsqlcheck_cache_hit_rate %g\n",
+		m.Cache.HitRate())
+
+	pool := func(label string, p sqlcheck.PoolStats) {
+		fmt.Fprintf(w, "sqlcheck_pool_size{pool=%q} %d\n", label, p.Size)
+		fmt.Fprintf(w, "sqlcheck_pool_in_use{pool=%q} %d\n", label, p.InUse)
+		fmt.Fprintf(w, "sqlcheck_pool_tasks_total{pool=%q} %d\n", label, p.Tasks)
+	}
+	fmt.Fprint(w, "# HELP sqlcheck_pool_size Worker pool bound.\n# TYPE sqlcheck_pool_size gauge\n")
+	fmt.Fprint(w, "# HELP sqlcheck_pool_in_use Pool slots held now (in_use/size = saturation).\n# TYPE sqlcheck_pool_in_use gauge\n")
+	fmt.Fprint(w, "# HELP sqlcheck_pool_tasks_total Cumulative pool slot acquisitions.\n# TYPE sqlcheck_pool_tasks_total counter\n")
+	pool("statements", m.Statements)
+	pool("workloads", m.Workloads)
+
+	fmt.Fprint(w, "# HELP sqlcheck_phase_seconds Wall time per pipeline phase per workload.\n# TYPE sqlcheck_phase_seconds histogram\n")
+	for _, ph := range m.Phases {
+		for _, b := range ph.Buckets {
+			le := "+Inf"
+			if b.LE >= 0 {
+				le = fmt.Sprintf("%g", b.LE)
+			}
+			fmt.Fprintf(w, "sqlcheck_phase_seconds_bucket{phase=%q,le=%q} %d\n", ph.Phase, le, b.Count)
+		}
+		fmt.Fprintf(w, "sqlcheck_phase_seconds_sum{phase=%q} %g\n", ph.Phase, ph.SumSeconds)
+		fmt.Fprintf(w, "sqlcheck_phase_seconds_count{phase=%q} %d\n", ph.Phase, ph.Count)
+	}
+}

@@ -96,6 +96,19 @@ func Build(stmts []sqlast.Statement, db *storage.Database, cfg Config) *Context 
 // in parallel before the global context build). facts must be
 // parallel to stmts.
 func BuildWithFacts(stmts []sqlast.Statement, facts []*qanalyze.Facts, db *storage.Database, cfg Config) *Context {
+	var profiles map[string]*profile.TableProfile
+	if db != nil && cfg.Mode != ModeIntra {
+		profiles = profile.ProfileDatabase(db, cfg.Profile)
+	}
+	return BuildWithProfiles(stmts, facts, db, cfg, profiles)
+}
+
+// BuildWithProfiles constructs the context from pre-computed table
+// profiles — the concurrent pipeline profiles tables in parallel on
+// its worker pool before the global context build, then hands the
+// merged profile map in here. profiles may be nil (no data analysis);
+// keys must be lower-cased table names, as ProfileDatabase produces.
+func BuildWithProfiles(stmts []sqlast.Statement, facts []*qanalyze.Facts, db *storage.Database, cfg Config, profiles map[string]*profile.TableProfile) *Context {
 	ctx := &Context{
 		Config:         cfg,
 		Schema:         schema.NewSchema(),
@@ -119,7 +132,9 @@ func BuildWithFacts(stmts []sqlast.Statement, facts []*qanalyze.Facts, db *stora
 		for _, t := range db.Reflect().Tables() {
 			ctx.Schema.AddTable(t)
 		}
-		ctx.Profiles = profile.ProfileDatabase(db, cfg.Profile)
+	}
+	if profiles != nil {
+		ctx.Profiles = profiles
 	}
 	ctx.index()
 	return ctx

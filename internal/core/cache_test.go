@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// cacheStatements builds n distinct statements of roughly equal size.
+func cacheStatements(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("SELECT col_%04d FROM table_%04d WHERE id = %d", i, i, i)
+	}
+	return out
+}
+
+// TestParseCacheRoundRobinHitRate is the regression test for the old
+// reset-at-capacity cache's pathological case: a round-robin workload
+// of 2x capacity distinct statements used to re-parse everything on
+// every pass (and strict LRU would too — cyclic scans are its worst
+// case). The admission doorkeeper must keep part of the working set
+// resident, so later passes hit.
+func TestParseCacheRoundRobinHitRate(t *testing.T) {
+	stmts := cacheStatements(64)
+	// Budget for roughly half the distinct statements.
+	budget := int64(0)
+	for _, s := range stmts[:32] {
+		budget += entryCost(s)
+	}
+	c := NewParseCache(budget)
+	for pass := 0; pass < 4; pass++ {
+		for _, s := range stmts {
+			c.Parse(s)
+		}
+	}
+	st := c.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("round-robin workload of 2x capacity produced zero hits: %+v", st)
+	}
+	if rate := st.HitRate(); rate < 0.2 {
+		t.Errorf("hit rate = %.3f, want >= 0.2 on the retained half; stats %+v", rate, st)
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Errorf("resident bytes %d exceed bound %d", st.Bytes, st.MaxBytes)
+	}
+}
+
+func TestParseCacheHitsAndBounds(t *testing.T) {
+	c := NewParseCache(1 << 20)
+	const stmt = "SELECT * FROM t WHERE id = 1"
+	first := c.Parse(stmt)
+	again := c.Parse(stmt)
+	if first == nil || again == nil {
+		t.Fatal("Parse returned nil statement")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	if st.Bytes != entryCost(stmt) {
+		t.Errorf("bytes = %d, want %d", st.Bytes, entryCost(stmt))
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", got)
+	}
+}
+
+// TestParseCacheEvicts verifies the byte bound holds under a stream
+// of repeated misses and that evictions are counted.
+func TestParseCacheEvicts(t *testing.T) {
+	stmts := cacheStatements(48)
+	budget := 8 * entryCost(stmts[0])
+	c := NewParseCache(budget)
+	// Two passes: the first fills and primes the doorkeeper, the
+	// second forces admissions (repeated misses) and thus evictions.
+	for pass := 0; pass < 2; pass++ {
+		for _, s := range stmts {
+			c.Parse(s)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Errorf("no evictions recorded: %+v", st)
+	}
+	if st.Bytes > budget {
+		t.Errorf("resident bytes %d exceed budget %d", st.Bytes, budget)
+	}
+}
+
+// TestParseCacheOversizedStatement: an entry larger than the whole
+// budget parses fine but is never admitted.
+func TestParseCacheOversizedStatement(t *testing.T) {
+	c := NewParseCache(256)
+	huge := cacheStatements(1)[0]
+	for len(huge) < 1024 {
+		huge += " OR id = 2"
+	}
+	if got := c.Parse(huge); got == nil {
+		t.Fatal("oversized statement failed to parse")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("oversized statement was admitted: %+v", st)
+	}
+}
+
+// TestParseCacheConcurrent hammers one cache from many goroutines;
+// meaningful under -race.
+func TestParseCacheConcurrent(t *testing.T) {
+	stmts := cacheStatements(32)
+	c := NewParseCache(16 * entryCost(stmts[0]))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Parse(stmts[(g+i)%len(stmts)])
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != 8*200 {
+		t.Errorf("lookups = %d, want %d", st.Hits+st.Misses, 8*200)
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Errorf("resident bytes %d exceed bound %d", st.Bytes, st.MaxBytes)
+	}
+}

@@ -32,6 +32,11 @@ type Options struct {
 	// query-scoped rule on every statement. Kept as the benchmark
 	// baseline and for verifying gate conservatism.
 	NoPrefilter bool
+	// SharedCache, when non-nil, is the parse cache the Engine uses
+	// instead of building a private one — inject one cache into many
+	// engines to share parsed ASTs process-wide. Ignored by the
+	// sequential Detect path, which does not cache.
+	SharedCache *ParseCache
 }
 
 // DefaultOptions returns the standard configuration (full inter-query

@@ -1,0 +1,160 @@
+package core
+
+// Engine observability: per-phase latency histograms and pool
+// saturation counters, cheap enough to stay on in production (atomic
+// adds on the pipeline's phase boundaries, not per statement). The
+// daemon's /metrics endpoint renders these snapshots; nothing here
+// depends on a metrics library.
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Pipeline phase names, in execution order. Each workload passes
+// through all of them; profile is skipped (zero observations) when no
+// database is attached.
+const (
+	PhaseParse      = "parse"       // tokenize + parse + fact extraction fan-out
+	PhaseProfile    = "profile"     // per-table data profiling fan-out
+	PhaseContext    = "context"     // application-context build
+	PhaseQueryRules = "query_rules" // gated per-statement rule evaluation fan-out
+	PhaseGlobal     = "global"      // schema + data rules, dedupe, ordering
+)
+
+// phaseNames fixes the snapshot order.
+var phaseNames = []string{PhaseParse, PhaseProfile, PhaseContext, PhaseQueryRules, PhaseGlobal}
+
+// histBounds are the histogram bucket upper bounds in seconds
+// (powers of four from 1µs to ~4s; an implicit +Inf bucket catches
+// the rest). Log-spaced buckets keep the histogram useful from
+// single-statement parses to multi-table profile phases.
+var histBounds = []float64{
+	1e-6, 4e-6, 16e-6, 64e-6, 256e-6,
+	1024e-6, 4096e-6, 16384e-6, 65536e-6, 262144e-6,
+	1.048576, 4.194304,
+}
+
+// histBucketCount is len(histBounds) plus the +Inf overflow bucket.
+const histBucketCount = 13
+
+// histogram is a fixed-bucket latency histogram with atomic counters.
+type histogram struct {
+	buckets  [histBucketCount]atomic.Int64
+	sumNanos atomic.Int64
+	count    atomic.Int64
+}
+
+func init() {
+	if len(histBounds)+1 != histBucketCount {
+		panic("core: histBucketCount out of sync with histBounds")
+	}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	secs := d.Seconds()
+	i := 0
+	for i < len(histBounds) && secs > histBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sumNanos.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Bucket is one cumulative histogram bucket: Count observations took
+// at most LE seconds (LE < 0 encodes +Inf).
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// PhaseStats snapshots one phase's latency histogram.
+type PhaseStats struct {
+	Phase string `json:"phase"`
+	// Count is the number of observations (workloads that ran the
+	// phase) and SumSeconds their total wall time.
+	Count      int64   `json:"count"`
+	SumSeconds float64 `json:"sum_seconds"`
+	// Buckets are cumulative, Prometheus-style: each entry counts
+	// observations <= LE seconds; the final entry (LE < 0, +Inf)
+	// equals Count.
+	Buckets []Bucket `json:"buckets"`
+}
+
+func (h *histogram) snapshot(name string) PhaseStats {
+	ps := PhaseStats{
+		Phase:      name,
+		Count:      h.count.Load(),
+		SumSeconds: float64(h.sumNanos.Load()) / float64(time.Second),
+	}
+	var cum int64
+	for i := range histBounds {
+		cum += h.buckets[i].Load()
+		ps.Buckets = append(ps.Buckets, Bucket{LE: histBounds[i], Count: cum})
+	}
+	cum += h.buckets[len(histBounds)].Load()
+	ps.Buckets = append(ps.Buckets, Bucket{LE: -1, Count: cum})
+	return ps
+}
+
+// phaseSet holds one histogram per pipeline phase.
+type phaseSet struct {
+	hists map[string]*histogram
+}
+
+func newPhaseSet() *phaseSet {
+	ps := &phaseSet{hists: make(map[string]*histogram, len(phaseNames))}
+	for _, n := range phaseNames {
+		ps.hists[n] = &histogram{}
+	}
+	return ps
+}
+
+// observe times are recorded by the pipeline at phase boundaries.
+func (ps *phaseSet) observe(phase string, d time.Duration) {
+	if h, ok := ps.hists[phase]; ok {
+		h.observe(d)
+	}
+}
+
+func (ps *phaseSet) snapshot() []PhaseStats {
+	out := make([]PhaseStats, 0, len(phaseNames))
+	for _, n := range phaseNames {
+		out = append(out, ps.hists[n].snapshot(n))
+	}
+	return out
+}
+
+// PoolStats snapshots a worker pool: Size is the bound, InUse the
+// slots held at snapshot time (InUse/Size is the saturation gauge),
+// Tasks the cumulative slot acquisitions.
+type PoolStats struct {
+	Size  int   `json:"size"`
+	InUse int   `json:"in_use"`
+	Tasks int64 `json:"tasks"`
+}
+
+// EngineMetrics is a point-in-time snapshot of an engine's
+// observability counters.
+type EngineMetrics struct {
+	// Cache describes the parse cache (shared across engines when
+	// injected via Options.SharedCache).
+	Cache CacheStats `json:"cache"`
+	// Statements is the per-statement worker pool; Workloads bounds
+	// concurrently open batch workloads.
+	Statements PoolStats `json:"statements"`
+	Workloads  PoolStats `json:"workloads"`
+	// Phases holds per-phase latency histograms in pipeline order.
+	Phases []PhaseStats `json:"phases"`
+}
+
+// Metrics snapshots the engine's cache, pools, and phase histograms.
+func (e *Engine) Metrics() EngineMetrics {
+	return EngineMetrics{
+		Cache:      e.cache.Stats(),
+		Statements: e.stmts.Stats(),
+		Workloads:  e.workloads.Stats(),
+		Phases:     e.phases.snapshot(),
+	}
+}

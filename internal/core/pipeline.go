@@ -2,22 +2,30 @@ package core
 
 // Concurrent batched analysis pipeline. The detection algorithm
 // splits cleanly into per-statement work (tokenize, parse, fact
-// extraction, intra-query rule evaluation) and global work (the
-// application-context build, inter-query rules, data rules). An
-// Engine fans the per-statement stages out across a bounded worker
-// pool while keeping the global stages and the final dedupe order
-// identical to the sequential path, so an Engine run returns exactly
-// what Detect returns — just faster on multi-core hardware and on
-// workloads with repeated statements.
+// extraction, intra-query rule evaluation), per-table work (data
+// profiling), and global work (the application-context build,
+// inter-query rules, data rules). An Engine fans the per-statement
+// and per-table stages out across a bounded worker pool while keeping
+// the global stages and the final dedupe order identical to the
+// sequential path, so an Engine run returns exactly what Detect
+// returns — just faster on multi-core hardware, on workloads with
+// repeated statements, and on multi-table databases.
+//
+// The unit of work is a Workload: one SQL script plus an optional
+// attached database and per-workload profile options. Everything else
+// (single checks, string batches) is a special case of
+// DetectWorkloads.
 
 import (
 	"context"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sqlcheck/internal/appctx"
-	"sqlcheck/internal/parser"
+	"sqlcheck/internal/profile"
 	"sqlcheck/internal/qanalyze"
 	"sqlcheck/internal/rules"
 	"sqlcheck/internal/sqlast"
@@ -29,7 +37,8 @@ import (
 // GOMAXPROCS workers; size 1 degenerates to inline sequential
 // execution with no goroutines.
 type Pool struct {
-	sem chan struct{}
+	sem   chan struct{}
+	tasks atomic.Int64
 }
 
 // NewPool builds a pool with n workers (n <= 0 means GOMAXPROCS).
@@ -43,6 +52,16 @@ func NewPool(n int) *Pool {
 // Size returns the worker bound.
 func (p *Pool) Size() int { return cap(p.sem) }
 
+// InUse returns how many slots are held right now; InUse/Size is the
+// pool's saturation gauge.
+func (p *Pool) InUse() int { return len(p.sem) }
+
+// Stats snapshots the pool's bound, current occupancy, and cumulative
+// slot acquisitions.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{Size: p.Size(), InUse: p.InUse(), Tasks: p.tasks.Load()}
+}
+
 // run executes fn inline while holding one pool slot, so sequential
 // stages count against the same bound as fanned-out work. fn must not
 // acquire the same pool.
@@ -52,6 +71,7 @@ func (p *Pool) run(ctx context.Context, fn func()) error {
 		return ctx.Err()
 	case p.sem <- struct{}{}:
 	}
+	p.tasks.Add(1)
 	defer func() { <-p.sem }()
 	fn()
 	return nil
@@ -71,6 +91,7 @@ func (p *Pool) each(ctx context.Context, n int, fn func(i int)) error {
 			select {
 			case <-ctx.Done():
 			case p.sem <- struct{}{}:
+				p.tasks.Add(1)
 				fn(i)
 				<-p.sem
 			}
@@ -82,6 +103,7 @@ func (p *Pool) each(ctx context.Context, n int, fn func(i int)) error {
 		select {
 		case <-ctx.Done():
 		case p.sem <- struct{}{}:
+			p.tasks.Add(1)
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
@@ -94,121 +116,144 @@ func (p *Pool) each(ctx context.Context, n int, fn func(i int)) error {
 	return ctx.Err()
 }
 
-// defaultParseCacheSize bounds the parsed-AST cache. ORM-generated
-// workloads repeat far fewer distinct statements than this.
-const defaultParseCacheSize = 4096
-
-// parseCache memoizes parsed statements keyed by their exact text, so
-// repeated statements — the common case in ORM-generated workloads —
-// parse once. Cached ASTs are shared read-only: every consumer
-// (fact extraction, schema building, rules, the fix engine) either
-// only reads the AST or copies the statement before rewriting it.
-type parseCache struct {
-	mu     sync.RWMutex
-	m      map[string]sqlast.Statement
-	max    int
-	hits   atomic.Int64
-	misses atomic.Int64
-}
-
-func newParseCache(max int) *parseCache {
-	if max <= 0 {
-		max = defaultParseCacheSize
-	}
-	return &parseCache{m: make(map[string]sqlast.Statement), max: max}
-}
-
-func (c *parseCache) parse(text string) sqlast.Statement {
-	c.mu.RLock()
-	s, ok := c.m[text]
-	c.mu.RUnlock()
-	if ok {
-		c.hits.Add(1)
-		return s
-	}
-	c.misses.Add(1)
-	s = parser.Parse(text)
-	c.mu.Lock()
-	if len(c.m) >= c.max {
-		// Epoch reset: dropping the whole map is O(1) amortized and
-		// keeps the cache bounded without tracking recency.
-		c.m = make(map[string]sqlast.Statement, c.max/4)
-	}
-	c.m[text] = s
-	c.mu.Unlock()
-	return s
+// Workload is one unit of batched analysis: a SQL script with an
+// optional attached database (data rules run when present) and
+// optional per-workload profile options overriding the engine's
+// defaults.
+type Workload struct {
+	SQL string
+	DB  *storage.Database
+	// Profile, when non-nil, replaces the engine's sampling options
+	// for this workload only.
+	Profile *profile.Options
 }
 
 // Engine is a reusable concurrent detection pipeline: a bounded
 // worker pool plus a parsed-AST cache shared across runs. One Engine
-// safely serves any number of concurrent DetectSQL and DetectBatch
-// calls, which is what lets a long-running daemon share one pool
-// across requests instead of spawning per-request workers.
+// safely serves any number of concurrent DetectSQL, DetectBatch, and
+// DetectWorkloads calls, which is what lets a long-running daemon
+// share one pool across requests instead of spawning per-request
+// workers.
 type Engine struct {
 	opts Options
-	// stmts bounds per-statement work (parse, facts, query rules);
-	// workloads bounds how many batch workloads are open at once.
-	// Statement slots never wait on workload slots, so the layered
-	// acquisition cannot deadlock.
+	// stmts bounds per-statement and per-table work (parse, facts,
+	// profiling, query rules); workloads bounds how many batch
+	// workloads are open at once. Statement slots never wait on
+	// workload slots, so the layered acquisition cannot deadlock.
 	stmts     *Pool
 	workloads *Pool
-	cache     *parseCache
+	cache     *ParseCache
+	phases    *phaseSet
 }
 
 // NewEngine builds an Engine. concurrency bounds the worker pool
-// (<= 0 means GOMAXPROCS, 1 means sequential).
+// (<= 0 means GOMAXPROCS, 1 means sequential). When
+// opts.SharedCache is non-nil the engine parses through it — the
+// process-wide cache — instead of building a private one.
 func NewEngine(opts Options, concurrency int) *Engine {
 	if opts.MinConfidence == 0 {
 		opts.MinConfidence = 0.5
+	}
+	cache := opts.SharedCache
+	if cache == nil {
+		cache = NewParseCache(DefaultParseCacheBytes)
 	}
 	return &Engine{
 		opts:      opts,
 		stmts:     NewPool(concurrency),
 		workloads: NewPool(concurrency),
-		cache:     newParseCache(0),
+		cache:     cache,
+		phases:    newPhaseSet(),
 	}
 }
 
 // Concurrency returns the engine's worker bound.
 func (e *Engine) Concurrency() int { return e.stmts.Size() }
 
-// CacheStats returns the parse-cache hit and miss counts since the
-// engine was built.
+// ProfileOptions returns the engine's default data-profiling options
+// — the base that per-workload overrides start from.
+func (e *Engine) ProfileOptions() profile.Options { return e.opts.Config.Profile }
+
+// CacheStats returns the parse cache's hit and miss counts. With a
+// shared cache the counts span every engine attached to it.
 func (e *Engine) CacheStats() (hits, misses int64) {
-	return e.cache.hits.Load(), e.cache.misses.Load()
+	st := e.cache.Stats()
+	return st.Hits, st.Misses
 }
 
-// DetectSQL runs the pipeline over one SQL workload. The result is
-// identical to Detect over the same input; the error is non-nil only
-// when ctx is canceled.
-func (e *Engine) DetectSQL(ctx context.Context, sqlText string, db *storage.Database) (*Result, error) {
-	texts := sqltoken.SplitStatements(sqlText)
+// DetectWorkloads analyzes independent workloads concurrently on the
+// shared pool and returns one Result per workload, in input order.
+// Per-statement and per-table work from all workloads interleaves on
+// the statement pool, so a batch mixing a 1000-statement script with
+// ten small ones keeps every worker busy. The error is non-nil only
+// when ctx is canceled, in which case no results are returned.
+func (e *Engine) DetectWorkloads(ctx context.Context, ws []Workload) ([]*Result, error) {
+	out := make([]*Result, len(ws))
+	err := e.workloads.each(ctx, len(ws), func(i int) {
+		r, err := e.detectWorkload(ctx, ws[i])
+		if err != nil {
+			return // ctx canceled; surfaced below
+		}
+		out[i] = r
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// detectWorkload runs the staged pipeline over one workload. Stages
+// observe their wall time into the engine's phase histograms.
+func (e *Engine) detectWorkload(ctx context.Context, w Workload) (*Result, error) {
+	cfg := e.opts.Config
+	if w.Profile != nil {
+		cfg.Profile = *w.Profile
+	}
+
+	texts := sqltoken.SplitStatements(w.SQL)
 	stmts := make([]sqlast.Statement, len(texts))
 	facts := make([]*qanalyze.Facts, len(texts))
 
 	// Stage 1, per statement: tokenize + parse (through the AST
 	// cache) + fact extraction.
+	start := time.Now()
 	if err := e.stmts.each(ctx, len(texts), func(i int) {
-		stmts[i] = e.cache.parse(texts[i])
+		stmts[i] = e.cache.Parse(texts[i])
 		facts[i] = qanalyze.Analyze(stmts[i])
 	}); err != nil {
 		return nil, err
 	}
+	e.phases.observe(PhaseParse, time.Since(start))
 
-	// Stage 2, global: application-context build (schema replay,
-	// cross-statement aggregates, data profiles). Global stages hold
-	// a statement-pool slot so concurrent checks on a shared engine
-	// stay bounded end to end, not just during fan-out.
+	// Stage 2, per table: data profiling fans out on the same pool as
+	// statement work, so a 50-table database profiles with N-way
+	// parallelism instead of serially inside the context build.
+	start = time.Now()
+	profiles, err := e.profileTables(ctx, w.DB, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if profiles != nil {
+		e.phases.observe(PhaseProfile, time.Since(start))
+	}
+
+	// Stage 3, global: application-context build (schema replay,
+	// cross-statement aggregates) over the prebuilt profiles. Global
+	// stages hold a statement-pool slot so concurrent checks on a
+	// shared engine stay bounded end to end, not just during fan-out.
+	start = time.Now()
 	var actx *appctx.Context
 	if err := e.stmts.run(ctx, func() {
-		actx = appctx.BuildWithFacts(stmts, facts, db, e.opts.Config)
+		actx = appctx.BuildWithProfiles(stmts, facts, w.DB, cfg, profiles)
 	}); err != nil {
 		return nil, err
 	}
+	e.phases.observe(PhaseContext, time.Since(start))
 
-	// Stage 3, per statement: query-rule evaluation behind the
+	// Stage 4, per statement: query-rule evaluation behind the
 	// dispatch prefilter. The context is read-only from here on;
 	// per-statement result slots keep ordering deterministic.
+	start = time.Now()
 	all := rules.All()
 	perStmt := make([][]rules.Finding, len(facts))
 	if err := e.stmts.each(ctx, len(facts), func(i int) {
@@ -216,10 +261,12 @@ func (e *Engine) DetectSQL(ctx context.Context, sqlText string, db *storage.Data
 	}); err != nil {
 		return nil, err
 	}
+	e.phases.observe(PhaseQueryRules, time.Since(start))
 
-	// Stage 4, global: inter-query and data rules, then dedupe — in
+	// Stage 5, global: inter-query and data rules, then dedupe — in
 	// the sequential path's exact append order, so results match
 	// Detect byte for byte.
+	start = time.Now()
 	res := &Result{Context: actx}
 	if err := e.stmts.run(ctx, func() {
 		for _, fs := range perStmt {
@@ -230,24 +277,60 @@ func (e *Engine) DetectSQL(ctx context.Context, sqlText string, db *storage.Data
 	}); err != nil {
 		return nil, err
 	}
+	e.phases.observe(PhaseGlobal, time.Since(start))
 	return res, nil
 }
 
-// DetectBatch analyzes independent workloads concurrently on the
-// shared pool and returns one Result per workload, in input order.
-// All workloads see the same optional database. The error is non-nil
-// only when ctx is canceled, in which case no results are returned.
-func (e *Engine) DetectBatch(ctx context.Context, sqls []string, db *storage.Database) ([]*Result, error) {
-	out := make([]*Result, len(sqls))
-	err := e.workloads.each(ctx, len(sqls), func(i int) {
-		r, err := e.DetectSQL(ctx, sqls[i], db)
+// profileTables profiles every table of the workload's database as
+// independent tasks on the statement pool and merges the results in
+// the deterministic lower-cased-name keying the sequential
+// ProfileDatabase uses. A canceled ctx stops mid-profile and returns
+// the context error. Without a database (or in intra mode, which
+// skips data analysis) it returns nil.
+func (e *Engine) profileTables(ctx context.Context, db *storage.Database, cfg appctx.Config) (map[string]*profile.TableProfile, error) {
+	if db == nil || cfg.Mode == appctx.ModeIntra {
+		return nil, nil
+	}
+	tables := db.Tables()
+	tps := make([]*profile.TableProfile, len(tables))
+	if err := e.stmts.each(ctx, len(tables), func(i int) {
+		tp, err := profile.ProfileTableContext(ctx, tables[i], cfg.Profile)
 		if err != nil {
-			return // ctx canceled; surfaced below
+			return // ctx canceled; each surfaces it
 		}
-		out[i] = r
-	})
+		tps[i] = tp
+	}); err != nil {
+		return nil, err
+	}
+	out := make(map[string]*profile.TableProfile, len(tps))
+	for _, tp := range tps {
+		if tp != nil {
+			out[strings.ToLower(tp.Table)] = tp
+		}
+	}
+	return out, nil
+}
+
+// DetectSQL runs the pipeline over one SQL workload. The result is
+// identical to Detect over the same input; the error is non-nil only
+// when ctx is canceled.
+func (e *Engine) DetectSQL(ctx context.Context, sqlText string, db *storage.Database) (*Result, error) {
+	out, err := e.DetectWorkloads(ctx, []Workload{{SQL: sqlText, DB: db}})
 	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	return out[0], nil
+}
+
+// DetectBatch analyzes independent SQL-only workloads concurrently on
+// the shared pool and returns one Result per workload, in input
+// order. All workloads see the same optional database. The error is
+// non-nil only when ctx is canceled, in which case no results are
+// returned.
+func (e *Engine) DetectBatch(ctx context.Context, sqls []string, db *storage.Database) ([]*Result, error) {
+	ws := make([]Workload, len(sqls))
+	for i, s := range sqls {
+		ws[i] = Workload{SQL: s, DB: db}
+	}
+	return e.DetectWorkloads(ctx, ws)
 }

@@ -2,12 +2,17 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"sqlcheck/internal/profile"
+	"sqlcheck/internal/schema"
+	"sqlcheck/internal/storage"
 )
 
 // pipelineCorpus mixes DDL, DML, and anti-patterns so every pipeline
@@ -172,5 +177,202 @@ func TestPoolSizeOneBoundsCallers(t *testing.T) {
 	wg.Wait()
 	if peak.Load() != 1 {
 		t.Errorf("peak concurrent executions = %d, want 1", peak.Load())
+	}
+}
+
+// workloadDB builds a small database with data-rule bait: an MVA
+// list column, a functionally dependent pair, and enough rows for
+// profiling to engage. seed varies content so each workload's
+// database is distinct.
+func workloadDB(seed int) *storage.Database {
+	db := storage.NewDatabase(fmt.Sprintf("wdb%d", seed))
+	tenants := db.CreateTable("tenants", []storage.ColumnDef{
+		{Name: "tenant_id", Class: schema.ClassInteger},
+		{Name: "user_ids", Class: schema.ClassText},
+		{Name: "label", Class: schema.ClassChar},
+	})
+	for i := 0; i < 60; i++ {
+		tenants.MustInsert(
+			storage.Int(int64(i)),
+			storage.Str(fmt.Sprintf("U%d,U%d,U%d", seed+i, seed+i+1, seed+i+2)),
+			storage.Str(fmt.Sprintf("L%d", i%5)),
+		)
+	}
+	orders := db.CreateTable("orders", []storage.ColumnDef{
+		{Name: "id", Class: schema.ClassInteger},
+		{Name: "city", Class: schema.ClassChar},
+		{Name: "zip", Class: schema.ClassChar},
+	})
+	for i := 0; i < 60; i++ {
+		city := fmt.Sprintf("C%d", i%6)
+		orders.MustInsert(storage.Int(int64(i)), storage.Str(city), storage.Str("Z-"+city))
+	}
+	return db
+}
+
+// TestEngineWorkloadsDatabaseAttached is the workload contract: 8+
+// database-attached workloads produce results identical to the
+// sequential path, byte for byte, at concurrency 1 and at high
+// concurrency.
+func TestEngineWorkloadsDatabaseAttached(t *testing.T) {
+	var ws []Workload
+	for i := 0; i < 9; i++ {
+		ws = append(ws, Workload{SQL: pipelineSQL(1), DB: workloadDB(i * 100)})
+	}
+	// Sequential ground truth per workload.
+	want := make([]*Result, len(ws))
+	for i, w := range ws {
+		want[i] = DetectSQL(w.SQL, w.DB, DefaultOptions())
+	}
+	for _, conc := range []int{1, 8} {
+		eng := NewEngine(DefaultOptions(), conc)
+		got, err := eng.DetectWorkloads(context.Background(), ws)
+		if err != nil {
+			t.Fatalf("conc=%d: %v", conc, err)
+		}
+		for i := range ws {
+			if !reflect.DeepEqual(want[i].Findings, got[i].Findings) {
+				t.Errorf("conc=%d workload %d diverges from sequential path", conc, i)
+			}
+			if !got[i].Context.HasData() {
+				t.Errorf("conc=%d workload %d lost its data profiles", conc, i)
+			}
+		}
+	}
+}
+
+// TestEngineWorkloadProfileOverride: per-workload profile options
+// must override the engine defaults for that workload only.
+func TestEngineWorkloadProfileOverride(t *testing.T) {
+	db := workloadDB(0)
+	small := profile.Options{SampleSize: 10}
+	eng := NewEngine(DefaultOptions(), 2)
+	got, err := eng.DetectWorkloads(context.Background(), []Workload{
+		{SQL: `SELECT label FROM tenants`, DB: db, Profile: &small},
+		{SQL: `SELECT label FROM tenants`, DB: db},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := got[0].Context.Profiles["tenants"].RowsSampled; n != 10 {
+		t.Errorf("overridden workload sampled %d rows, want 10", n)
+	}
+	if n := got[1].Context.Profiles["tenants"].RowsSampled; n != 60 {
+		t.Errorf("default workload sampled %d rows, want all 60", n)
+	}
+}
+
+// errAfterCtx cancels itself after a fixed number of Err calls: the
+// pipeline's periodic cancellation checks trip it deterministically
+// mid-run, regardless of machine speed.
+type errAfterCtx struct {
+	context.Context
+	mu    sync.Mutex
+	calls int
+	at    int
+	done  chan struct{}
+}
+
+func newErrAfterCtx(at int) *errAfterCtx {
+	return &errAfterCtx{Context: context.Background(), at: at, done: make(chan struct{})}
+}
+
+func (c *errAfterCtx) Done() <-chan struct{} { return c.done }
+
+func (c *errAfterCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	if c.calls == c.at {
+		close(c.done)
+	}
+	if c.calls >= c.at {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestEngineWorkloadCancelMidProfile: cancellation during the data
+// phase must abandon the profile scan and surface the context error.
+func TestEngineWorkloadCancelMidProfile(t *testing.T) {
+	db := storage.NewDatabase("big")
+	tab := db.CreateTable("big", []storage.ColumnDef{
+		{Name: "id", Class: schema.ClassInteger},
+	})
+	for i := 0; i < 50_000; i++ {
+		tab.MustInsert(storage.Int(int64(i)))
+	}
+	eng := NewEngine(DefaultOptions(), 2)
+	ctx := newErrAfterCtx(8) // trips during the 50k-row profile scan
+	_, err := eng.DetectWorkloads(ctx, []Workload{{SQL: `SELECT id FROM big`, DB: db}})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestEngineSharedCache: two engines pointed at one injected cache
+// share parsed ASTs — the second engine's identical workload is all
+// hits.
+func TestEngineSharedCache(t *testing.T) {
+	shared := NewParseCache(1 << 20)
+	opts := DefaultOptions()
+	opts.SharedCache = shared
+	sql := pipelineSQL(1)
+
+	engA := NewEngine(opts, 2)
+	if _, err := engA.DetectSQL(context.Background(), sql, nil); err != nil {
+		t.Fatal(err)
+	}
+	missesAfterA := shared.Stats().Misses
+
+	engB := NewEngine(opts, 2)
+	if _, err := engB.DetectSQL(context.Background(), sql, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := shared.Stats()
+	if st.Misses != missesAfterA {
+		t.Errorf("second engine re-parsed: misses %d -> %d", missesAfterA, st.Misses)
+	}
+	if st.Hits < int64(len(pipelineCorpus)) {
+		t.Errorf("hits = %d, want >= %d", st.Hits, len(pipelineCorpus))
+	}
+	if h, m := engB.CacheStats(); h != st.Hits || m != st.Misses {
+		t.Errorf("engine CacheStats (%d,%d) disagrees with shared cache (%d,%d)", h, m, st.Hits, st.Misses)
+	}
+}
+
+// TestEngineMetrics: after a database-attached run every phase has
+// observations and the pool counters are coherent.
+func TestEngineMetrics(t *testing.T) {
+	eng := NewEngine(DefaultOptions(), 2)
+	if _, err := eng.DetectWorkloads(context.Background(), []Workload{
+		{SQL: pipelineSQL(1), DB: workloadDB(7)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m := eng.Metrics()
+	if m.Statements.Size != 2 || m.Workloads.Size != 2 {
+		t.Errorf("pool sizes = %+v / %+v", m.Statements, m.Workloads)
+	}
+	if m.Statements.Tasks == 0 || m.Workloads.Tasks != 1 {
+		t.Errorf("task counts = %d stmts / %d workloads", m.Statements.Tasks, m.Workloads.Tasks)
+	}
+	if m.Cache.Misses == 0 {
+		t.Errorf("cache = %+v", m.Cache)
+	}
+	seen := map[string]PhaseStats{}
+	for _, ph := range m.Phases {
+		seen[ph.Phase] = ph
+	}
+	for _, name := range []string{PhaseParse, PhaseProfile, PhaseContext, PhaseQueryRules, PhaseGlobal} {
+		ph, ok := seen[name]
+		if !ok || ph.Count == 0 {
+			t.Errorf("phase %s has no observations: %+v", name, ph)
+			continue
+		}
+		last := ph.Buckets[len(ph.Buckets)-1]
+		if last.LE >= 0 || last.Count != ph.Count {
+			t.Errorf("phase %s +Inf bucket %+v, want cumulative count %d", name, last, ph.Count)
+		}
 	}
 }

@@ -8,6 +8,7 @@
 package profile
 
 import (
+	"context"
 	"regexp"
 	"sort"
 	"strings"
@@ -192,15 +193,35 @@ func delimListLike(s string) bool {
 	return false
 }
 
+// cancelCheckRows is how many scanned rows pass between context
+// checks during sampling; small enough that canceling a request stops
+// a large-table profile promptly, large enough that the check is
+// noise against per-row work.
+const cancelCheckRows = 1024
+
 // Sample draws a deterministic reservoir sample of row values from a
 // table.
 func Sample(t *storage.Table, opts Options) []storage.Row {
+	rows, _ := sampleContext(context.Background(), t, opts)
+	return rows
+}
+
+// sampleContext is Sample with cancellation: the full-table scan
+// behind the reservoir checks ctx every cancelCheckRows rows and
+// stops early with ctx.Err() when canceled.
+func sampleContext(ctx context.Context, t *storage.Table, opts Options) ([]storage.Row, error) {
 	opts = opts.withDefaults()
 	r := xrand.New(opts.Seed)
 	var reservoir []storage.Row
 	n := 0
-	t.Scan(func(id int64, row storage.Row) bool {
+	// ScanReadOnly: profiling is analysis, not a measured workload
+	// query — it must not charge the cost model or mutate buffer-pool
+	// state, and the engine profiles tables concurrently.
+	t.ScanReadOnly(func(id int64, row storage.Row) bool {
 		n++
+		if n%cancelCheckRows == 0 && ctx.Err() != nil {
+			return false
+		}
 		if len(reservoir) < opts.SampleSize {
 			reservoir = append(reservoir, row.Clone())
 			return true
@@ -210,13 +231,28 @@ func Sample(t *storage.Table, opts Options) []storage.Row {
 		}
 		return true
 	})
-	return reservoir
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return reservoir, nil
 }
 
 // ProfileTable profiles one storage table.
 func ProfileTable(t *storage.Table, opts Options) *TableProfile {
+	tp, _ := ProfileTableContext(context.Background(), t, opts)
+	return tp
+}
+
+// ProfileTableContext is ProfileTable with cancellation: the sampling
+// scan checks ctx periodically, and the function returns ctx.Err()
+// (and no profile) when the context is canceled mid-profile. With an
+// uncanceled context the result is identical to ProfileTable.
+func ProfileTableContext(ctx context.Context, t *storage.Table, opts Options) (*TableProfile, error) {
 	opts = opts.withDefaults()
-	rows := Sample(t, opts)
+	rows, err := sampleContext(ctx, t, opts)
+	if err != nil {
+		return nil, err
+	}
 	tp := &TableProfile{Table: t.Name, RowsSampled: len(rows), TotalRows: t.Len(), opts: opts}
 
 	type colState struct {
@@ -304,9 +340,18 @@ func ProfileTable(t *storage.Table, opts Options) *TableProfile {
 		}
 	}
 
+	// The cross-column passes below run over the bounded sample, but
+	// on wide tables they are quadratic in columns — re-check before
+	// each so cancellation stays prompt end to end.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	tp.findFDs(t, rows)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	tp.findDerivations(t, rows)
-	return tp
+	return tp, nil
 }
 
 // ProfileDatabase profiles every table.

@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -259,5 +260,61 @@ func TestTimeValuesTZCounting(t *testing.T) {
 	}
 	if tp.Column("at_tz").DateTimeTZ != 10 {
 		t.Errorf("tz count = %d", tp.Column("at_tz").DateTimeTZ)
+	}
+}
+
+// countingCtx is a context whose Err flips to Canceled after a fixed
+// number of Err calls — a deterministic stand-in for "the client went
+// away mid-scan" that lets the test prove both the periodicity of the
+// cancellation checks and the promptness of the stop without timing.
+type countingCtx struct {
+	context.Context
+	calls    int
+	cancelAt int
+}
+
+func (c *countingCtx) Err() error {
+	c.calls++
+	if c.calls >= c.cancelAt {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestProfileTableContextCancelsMidScan: a profile of a large table
+// must stop promptly when the context is canceled partway through the
+// sampling scan, returning ctx.Err() and no profile.
+func TestProfileTableContextCancelsMidScan(t *testing.T) {
+	const rows = 100_000
+	_, tab := tbl("big",
+		storage.ColumnDef{Name: "id", Class: schema.ClassInteger},
+		storage.ColumnDef{Name: "name", Class: schema.ClassChar})
+	for i := 0; i < rows; i++ {
+		tab.MustInsert(storage.Int(int64(i)), storage.Str(fmt.Sprintf("n%d", i)))
+	}
+
+	// Cancel on the third periodic check: the scan must abandon the
+	// remaining ~97k rows rather than finish the pass.
+	ctx := &countingCtx{Context: context.Background(), cancelAt: 3}
+	tp, err := ProfileTableContext(ctx, tab, Options{})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if tp != nil {
+		t.Fatalf("canceled profile returned a result: %+v", tp)
+	}
+	// The scan checks every cancelCheckRows rows; hitting cancelAt=3
+	// after only a few checks proves it did not scan the whole table.
+	if maxChecks := rows/cancelCheckRows + 4; ctx.calls > maxChecks {
+		t.Errorf("Err() called %d times; cancellation checks not periodic?", ctx.calls)
+	}
+	if ctx.calls > 8 {
+		t.Errorf("Err() called %d times after cancellation; scan did not stop promptly", ctx.calls)
+	}
+
+	// Sanity: the same profile with a live context completes.
+	tp, err = ProfileTableContext(context.Background(), tab, Options{})
+	if err != nil || tp == nil || tp.TotalRows != rows {
+		t.Fatalf("uncanceled profile: tp=%v err=%v", tp, err)
 	}
 }

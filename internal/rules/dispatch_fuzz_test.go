@@ -1,0 +1,172 @@
+package rules_test
+
+// Gate-conservatism fuzz and property tests. The dispatch prefilter's
+// contract is that a gate may admit a statement its detector then
+// rejects, but must never reject a statement the detector would flag
+// — otherwise gated dispatch silently loses findings. The property is
+// checked two ways: a Go fuzz target seeded with handwritten edge
+// cases (runs its seed corpus under plain `go test`, explores under
+// `go test -fuzz`), and a deterministic sweep over the randomized
+// generator corpus that stands in for the paper's GitHub data set.
+//
+// This lives in package rules_test because the generator corpus
+// imports package rules; an in-package test would be an import cycle.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sqlcheck/internal/appctx"
+	"sqlcheck/internal/corpus"
+	"sqlcheck/internal/parser"
+	"sqlcheck/internal/qanalyze"
+	"sqlcheck/internal/rules"
+)
+
+// assertGateConservative checks one workload: for every statement,
+// the findings produced through gated dispatch must equal the
+// findings of a full catalog scan — same rules, same order.
+func assertGateConservative(t *testing.T, sqlText string) {
+	t.Helper()
+	stmts := parser.ParseAll(sqlText)
+	if len(stmts) == 0 {
+		return
+	}
+	ctx := appctx.Build(stmts, nil, appctx.DefaultConfig())
+	all := rules.All()
+	for qi, f := range ctx.Facts {
+		gated := findingsVia(rules.QueryRulesFor(f, all, nil), qi, f, ctx)
+		full := findingsVia(queryRules(all), qi, f, ctx)
+		if !reflect.DeepEqual(gated, full) {
+			t.Errorf("gated dispatch diverges from full scan on %q:\ngated: %v\nfull:  %v",
+				f.Raw, summarize(gated), summarize(full))
+		}
+	}
+}
+
+// queryRules returns every rule with a query detector — the ungated
+// full-scan candidate set.
+func queryRules(all []*rules.Rule) []*rules.Rule {
+	var out []*rules.Rule
+	for _, r := range all {
+		if r.DetectQuery != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// findingsVia runs the candidate rules over one statement in catalog
+// order, mirroring core's dispatch loop.
+func findingsVia(candidates []*rules.Rule, qi int, f *qanalyze.Facts, ctx *appctx.Context) []rules.Finding {
+	var out []rules.Finding
+	for _, r := range candidates {
+		if r.DetectQuery == nil {
+			continue
+		}
+		out = append(out, r.DetectQuery(qi, f, ctx)...)
+	}
+	return out
+}
+
+func summarize(fs []rules.Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.RuleID)
+	}
+	return out
+}
+
+// FuzzDispatchGateConservatism explores arbitrary statement text. The
+// parser never fails — unmodeled input degrades to raw statements —
+// so every mutation exercises the gates against the detectors.
+func FuzzDispatchGateConservatism(f *testing.F) {
+	seeds := []string{
+		`SELECT * FROM users`,
+		`SELECT id FROM users WHERE email LIKE '%@example.com'`,
+		`SELECT DISTINCT a.x FROM a JOIN b ON a.id = b.id JOIN c ON b.id = c.id`,
+		`SELECT * FROM t ORDER BY RAND() LIMIT 5`,
+		`CREATE TABLE t (id INT PRIMARY KEY, total FLOAT, stuff TEXT)`,
+		`CREATE TABLE kv (entity VARCHAR, attr VARCHAR, value TEXT)`,
+		`CREATE TABLE files (id INT, path VARCHAR(255))`,
+		`CREATE INDEX idx ON t (id)`,
+		`INSERT INTO users VALUES (1, 'a', 'b')`,
+		`INSERT INTO users (id, name) SELECT id, name FROM old_users`,
+		`UPDATE t SET x = NULL WHERE y != NULL`,
+		`DELETE FROM t WHERE id IN (SELECT id FROM u)`,
+		`SELECT COALESCE(a, b, c) FROM t GROUP BY a HAVING COUNT(*) > 1`,
+		`SELECT price * 0.01 FROM products WHERE round(price, 2) > 10`,
+		`DROP TABLE IF EXISTS archive_2019`,
+		`-- just a comment`,
+		`;;;`,
+		``,
+	}
+	// A slice of the generator corpus seeds realistic shapes.
+	c := corpus.GitHub(corpus.GitHubOptions{Repos: 2, Seed: 7, MinStatements: 10, MaxStatements: 10})
+	for _, repo := range c.Repos {
+		seeds = append(seeds, repo.Statements...)
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sqlText string) {
+		if len(sqlText) > 1<<16 {
+			return // keep the parser's worst case bounded per exec
+		}
+		assertGateConservative(t, sqlText)
+	})
+}
+
+// TestDispatchGateConservatismOverCorpus sweeps whole randomized
+// repositories — statements analyzed together, so contextual
+// refinement paths (schema present, cross-query aggregates) are
+// exercised too, not just isolated statements.
+func TestDispatchGateConservatismOverCorpus(t *testing.T) {
+	c := corpus.GitHub(corpus.GitHubOptions{Repos: 12, Seed: 99})
+	for _, repo := range c.Repos {
+		var sqlText string
+		for _, s := range repo.Statements {
+			sqlText += s + ";\n"
+		}
+		t.Run(repo.Name, func(t *testing.T) {
+			assertGateConservative(t, sqlText)
+		})
+	}
+}
+
+// TestDispatchGateRejectionMeansNoFindings is the sharper per-rule
+// form: any rule whose gate rejects a statement must produce zero
+// findings on it. Failures name the offending rule directly.
+func TestDispatchGateRejectionMeansNoFindings(t *testing.T) {
+	c := corpus.GitHub(corpus.GitHubOptions{Repos: 6, Seed: 3})
+	all := rules.All()
+	checked := 0
+	for _, repo := range c.Repos {
+		var sqlText string
+		for _, s := range repo.Statements {
+			sqlText += s + ";\n"
+		}
+		stmts := parser.ParseAll(sqlText)
+		ctx := appctx.Build(stmts, nil, appctx.DefaultConfig())
+		for qi, f := range ctx.Facts {
+			admitted := map[string]bool{}
+			for _, r := range rules.QueryRulesFor(f, all, nil) {
+				admitted[r.ID] = true
+			}
+			for _, r := range all {
+				if r.DetectQuery == nil || admitted[r.ID] {
+					continue
+				}
+				if got := r.DetectQuery(qi, f, ctx); len(got) > 0 {
+					t.Errorf("rule %s: gate rejected %q but detector found %s",
+						r.ID, f.Raw, fmt.Sprint(summarize(got)))
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no (statement, rejected rule) pairs checked; corpus empty?")
+	}
+}

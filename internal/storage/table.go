@@ -460,6 +460,23 @@ func (t *Table) Scan(fn func(id int64, r Row) bool) {
 	}
 }
 
+// ScanReadOnly iterates all live rows in physical order without
+// touching the simulated buffer pool. The cost model exists to
+// measure workload queries; analysis-side readers (the data profiler)
+// use this scan so they neither skew the I/O statistics nor mutate
+// pool state — which makes it safe for any number of concurrent
+// readers, as long as no DML runs during analysis.
+func (t *Table) ScanReadOnly(fn func(id int64, r Row) bool) {
+	for id := int64(0); id < int64(len(t.rows)); id++ {
+		if t.rows[id] == nil {
+			continue
+		}
+		if !fn(id, t.rows[id]) {
+			return
+		}
+	}
+}
+
 // Update replaces the row with the given id, re-checking constraints
 // and maintaining indexes.
 func (t *Table) Update(id int64, newRow Row) error {

@@ -82,10 +82,39 @@ type Options struct {
 	SampleSize int
 	// Concurrency bounds the analysis worker pool shared by every
 	// check made through the Checker — CheckSQL, CheckApplication,
-	// and CheckBatch all draw per-statement work from the same pool.
-	// 0 uses GOMAXPROCS; 1 runs sequentially.
+	// CheckBatch, and CheckWorkloads all draw per-statement and
+	// per-table work from the same pool. 0 uses GOMAXPROCS; 1 runs
+	// sequentially.
 	Concurrency int
+	// SharedCache, when non-nil, replaces the Checker's private
+	// parsed-statement cache: point several Checkers (or a daemon and
+	// its batch callers) at one NewCache so repeated statements parse
+	// once per process, not once per Checker.
+	SharedCache *Cache
 }
+
+// Cache is a process-shareable parsed-statement cache, bounded by
+// estimated resident bytes and evicting least-recently-used entries
+// first (with an admission filter that keeps cyclic over-capacity
+// workloads from flushing it). A Cache is safe for concurrent use by
+// any number of Checkers.
+type Cache struct {
+	inner *core.ParseCache
+}
+
+// NewCache builds a cache bounded by maxBytes of estimated parsed-AST
+// residency; <= 0 selects the default (32 MiB).
+func NewCache(maxBytes int64) *Cache {
+	return &Cache{inner: core.NewParseCache(maxBytes)}
+}
+
+// Stats snapshots the cache's counters.
+func (c *Cache) Stats() CacheStats { return c.inner.Stats() }
+
+// CacheStats is a point-in-time snapshot of a parse cache: lookup
+// counters, eviction count, and estimated resident bytes against the
+// configured bound.
+type CacheStats = core.CacheStats
 
 // Checker runs the detect → rank → fix pipeline. A Checker is safe
 // for concurrent use: all checks share one bounded worker pool and
@@ -220,24 +249,62 @@ func (c *Checker) CheckApplicationContext(ctx context.Context, sql string, db *D
 	if strings.TrimSpace(sql) == "" && db == nil {
 		return nil, errors.New("sqlcheck: nothing to analyze")
 	}
-	res, err := c.engine().DetectSQL(ctx, sql, innerDB(db))
+	reports, err := c.CheckWorkloads(ctx, []Workload{{SQL: sql, DB: db}})
 	if err != nil {
 		return nil, err
 	}
-	return c.buildReport(res), nil
+	return reports[0], nil
 }
 
-// CheckBatch analyzes independent SQL workloads — one script per
-// repository or application, the paper's unit of evaluation —
-// concurrently on the Checker's shared pool, and returns one ranked
-// Report per workload in input order. A blank workload yields an
-// empty report rather than failing the batch. The error is non-nil
-// only for an empty batch or a canceled ctx.
-func (c *Checker) CheckBatch(ctx context.Context, workloads []string) ([]*Report, error) {
+// Workload is one unit of batched analysis: a SQL script — one per
+// repository or application, the paper's unit of evaluation — with an
+// optional attached database (data rules run when present) and
+// optional per-workload profile overrides.
+type Workload struct {
+	// SQL is the workload's statement script.
+	SQL string
+	// DB, when non-nil, attaches a live database: the data-analysis
+	// phase profiles its tables (in parallel, on the Checker's pool)
+	// and the data rules run. Attaching the same *Database to several
+	// workloads is safe; analysis only reads it.
+	DB *Database
+	// SampleSize overrides Options.SampleSize for this workload
+	// (0 keeps the Checker's setting).
+	SampleSize int
+	// ProfileSeed overrides the deterministic sampling seed for this
+	// workload (0 keeps the default seed).
+	ProfileSeed uint64
+}
+
+// CheckWorkloads analyzes independent workloads concurrently on the
+// Checker's shared pool and returns one ranked Report per workload in
+// input order. Statement parsing, per-table data profiling, and rule
+// evaluation from all workloads interleave on the same bounded
+// worker pool, so large and small workloads batch together without
+// oversubscribing the host; reports are identical at any Concurrency
+// setting. A blank workload yields an empty report rather than
+// failing the batch. The error is non-nil only for an empty batch or
+// a canceled ctx — in which case it is ctx.Err().
+func (c *Checker) CheckWorkloads(ctx context.Context, workloads []Workload) ([]*Report, error) {
 	if len(workloads) == 0 {
 		return nil, errors.New("sqlcheck: no workloads")
 	}
-	results, err := c.engine().DetectBatch(ctx, workloads, nil)
+	cws := make([]core.Workload, len(workloads))
+	for i, w := range workloads {
+		cw := core.Workload{SQL: w.SQL, DB: innerDB(w.DB)}
+		if w.SampleSize > 0 || w.ProfileSeed != 0 {
+			p := c.engine().ProfileOptions()
+			if w.SampleSize > 0 {
+				p.SampleSize = w.SampleSize
+			}
+			if w.ProfileSeed != 0 {
+				p.Seed = w.ProfileSeed
+			}
+			cw.Profile = &p
+		}
+		cws[i] = cw
+	}
+	results, err := c.engine().DetectWorkloads(ctx, cws)
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +314,34 @@ func (c *Checker) CheckBatch(ctx context.Context, workloads []string) ([]*Report
 	}
 	return reports, nil
 }
+
+// CheckBatch analyzes independent SQL-only workloads concurrently; it
+// is CheckWorkloads over scripts with no attached databases, kept for
+// callers that batch plain text.
+func (c *Checker) CheckBatch(ctx context.Context, workloads []string) ([]*Report, error) {
+	ws := make([]Workload, len(workloads))
+	for i, sql := range workloads {
+		ws[i] = Workload{SQL: sql}
+	}
+	return c.CheckWorkloads(ctx, ws)
+}
+
+// Metrics snapshots the Checker's observability counters: parse-cache
+// hit/miss/eviction/bytes, worker-pool saturation, and per-phase
+// latency histograms. Safe to call concurrently with checks; the
+// daemon's /metrics endpoint is a rendering of this snapshot.
+func (c *Checker) Metrics() Metrics { return c.engine().Metrics() }
+
+// Metrics aliases the engine snapshot: cache, pools, and phase
+// histograms.
+type Metrics = core.EngineMetrics
+
+// PoolStats describes one worker pool's bound, instantaneous
+// occupancy, and cumulative task count.
+type PoolStats = core.PoolStats
+
+// PhaseStats is one pipeline phase's latency histogram.
+type PhaseStats = core.PhaseStats
 
 // engine lazily builds the Checker's shared analysis engine.
 func (c *Checker) engine() *core.Engine {
@@ -276,6 +371,9 @@ func (c *Checker) coreOptions() core.Options {
 		opts.Config.Profile.SampleSize = c.opts.SampleSize
 	}
 	opts.Rules = c.opts.Rules
+	if c.opts.SharedCache != nil {
+		opts.SharedCache = c.opts.SharedCache.inner
+	}
 	return opts
 }
 

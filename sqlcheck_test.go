@@ -3,6 +3,7 @@ package sqlcheck
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -440,4 +441,152 @@ func TestCheckerConcurrentUse(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// workloadFixture builds a database with data-rule bait: a
+// comma-separated list column (multi-valued attribute), numbers
+// stored as text, and a functionally dependent column pair.
+func workloadFixture(t *testing.T, seed int) *Database {
+	t.Helper()
+	db := NewDatabase("fixture")
+	db.MustExec(`CREATE TABLE tenants (id INT PRIMARY KEY, user_ids TEXT, region VARCHAR)`)
+	db.MustExec(`CREATE TABLE readings (id INT PRIMARY KEY, val TEXT, city VARCHAR, zip VARCHAR)`)
+	for i := 0; i < 40; i++ {
+		db.MustExec(fmt.Sprintf(
+			`INSERT INTO tenants VALUES (%d, 'U%d,U%d,U%d', 'R%d')`,
+			i, seed+i, seed+i+1, seed+i+2, i%4))
+		db.MustExec(fmt.Sprintf(
+			`INSERT INTO readings VALUES (%d, '%d', 'C%d', 'Z-%d')`,
+			i, seed+i*3, i%5, i%5))
+	}
+	return db
+}
+
+// TestCheckWorkloadsIdenticalAcrossConcurrency is the workload-API
+// contract: 8+ database-attached workloads produce byte-identical
+// reports at Concurrency 1 and at full width.
+func TestCheckWorkloadsIdenticalAcrossConcurrency(t *testing.T) {
+	var workloads []Workload
+	for i := 0; i < 9; i++ {
+		workloads = append(workloads, Workload{
+			SQL: fmt.Sprintf(`
+				SELECT * FROM tenants WHERE user_ids LIKE '%%U%d%%';
+				SELECT region FROM tenants t JOIN readings r ON t.id = r.id;
+				SELECT val FROM readings WHERE city = 'C%d';`, i, i%5),
+			DB: workloadFixture(t, i*1000),
+		})
+	}
+	seq, err := New(Options{Concurrency: 1}).CheckWorkloads(context.Background(), workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New().CheckWorkloads(context.Background(), workloads) // GOMAXPROCS
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(workloads) || len(par) != len(workloads) {
+		t.Fatalf("report counts: seq=%d par=%d, want %d", len(seq), len(par), len(workloads))
+	}
+	for i := range workloads {
+		sj, _ := json.Marshal(seq[i])
+		pj, _ := json.Marshal(par[i])
+		if string(sj) != string(pj) {
+			t.Errorf("workload %d: sequential and parallel reports differ\nseq: %s\npar: %s", i, sj, pj)
+		}
+		if len(seq[i].Findings) == 0 {
+			t.Errorf("workload %d produced no findings; fixture bait missed", i)
+		}
+	}
+	// The data phase must actually have run: the MVA list column is
+	// only confirmable from data.
+	if !seq[0].Has("multi-valued-attribute") {
+		t.Errorf("data rules did not run; findings = %+v", seq[0].Findings)
+	}
+}
+
+// TestCheckWorkloadsSampleSizeOverride: the per-workload option must
+// override the Checker-wide SampleSize.
+func TestCheckWorkloadsSampleSizeOverride(t *testing.T) {
+	db := workloadFixture(t, 0)
+	checker := New(Options{SampleSize: 500})
+	reports, err := checker.CheckWorkloads(context.Background(), []Workload{
+		{SQL: `SELECT region FROM tenants`, DB: db, SampleSize: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].Statements != 1 {
+		t.Errorf("statements = %d", reports[0].Statements)
+	}
+	// The profile itself is internal; observe the override through
+	// metrics instead: the run must have recorded a profile phase.
+	m := checker.Metrics()
+	for _, ph := range m.Phases {
+		if ph.Phase == "profile" && ph.Count == 0 {
+			t.Errorf("profile phase not observed: %+v", ph)
+		}
+	}
+}
+
+// TestCheckWorkloadsCanceled: CheckWorkloads must return ctx.Err()
+// when the request context is canceled.
+func TestCheckWorkloadsCanceled(t *testing.T) {
+	db := workloadFixture(t, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := New().CheckWorkloads(ctx, []Workload{{SQL: `SELECT 1`, DB: db}})
+	if err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCheckWorkloadsEmptyBatch mirrors CheckBatch's contract.
+func TestCheckWorkloadsEmptyBatch(t *testing.T) {
+	if _, err := New().CheckWorkloads(context.Background(), nil); err == nil {
+		t.Error("empty batch should error")
+	}
+}
+
+// TestSharedCacheAcrossCheckers: two Checkers with one injected Cache
+// parse a repeated workload once.
+func TestSharedCacheAcrossCheckers(t *testing.T) {
+	cache := NewCache(1 << 20)
+	sql := `CREATE TABLE t (id INT PRIMARY KEY); SELECT * FROM t ORDER BY RAND();`
+	a := New(Options{SharedCache: cache})
+	if _, err := a.CheckSQL(sql); err != nil {
+		t.Fatal(err)
+	}
+	missesAfterA := cache.Stats().Misses
+	b := New(Options{SharedCache: cache})
+	if _, err := b.CheckSQL(sql); err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Misses != missesAfterA {
+		t.Errorf("second Checker re-parsed: misses %d -> %d", missesAfterA, st.Misses)
+	}
+	if st.Hits == 0 || st.Entries == 0 || st.Bytes == 0 {
+		t.Errorf("shared cache unused: %+v", st)
+	}
+}
+
+// TestCheckerMetrics: the public snapshot is coherent after a check.
+func TestCheckerMetrics(t *testing.T) {
+	checker := New(Options{Concurrency: 2})
+	if _, err := checker.CheckSQL(`SELECT * FROM t ORDER BY RAND()`); err != nil {
+		t.Fatal(err)
+	}
+	m := checker.Metrics()
+	if m.Statements.Size != 2 || m.Statements.Tasks == 0 {
+		t.Errorf("statement pool = %+v", m.Statements)
+	}
+	if m.Cache.Misses == 0 {
+		t.Errorf("cache = %+v", m.Cache)
+	}
+	if len(m.Phases) == 0 {
+		t.Error("no phase histograms")
+	}
+	if _, err := json.Marshal(m); err != nil {
+		t.Errorf("metrics must be JSON-serializable: %v", err)
+	}
 }
