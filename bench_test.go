@@ -298,6 +298,56 @@ func BenchmarkProfileParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkRegistryReuse measures the daemon registry's reason to
+// exist: analyzing a database-attached workload against a registered
+// database (fixture DDL/DML executed once, per-request cost is a
+// copy-on-write snapshot) versus rebuilding the fixture from SQL on
+// every request, as the inline `fixture` path does. The gap is the
+// per-request fixture replay the registry amortizes away.
+func BenchmarkRegistryReuse(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("CREATE TABLE tenants (id INT PRIMARY KEY, name TEXT, user_ids TEXT);\n")
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&sb, "INSERT INTO tenants VALUES (%d, 'tenant-%d', 'U%d,U%d,U%d');\n",
+			i, i, i, i+300, i+600)
+	}
+	fixture := sb.String()
+	const workloadSQL = `SELECT * FROM tenants WHERE user_ids LIKE '%U7%'`
+
+	b.Run("registered", func(b *testing.B) {
+		checker := New()
+		db := NewDatabase("bench")
+		if err := db.ExecScript(fixture); err != nil {
+			b.Fatal(err)
+		}
+		if err := checker.RegisterDatabase("bench", db); err != nil {
+			b.Fatal(err)
+		}
+		workloads := []Workload{{SQL: workloadSQL, DBName: "bench"}}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := checker.CheckWorkloads(context.Background(), workloads); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("inline", func(b *testing.B) {
+		checker := New()
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			db := NewDatabase("bench")
+			if err := db.ExecScript(fixture); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := checker.CheckWorkloads(context.Background(), []Workload{{SQL: workloadSQL, DB: db}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // cleanCRUD builds a production-shaped workload: simple lookups and
 // writes with no anti-patterns, where the dispatch prefilter should
 // skip nearly the whole catalog per statement.

@@ -1,0 +1,293 @@
+package main
+
+// End-to-end daemon lifecycle tests for the database registry:
+// register -> batch-check (reused fixture) -> concurrent DML during
+// profiling -> delete, plus the 404/409/malformed-fixture error
+// paths. These drive the real HTTP surface against a live handler so
+// they exercise routing, status mapping, snapshot isolation, and the
+// /metrics counters together.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"sqlcheck"
+)
+
+// e2eServer returns a test server plus the checker behind it, so
+// tests can reach the live database handle the way an embedding
+// application would.
+func e2eServer(t *testing.T) (*httptest.Server, *sqlcheck.Checker) {
+	t.Helper()
+	checker := sqlcheck.New()
+	srv := httptest.NewServer(NewHandler(checker))
+	t.Cleanup(srv.Close)
+	return srv, checker
+}
+
+// tenantsFixture builds a table whose content trips the
+// multi-valued-attribute data rule. The primary-key inserts double as
+// the executes-exactly-once sentinel: re-running the script would
+// fail on duplicate keys and change the row count.
+func tenantsFixture() string {
+	var sb strings.Builder
+	sb.WriteString("CREATE TABLE tenants (id INT PRIMARY KEY, name TEXT, user_ids TEXT);")
+	for i := 1; i <= 20; i++ {
+		fmt.Fprintf(&sb, "INSERT INTO tenants VALUES (%d, 'tenant-%d', 'U%d,U%d,U%d');", i, i, i, i+20, i+40)
+	}
+	return sb.String()
+}
+
+func do(t *testing.T, method, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func registerFixture(t *testing.T, srv *httptest.Server, name, fixture string) DatabaseInfo {
+	t.Helper()
+	body, _ := json.Marshal(RegisterRequest{Fixture: fixture})
+	resp, raw := do(t, "POST", srv.URL+"/api/databases/"+name, string(body))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register %s: status = %d, body %s", name, resp.StatusCode, raw)
+	}
+	var info DatabaseInfo
+	if err := json.Unmarshal(raw, &info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func daemonMetrics(t *testing.T, srv *httptest.Server) sqlcheck.Metrics {
+	t.Helper()
+	resp, raw := do(t, "GET", srv.URL+"/metrics?format=json", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status = %d", resp.StatusCode)
+	}
+	var m sqlcheck.Metrics
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestRegistryLifecycleEndToEnd covers the acceptance criterion: a
+// fixture registered once and checked via 50 batch requests executes
+// its DDL/DML exactly once — every request resolves through the
+// registry (50 hits, zero fixture re-runs), the row count never
+// moves, and every report is byte-identical.
+func TestRegistryLifecycleEndToEnd(t *testing.T) {
+	srv, _ := e2eServer(t)
+	info := registerFixture(t, srv, "app", tenantsFixture())
+	if len(info.Tables) != 1 || info.Tables[0].Rows != 20 {
+		t.Fatalf("register response = %+v", info)
+	}
+
+	// The registry lists it.
+	resp, raw := do(t, "GET", srv.URL+"/api/databases", "")
+	var list DatabaseListResponse
+	if err := json.Unmarshal(raw, &list); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(list.Databases) != 1 || list.Databases[0].Name != "app" {
+		t.Fatalf("list = %d %+v", resp.StatusCode, list)
+	}
+
+	check := `{"workloads":[{"sql":"SELECT * FROM tenants WHERE user_ids LIKE '%U5%'","db":"app"}]}`
+	var first []byte
+	for i := 0; i < 50; i++ {
+		resp, raw := do(t, "POST", srv.URL+"/api/check", check)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch %d: status = %d, body %s", i, resp.StatusCode, raw)
+		}
+		if first == nil {
+			first = raw
+			var batch BatchResponse
+			if err := json.Unmarshal(raw, &batch); err != nil {
+				t.Fatal(err)
+			}
+			if !batch.Reports[0].Has("multi-valued-attribute") {
+				t.Fatalf("data rule did not fire over the registered database: %s", raw)
+			}
+		} else if !bytes.Equal(first, raw) {
+			t.Fatalf("batch %d: report drifted from the first response", i)
+		}
+	}
+
+	// DDL/DML ran exactly once: 50 registry hits, zero misses, one
+	// snapshot per request, and the table still holds exactly the 20
+	// rows the single fixture execution inserted (a re-execution would
+	// have failed the request on duplicate primary keys and a partial
+	// one would have changed the count).
+	m := daemonMetrics(t, srv)
+	if m.Registry.Hits != 50 || m.Registry.Misses != 0 || m.Registry.Databases != 1 {
+		t.Errorf("registry counters = %+v", m.Registry)
+	}
+	if m.Snapshots != 50 {
+		t.Errorf("snapshots = %d, want 50", m.Snapshots)
+	}
+	_, raw = do(t, "GET", srv.URL+"/api/databases/app", "")
+	var after DatabaseInfo
+	if err := json.Unmarshal(raw, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Tables[0].Rows != 20 {
+		t.Errorf("rows after 50 batches = %d, want 20 (fixture re-executed?)", after.Tables[0].Rows)
+	}
+
+	// The Prometheus rendering carries the registry counters too.
+	resp, raw = do(t, "GET", srv.URL+"/metrics", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prometheus metrics: %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"sqlcheck_registry_databases 1",
+		"sqlcheck_registry_hits_total 50",
+		"sqlcheck_registry_misses_total 0",
+		"sqlcheck_snapshots_total 50",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+
+	// Delete closes the lifecycle: 204, then the name 404s everywhere.
+	resp, _ = do(t, "DELETE", srv.URL+"/api/databases/app", "")
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status = %d", resp.StatusCode)
+	}
+	resp, _ = do(t, "GET", srv.URL+"/api/databases/app", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("get after delete: status = %d", resp.StatusCode)
+	}
+	resp, _ = do(t, "DELETE", srv.URL+"/api/databases/app", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("double delete: status = %d", resp.StatusCode)
+	}
+	resp, raw = do(t, "POST", srv.URL+"/api/check", check)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("check after delete: status = %d, body %s", resp.StatusCode, raw)
+	}
+}
+
+// TestConcurrentDMLDuringProfiling: statements keep executing on the
+// registered live handle while batch checks profile it over HTTP.
+// The DML is content-preserving (each UPDATE rewrites a row to its
+// current value, each INSERT is paired with a DELETE), so snapshot
+// isolation demands every concurrent report be byte-identical to the
+// quiesced baseline.
+func TestConcurrentDMLDuringProfiling(t *testing.T) {
+	srv, checker := e2eServer(t)
+	registerFixture(t, srv, "app", tenantsFixture())
+	live := checker.RegisteredDatabase("app")
+	if live == nil {
+		t.Fatal("registered database not reachable through the checker")
+	}
+
+	check := `{"workloads":[{"sql":"SELECT * FROM tenants WHERE user_ids LIKE '%U5%'","db":"app"}]}`
+	resp, baseline := do(t, "POST", srv.URL+"/api/check", check)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("baseline: status = %d", resp.StatusCode)
+	}
+
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Rewrite a row to its existing value: real DML traffic
+			// (index maintenance, page copies) with stable content.
+			id := 1 + i%20
+			if _, err := live.Exec(fmt.Sprintf(
+				`UPDATE tenants SET user_ids = 'U%d,U%d,U%d' WHERE id = %d`, id, id+20, id+40, id)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	var checks sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		checks.Add(1)
+		go func() {
+			defer checks.Done()
+			for i := 0; i < 5; i++ {
+				resp, raw := do(t, "POST", srv.URL+"/api/check", check)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("concurrent check: status = %d", resp.StatusCode)
+					return
+				}
+				if !bytes.Equal(raw, baseline) {
+					t.Errorf("report under concurrent DML differs from quiesced baseline\ngot:  %s\nwant: %s", raw, baseline)
+					return
+				}
+			}
+		}()
+	}
+	checks.Wait()
+	close(stop)
+	writer.Wait()
+}
+
+func TestRegistryEndpointErrors(t *testing.T) {
+	srv, _ := e2eServer(t)
+	registerFixture(t, srv, "app", tenantsFixture())
+
+	cases := []struct {
+		name         string
+		method, url  string
+		body         string
+		wantStatus   int
+		wantContains string
+	}{
+		{"duplicate register", "POST", "/api/databases/app", `{"fixture":"CREATE TABLE t (id INT)"}`, http.StatusConflict, "already registered"},
+		{"malformed json", "POST", "/api/databases/x", `{bad`, http.StatusBadRequest, "malformed JSON"},
+		{"empty fixture", "POST", "/api/databases/x", `{"fixture":"  "}`, http.StatusBadRequest, "fixture required"},
+		{"broken fixture", "POST", "/api/databases/x", `{"fixture":"INSERT INTO missing VALUES (1)"}`, http.StatusBadRequest, "fixture"},
+		{"unknown info", "GET", "/api/databases/ghost", "", http.StatusNotFound, "unknown database"},
+		{"unknown delete", "DELETE", "/api/databases/ghost", "", http.StatusNotFound, "unknown database"},
+		{"unknown workload db", "POST", "/api/check", `{"workloads":[{"sql":"SELECT 1","db":"ghost"}]}`, http.StatusNotFound, "unknown database"},
+		{"fixture and db", "POST", "/api/check", `{"workloads":[{"sql":"SELECT 1","db":"app","fixture":"CREATE TABLE t (id INT)"}]}`, http.StatusBadRequest, "mutually exclusive"},
+		{"bad method", "PUT", "/api/databases/app", "", http.StatusMethodNotAllowed, ""},
+	}
+	for _, c := range cases {
+		resp, raw := do(t, c.method, srv.URL+c.url, c.body)
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("%s: status = %d, want %d (body %s)", c.name, resp.StatusCode, c.wantStatus, raw)
+		}
+		if c.wantContains != "" && !strings.Contains(string(raw), c.wantContains) {
+			t.Errorf("%s: body %q missing %q", c.name, raw, c.wantContains)
+		}
+	}
+
+	// A failed registration must not leave a half-registered database.
+	resp, raw := do(t, "GET", srv.URL+"/api/databases/x", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("failed registration leaked: %d %s", resp.StatusCode, raw)
+	}
+}

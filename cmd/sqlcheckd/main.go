@@ -9,6 +9,19 @@
 //	  -> {"reports": [...]} — database-attached analysis: each
 //	     workload's fixture script builds an in-memory database, so
 //	     the data rules (paper §4.2) run over HTTP too
+//	POST /api/check   {"workloads": [{"sql": "...", "db": "<name>"}]}
+//	  -> {"reports": [...]} — registry-attached analysis: the
+//	     workload resolves a database registered via /api/databases,
+//	     so its fixture executed once at registration, not once per
+//	     request; profiling runs over a copy-on-write snapshot, so
+//	     concurrent DML on the registered database never skews an
+//	     in-flight report (404 when the name is unknown)
+//	POST   /api/databases/{name}  {"fixture": "<DDL+DML>"}
+//	  -> 201 + table/row summary; 409 when the name exists,
+//	     400 when the fixture fails
+//	GET    /api/databases         -> all registered databases
+//	GET    /api/databases/{name}  -> one database (404 unknown)
+//	DELETE /api/databases/{name}  -> 204 (404 unknown)
 //	GET  /api/rules   -> the anti-pattern catalog
 //	GET  /metrics     -> observability: Prometheus text format, or
 //	                     JSON with ?format=json — cache hit rate,
@@ -75,17 +88,46 @@ type CheckRequest struct {
 }
 
 // WorkloadRequest is one database-attached workload: the SQL under
-// analysis plus an optional fixture script (DDL and DML) that builds
-// the workload's in-memory database before analysis, so schema and
-// data rules see real tuples.
+// analysis plus either an inline fixture script or the name of a
+// registered database (at most one of the two), so schema and data
+// rules see real tuples.
 type WorkloadRequest struct {
 	SQL string `json:"sql"`
 	// Fixture is executed statement by statement into a fresh
 	// embedded database; errors fail the request with 400.
 	Fixture string `json:"fixture,omitempty"`
+	// DB names a database registered via POST /api/databases/{name};
+	// its fixture is not re-executed, and analysis profiles a
+	// copy-on-write snapshot of its current state. Unknown names fail
+	// the request with 404.
+	DB string `json:"db,omitempty"`
 	// SampleSize bounds data-analysis sampling for this workload
 	// (0 = server default).
 	SampleSize int `json:"sample_size,omitempty"`
+}
+
+// RegisterRequest is the POST /api/databases/{name} payload.
+type RegisterRequest struct {
+	// Fixture is the DDL+DML script that builds the database, executed
+	// exactly once at registration.
+	Fixture string `json:"fixture"`
+}
+
+// TableInfo summarizes one table of a registered database.
+type TableInfo struct {
+	Name string `json:"name"`
+	Rows int    `json:"rows"`
+}
+
+// DatabaseInfo summarizes one registered database.
+type DatabaseInfo struct {
+	Name   string      `json:"name"`
+	Tables []TableInfo `json:"tables"`
+}
+
+// DatabaseListResponse is returned by GET /api/databases.
+type DatabaseListResponse struct {
+	Databases []DatabaseInfo `json:"databases"`
 }
 
 // BatchResponse is returned for batch requests: one report per
@@ -117,6 +159,61 @@ func NewHandler(checker *sqlcheck.Checker) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		writePrometheus(w, m)
+	})
+	// Database registry: load a fixture once, analyze it from any
+	// number of batch requests. Info reads go through a snapshot so
+	// they never race with DML on the live handle.
+	mux.HandleFunc("GET /api/databases", func(w http.ResponseWriter, r *http.Request) {
+		resp := DatabaseListResponse{Databases: []DatabaseInfo{}}
+		for _, name := range checker.RegisteredDatabases() {
+			if db := checker.RegisteredDatabase(name); db != nil {
+				resp.Databases = append(resp.Databases, databaseInfo(name, db))
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /api/databases/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		var req RegisterRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "malformed JSON: " + err.Error()})
+			return
+		}
+		if strings.TrimSpace(req.Fixture) == "" {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "fixture required"})
+			return
+		}
+		db := sqlcheck.NewDatabase(name)
+		if err := db.ExecScript(req.Fixture); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "fixture: " + err.Error()})
+			return
+		}
+		if err := checker.RegisterDatabase(name, db); err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, sqlcheck.ErrDatabaseExists) {
+				status = http.StatusConflict
+			}
+			writeJSON(w, status, ErrorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusCreated, databaseInfo(name, db))
+	})
+	mux.HandleFunc("GET /api/databases/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		db := checker.RegisteredDatabase(name)
+		if db == nil {
+			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown database %q", name)})
+			return
+		}
+		writeJSON(w, http.StatusOK, databaseInfo(name, db))
+	})
+	mux.HandleFunc("DELETE /api/databases/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if !checker.UnregisterDatabase(name) {
+			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown database %q", name)})
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("/api/check", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -154,8 +251,14 @@ func NewHandler(checker *sqlcheck.Checker) http.Handler {
 		case len(req.Workloads) > 0:
 			workloads := make([]sqlcheck.Workload, len(req.Workloads))
 			for i, wr := range req.Workloads {
-				cw := sqlcheck.Workload{SQL: wr.SQL, SampleSize: wr.SampleSize}
+				cw := sqlcheck.Workload{SQL: wr.SQL, DBName: wr.DB, SampleSize: wr.SampleSize}
 				if wr.Fixture != "" {
+					if wr.DB != "" {
+						writeJSON(w, http.StatusBadRequest, ErrorResponse{
+							Error: fmt.Sprintf("workload %d: fixture and db are mutually exclusive", i),
+						})
+						return
+					}
 					db := sqlcheck.NewDatabase(fmt.Sprintf("fixture-%d", i))
 					if err := db.ExecScript(wr.Fixture); err != nil {
 						writeJSON(w, http.StatusBadRequest, ErrorResponse{
@@ -182,12 +285,29 @@ func NewHandler(checker *sqlcheck.Checker) http.Handler {
 
 // writeCheckError maps analysis errors to responses. A canceled
 // request context means the client went away mid-analysis: nothing is
-// written (and nothing should be logged as a client error).
+// written (and nothing should be logged as a client error). A
+// workload naming an unregistered database is 404; everything else is
+// the client's malformed request.
 func writeCheckError(w http.ResponseWriter, err error) {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return
 	}
+	if errors.Is(err, sqlcheck.ErrUnknownDatabase) {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: err.Error()})
+		return
+	}
 	writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+}
+
+// databaseInfo summarizes a database from a snapshot, so rendering is
+// consistent even while statements execute on the live handle.
+func databaseInfo(name string, db *sqlcheck.Database) DatabaseInfo {
+	snap := db.Snapshot()
+	info := DatabaseInfo{Name: name, Tables: []TableInfo{}}
+	for _, t := range snap.Tables() {
+		info.Tables = append(info.Tables, TableInfo{Name: t, Rows: snap.RowCount(t)})
+	}
+	return info
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -31,6 +31,11 @@ func writePrometheus(w io.Writer, m sqlcheck.Metrics) {
 	fmt.Fprintf(w, "# HELP sqlcheck_cache_hit_rate Hits over lookups since start.\n# TYPE sqlcheck_cache_hit_rate gauge\nsqlcheck_cache_hit_rate %g\n",
 		m.Cache.HitRate())
 
+	gauge("sqlcheck_registry_databases", "Databases registered in the daemon registry.", int64(m.Registry.Databases))
+	counter("sqlcheck_registry_hits_total", "Workloads resolved against a registered database (fixture reused, not re-executed).", m.Registry.Hits)
+	counter("sqlcheck_registry_misses_total", "Workload db lookups that found no registered database.", m.Registry.Misses)
+	counter("sqlcheck_snapshots_total", "Copy-on-write database snapshots taken for profiling isolation.", m.Snapshots)
+
 	pool := func(label string, p sqlcheck.PoolStats) {
 		fmt.Fprintf(w, "sqlcheck_pool_size{pool=%q} %d\n", label, p.Size)
 		fmt.Fprintf(w, "sqlcheck_pool_in_use{pool=%q} %d\n", label, p.InUse)

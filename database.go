@@ -43,7 +43,18 @@ type Result struct {
 	Plan []string
 }
 
+// Snapshot returns a frozen copy-on-write view of the database:
+// profiling-safe, statement-atomic, and unaffected by statements
+// executed on the live handle afterwards. Snapshots are cheap (they
+// share row pages with the live tables until a writer mutates them)
+// and read-only: DML against a snapshot fails.
+func (d *Database) Snapshot() *Database {
+	return &Database{inner: d.inner.Snapshot()}
+}
+
 // Exec parses and executes one SQL statement (DDL, DML, or SELECT).
+// Statements serialize on a per-database writer lock, so concurrent
+// Exec calls are safe and snapshots observe statement-atomic states.
 func (d *Database) Exec(sql string) (*Result, error) {
 	res, err := exec.Run(d.inner, parser.Parse(sql))
 	if err != nil {

@@ -1,0 +1,127 @@
+package sqlcheck
+
+// Golden-corpus regression test: the generator corpora that stand in
+// for the paper's data sets run through CheckWorkloads as one batch,
+// and the resulting finding sets are pinned in a checked-in golden
+// file. Any drift in rule output — a detector loosened, a gate
+// over-pruning, ranking reordered, profiling skewed — fails CI with a
+// diff instead of slipping through silently. After an intentional
+// rule change, regenerate with:
+//
+//	go test -run TestGoldenCorpus -update .
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"sqlcheck/internal/corpus"
+	"sqlcheck/internal/storage"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+const goldenPath = "testdata/golden/corpus.json"
+
+// goldenWorkloads assembles a deterministic cross-section of the
+// corpus: query-only GitHub repos, database-attached Django apps, a
+// data-only Kaggle database, and the GlobaLeaks MVA study.
+func goldenWorkloads(t *testing.T) (names []string, ws []Workload) {
+	t.Helper()
+	add := func(name, sql string, db *storage.Database) {
+		w := Workload{SQL: sql}
+		if db != nil {
+			w.DB = &Database{inner: db}
+		}
+		names = append(names, name)
+		ws = append(ws, w)
+	}
+	for _, repo := range corpus.GitHub(corpus.GitHubOptions{Repos: 6, Seed: 3}).Repos {
+		add("github/"+repo.Name, strings.Join(repo.Statements, ";\n"), nil)
+	}
+	for _, app := range corpus.DjangoSuite(corpus.DjangoSuiteOptions{})[:3] {
+		add("django/"+app.Name, strings.Join(app.Statements, ";\n"), app.DB)
+	}
+	for _, k := range corpus.KaggleSuite(corpus.KaggleSuiteOptions{}) {
+		if k.Name == "history-of-baseball" {
+			add("kaggle/"+k.Name, "", k.DB)
+		}
+	}
+	add("globaleaks/mva",
+		`SELECT * FROM Tenants WHERE User_IDs LIKE '[[:<:]]U10[[:>:]]'`,
+		corpus.GlobaLeaksMVA(corpus.GlobaLeaksOptions{Tenants: 60, Users: 180, UsersPerTenant: 3, Seed: 2}))
+	return names, ws
+}
+
+// findingKey pins everything a rule change could move: identity,
+// site, confidence, and the ranking score (list order is the report's
+// ranked order).
+func findingKey(f Finding) string {
+	return fmt.Sprintf("%s q%d %s.%s conf=%.2f score=%.4f",
+		f.Rule, f.Query, f.Table, f.Column, f.Confidence, f.Score)
+}
+
+func TestGoldenCorpus(t *testing.T) {
+	names, ws := goldenWorkloads(t)
+	reports, err := New().CheckWorkloads(t.Context(), ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string][]string, len(names))
+	for i, rep := range reports {
+		keys := []string{}
+		for _, f := range rep.Findings {
+			keys = append(keys, findingKey(f))
+		}
+		got[names[i]] = keys
+	}
+
+	if *updateGolden {
+		raw, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata/golden", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d workloads", goldenPath, len(got))
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	var want map[string][]string
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name, wantKeys := range want {
+		gotKeys, ok := got[name]
+		if !ok {
+			t.Errorf("workload %s in golden file but not generated", name)
+			continue
+		}
+		if len(gotKeys) != len(wantKeys) {
+			t.Errorf("%s: %d findings, golden has %d\ngot:  %v\nwant: %v",
+				name, len(gotKeys), len(wantKeys), gotKeys, wantKeys)
+			continue
+		}
+		for i := range wantKeys {
+			if gotKeys[i] != wantKeys[i] {
+				t.Errorf("%s finding %d drifted:\ngot:  %s\nwant: %s", name, i, gotKeys[i], wantKeys[i])
+			}
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("workload %s missing from golden file (run with -update)", name)
+		}
+	}
+}

@@ -145,16 +145,25 @@ type EngineMetrics struct {
 	// concurrently open batch workloads.
 	Statements PoolStats `json:"statements"`
 	Workloads  PoolStats `json:"workloads"`
+	// Registry counts named-database registrations and workload
+	// resolutions against them.
+	Registry RegistryStats `json:"registry"`
+	// Snapshots counts copy-on-write database snapshots taken for
+	// profiling isolation (one per database-attached workload).
+	Snapshots int64 `json:"snapshots"`
 	// Phases holds per-phase latency histograms in pipeline order.
 	Phases []PhaseStats `json:"phases"`
 }
 
-// Metrics snapshots the engine's cache, pools, and phase histograms.
+// Metrics snapshots the engine's cache, pools, registry counters, and
+// phase histograms.
 func (e *Engine) Metrics() EngineMetrics {
 	return EngineMetrics{
 		Cache:      e.cache.Stats(),
 		Statements: e.stmts.Stats(),
 		Workloads:  e.workloads.Stats(),
+		Registry:   e.registry.Stats(),
+		Snapshots:  e.snapshots.Load(),
 		Phases:     e.phases.snapshot(),
 	}
 }

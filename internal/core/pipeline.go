@@ -18,6 +18,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"strings"
 	"sync"
@@ -123,6 +124,11 @@ func (p *Pool) each(ctx context.Context, n int, fn func(i int)) error {
 type Workload struct {
 	SQL string
 	DB  *storage.Database
+	// DBName resolves the analysis database through the engine's
+	// registry instead of attaching a handle; mutually exclusive with
+	// DB. Profiling runs over a snapshot of the registered database,
+	// never the live handle.
+	DBName string
 	// Profile, when non-nil, replaces the engine's sampling options
 	// for this workload only.
 	Profile *profile.Options
@@ -144,6 +150,11 @@ type Engine struct {
 	workloads *Pool
 	cache     *ParseCache
 	phases    *phaseSet
+	registry  *Registry
+	// snapshots counts copy-on-write database snapshots taken for
+	// profiling isolation — one per database-attached workload,
+	// whether registry-resolved or inline.
+	snapshots atomic.Int64
 }
 
 // NewEngine builds an Engine. concurrency bounds the worker pool
@@ -164,8 +175,12 @@ func NewEngine(opts Options, concurrency int) *Engine {
 		workloads: NewPool(concurrency),
 		cache:     cache,
 		phases:    newPhaseSet(),
+		registry:  NewRegistry(),
 	}
 }
+
+// Registry returns the engine's named-database registry.
+func (e *Engine) Registry() *Registry { return e.registry }
 
 // Concurrency returns the engine's worker bound.
 func (e *Engine) Concurrency() int { return e.stmts.Size() }
@@ -185,11 +200,18 @@ func (e *Engine) CacheStats() (hits, misses int64) {
 // shared pool and returns one Result per workload, in input order.
 // Per-statement and per-table work from all workloads interleaves on
 // the statement pool, so a batch mixing a 1000-statement script with
-// ten small ones keeps every worker busy. The error is non-nil only
-// when ctx is canceled, in which case no results are returned.
+// ten small ones keeps every worker busy. Workload databases — named
+// or inline — are snapshotted up front, so the whole batch analyzes a
+// consistent view taken at admission. The error is non-nil when ctx
+// is canceled or when a workload is malformed (unknown DBName, or
+// both DB and DBName set); no results are returned on error.
 func (e *Engine) DetectWorkloads(ctx context.Context, ws []Workload) ([]*Result, error) {
+	ws, err := e.resolveWorkloads(ws)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]*Result, len(ws))
-	err := e.workloads.each(ctx, len(ws), func(i int) {
+	err = e.workloads.each(ctx, len(ws), func(i int) {
 		r, err := e.detectWorkload(ctx, ws[i])
 		if err != nil {
 			return // ctx canceled; surfaced below
@@ -198,6 +220,41 @@ func (e *Engine) DetectWorkloads(ctx context.Context, ws []Workload) ([]*Result,
 	})
 	if err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// resolveWorkloads materializes each workload's analysis database:
+// named workloads resolve through the registry, and any attached
+// database — registered or inline — is replaced by a copy-on-write
+// snapshot, so profiling always reads a frozen, consistent view while
+// DML may continue on the live handle. Workloads sharing one database
+// (by name or by handle) share one snapshot, so the whole batch
+// analyzes the same state and pays the page-capture cost once.
+func (e *Engine) resolveWorkloads(ws []Workload) ([]Workload, error) {
+	out := make([]Workload, len(ws))
+	snaps := make(map[*storage.Database]*storage.Database)
+	for i, w := range ws {
+		if w.DBName != "" {
+			if w.DB != nil {
+				return nil, fmt.Errorf("sqlcheck: workload %d: DB and DBName are mutually exclusive", i)
+			}
+			db, err := e.registry.Resolve(w.DBName)
+			if err != nil {
+				return nil, fmt.Errorf("workload %d: %w", i, err)
+			}
+			w.DB = db
+		}
+		if w.DB != nil {
+			snap, ok := snaps[w.DB]
+			if !ok {
+				snap = w.DB.Snapshot()
+				snaps[w.DB] = snap
+				e.snapshots.Add(1)
+			}
+			w.DB = snap
+		}
+		out[i] = w
 	}
 	return out, nil
 }

@@ -1,0 +1,138 @@
+package core
+
+// The named-database registry turns the engine from a per-request
+// re-parser into a multi-tenant analysis server: a daemon loads a
+// fixture once, registers the live handle under a name, and every
+// batch workload that names it profiles a copy-on-write snapshot of
+// the current state — DDL/DML runs once at registration, not once per
+// request, and concurrent DML on the live handle never skews an
+// in-flight analysis.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"sqlcheck/internal/storage"
+)
+
+// Registry lookup and registration errors. Servers map these to HTTP
+// statuses (404 and 409 respectively).
+var (
+	ErrUnknownDatabase = errors.New("sqlcheck: unknown database")
+	ErrDatabaseExists  = errors.New("sqlcheck: database already registered")
+)
+
+// Registry is a concurrency-safe name -> live database map with
+// resolution counters. It stores live handles; callers that analyze a
+// registered database always do so through a Snapshot, never the
+// handle itself.
+type Registry struct {
+	mu     sync.RWMutex
+	dbs    map[string]*storage.Database
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{dbs: make(map[string]*storage.Database)}
+}
+
+// canonName is the key form every registry operation uses, so a name
+// that registers is reachable by the same string on lookup and
+// delete.
+func canonName(name string) string { return strings.TrimSpace(name) }
+
+// Register adds a live database under a name. Names are exact-match
+// (after trimming surrounding space, consistently with every lookup);
+// registering an existing name fails with ErrDatabaseExists rather
+// than silently replacing the handle out from under in-flight
+// workloads.
+func (r *Registry) Register(name string, db *storage.Database) error {
+	name = canonName(name)
+	if name == "" {
+		return errors.New("sqlcheck: database name required")
+	}
+	if db == nil {
+		return errors.New("sqlcheck: nil database")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.dbs[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDatabaseExists, name)
+	}
+	r.dbs[name] = db
+	return nil
+}
+
+// Unregister removes a name; reports whether it was registered.
+// Workloads already holding a snapshot are unaffected.
+func (r *Registry) Unregister(name string) bool {
+	name = canonName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.dbs[name]; !ok {
+		return false
+	}
+	delete(r.dbs, name)
+	return true
+}
+
+// Get returns the live handle for a name without touching the
+// hit/miss counters — the management path (info endpoints, tests),
+// not workload resolution.
+func (r *Registry) Get(name string) (*storage.Database, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	db, ok := r.dbs[canonName(name)]
+	return db, ok
+}
+
+// Resolve returns the live handle for a workload's database name,
+// counting the lookup as a hit or miss. A miss fails with
+// ErrUnknownDatabase (wrapped with the name).
+func (r *Registry) Resolve(name string) (*storage.Database, error) {
+	r.mu.RLock()
+	db, ok := r.dbs[canonName(name)]
+	r.mu.RUnlock()
+	if !ok {
+		r.misses.Add(1)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDatabase, name)
+	}
+	r.hits.Add(1)
+	return db, nil
+}
+
+// Names returns the registered names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.dbs))
+	for name := range r.dbs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegistryStats snapshots the registry's counters.
+type RegistryStats struct {
+	// Databases is the number of currently registered databases.
+	Databases int `json:"databases"`
+	// Hits and Misses count workload name resolutions. Every hit is a
+	// fixture whose DDL/DML did not re-execute for that request.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// Stats snapshots the registry counters.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.RLock()
+	n := len(r.dbs)
+	r.mu.RUnlock()
+	return RegistryStats{Databases: n, Hits: r.hits.Load(), Misses: r.misses.Load()}
+}

@@ -23,8 +23,14 @@ type Result struct {
 }
 
 // Run parses nothing: it executes an already-parsed statement against
-// the database.
+// the database. Each statement runs under the database's single-writer
+// lock, so concurrent callers serialize per statement and snapshots
+// (storage.Database.Snapshot) observe statement-atomic states.
 func Run(db *storage.Database, stmt sqlast.Statement) (*Result, error) {
+	if db != nil {
+		db.Lock()
+		defer db.Unlock()
+	}
 	ex := &executor{db: db, rand: NewRand(0xfeed)}
 	return ex.exec(stmt)
 }
@@ -67,6 +73,15 @@ func (ex *executor) note(format string, args ...any) {
 }
 
 func (ex *executor) exec(stmt sqlast.Statement) (*Result, error) {
+	// Snapshot views are read-only end to end: every statement kind
+	// that could alter tables or schema is rejected before dispatch,
+	// so ALTER's drop-and-rebuild path cannot smuggle a mutable table
+	// into a frozen database.
+	if ex.db != nil && ex.db.Frozen() {
+		if _, ok := stmt.(*sqlast.SelectStatement); !ok {
+			return nil, storage.ErrFrozen
+		}
+	}
 	switch s := stmt.(type) {
 	case *sqlast.SelectStatement:
 		return ex.execSelect(s)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"sqlcheck/internal/schema"
 )
@@ -13,12 +14,32 @@ type Database struct {
 	Name   string
 	tables map[string]*Table
 	order  []string
+	// mu is the single-writer lock: the executor holds it for the
+	// duration of each statement, and Snapshot holds it while capturing
+	// pages, so snapshots observe statement-atomic states. Direct
+	// Table/Database mutator calls (test and generator code) do not
+	// take it and therefore must not run concurrently with anything.
+	mu sync.Mutex
+	// frozen marks snapshot views: the executor rejects DDL and DML
+	// against them (the tables carry their own frozen flags too).
+	frozen bool
 }
 
 // NewDatabase creates an empty database.
 func NewDatabase(name string) *Database {
 	return &Database{Name: name, tables: make(map[string]*Table)}
 }
+
+// Lock acquires the database's single-writer mutex. The executor
+// wraps each statement in Lock/Unlock so concurrent Exec callers
+// serialize per statement and Snapshot sees statement-atomic states.
+func (db *Database) Lock() { db.mu.Lock() }
+
+// Unlock releases the single-writer mutex.
+func (db *Database) Unlock() { db.mu.Unlock() }
+
+// Frozen reports whether the database is a read-only snapshot view.
+func (db *Database) Frozen() bool { return db.frozen }
 
 // AddTable registers a table with the database, wiring it for foreign
 // key resolution.
@@ -38,8 +59,12 @@ func (db *Database) CreateTable(name string, cols []ColumnDef) *Table {
 	return t
 }
 
-// DropTable removes a table; reports whether it existed.
+// DropTable removes a table; reports whether it existed. Snapshot
+// views refuse.
 func (db *Database) DropTable(name string) bool {
+	if db.frozen {
+		return false
+	}
 	key := strings.ToLower(name)
 	if _, ok := db.tables[key]; !ok {
 		return false
@@ -119,7 +144,7 @@ func (db *Database) applyReferentialActions(parent *Table, parentRow Row) error 
 				}
 			case "SET NULL":
 				for _, id := range hits {
-					row := child.rows[id].Clone()
+					row := child.rowAt(id).Clone()
 					for _, c := range fk.Cols {
 						row[c] = Null()
 					}

@@ -1,0 +1,174 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sqlcheck/internal/schema"
+)
+
+func snapTable(t *testing.T, rows int) *Table {
+	t.Helper()
+	tab := NewTable("users", []ColumnDef{
+		{Name: "id", Class: schema.ClassInteger},
+		{Name: "name", Class: schema.ClassText},
+	})
+	if err := tab.SetPrimaryKey("id"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		tab.MustInsert(Int(int64(i)), Str(fmt.Sprintf("user-%d", i)))
+	}
+	return tab
+}
+
+func collect(t *Table) map[int64]string {
+	out := map[int64]string{}
+	t.ScanReadOnly(func(id int64, r Row) bool {
+		out[id] = r[1].String()
+		return true
+	})
+	return out
+}
+
+func TestSnapshotFreezesView(t *testing.T) {
+	// Spans three pages so COW copies are exercised on interior and
+	// tail pages.
+	tab := snapTable(t, 2*PageRows+10)
+	snap := tab.Snapshot()
+	if !snap.Frozen() || tab.Frozen() {
+		t.Fatal("frozen flags: snapshot must be frozen, live must not")
+	}
+	before := collect(snap)
+	if len(before) != 2*PageRows+10 {
+		t.Fatalf("snapshot rows = %d", len(before))
+	}
+
+	// Mutate every page of the live table: delete in page 0, update in
+	// page 1, insert into the tail page and beyond.
+	if err := tab.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Update(int64(PageRows+1), Row{Int(int64(PageRows + 1)), Str("mutated")}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < PageRows; i++ {
+		tab.MustInsert(Int(int64(10000+i)), Str("new"))
+	}
+
+	if got := collect(snap); len(got) != len(before) {
+		t.Fatalf("snapshot changed size: %d -> %d", len(before), len(got))
+	} else {
+		for id, v := range before {
+			if got[id] != v {
+				t.Fatalf("snapshot row %d changed: %q -> %q", id, v, got[id])
+			}
+		}
+	}
+	// The live table saw every mutation.
+	live := collect(tab)
+	if _, ok := live[3]; ok {
+		t.Error("live delete not applied")
+	}
+	if live[int64(PageRows+1)] != "mutated" {
+		t.Error("live update not applied")
+	}
+	if tab.Len() != 2*PageRows+10-1+PageRows {
+		t.Errorf("live len = %d", tab.Len())
+	}
+}
+
+func TestSnapshotSharesUnmutatedPages(t *testing.T) {
+	tab := snapTable(t, 3*PageRows)
+	snap := tab.Snapshot()
+	// Mutating page 1 must copy exactly that page; pages 0 and 2 stay
+	// physically shared — the "cheap" in cheap copy-on-write.
+	if err := tab.Delete(int64(PageRows)); err != nil {
+		t.Fatal(err)
+	}
+	if tab.pages[0] != snap.pages[0] || tab.pages[2] != snap.pages[2] {
+		t.Error("unmutated pages were copied")
+	}
+	if tab.pages[1] == snap.pages[1] {
+		t.Error("mutated page still shared")
+	}
+}
+
+func TestSnapshotIsReadOnly(t *testing.T) {
+	tab := snapTable(t, 5)
+	snap := tab.Snapshot()
+	if _, err := snap.Insert(Row{Int(99), Str("x")}); !errors.Is(err, ErrFrozen) {
+		t.Errorf("Insert on snapshot: %v", err)
+	}
+	if err := snap.Update(0, Row{Int(0), Str("x")}); !errors.Is(err, ErrFrozen) {
+		t.Errorf("Update on snapshot: %v", err)
+	}
+	if err := snap.Delete(0); !errors.Is(err, ErrFrozen) {
+		t.Errorf("Delete on snapshot: %v", err)
+	}
+	if _, err := snap.CreateIndex("ix", false, "name"); !errors.Is(err, ErrFrozen) {
+		t.Errorf("CreateIndex on snapshot: %v", err)
+	}
+	if err := snap.AddCheckInList("ck", "name", []string{"a"}); !errors.Is(err, ErrFrozen) {
+		t.Errorf("AddCheckInList on snapshot: %v", err)
+	}
+	if snap.DropIndex("ix") || snap.DropCheck("ck") {
+		t.Error("drops on snapshot reported success")
+	}
+}
+
+func TestDatabaseSnapshotReflectFidelity(t *testing.T) {
+	db := NewDatabase("app")
+	users := db.CreateTable("users", []ColumnDef{
+		{Name: "id", Class: schema.ClassInteger},
+		{Name: "role", Class: schema.ClassChar},
+	})
+	if err := users.SetPrimaryKey("id"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := users.CreateIndex("users_role", false, "role"); err != nil {
+		t.Fatal(err)
+	}
+	if err := users.AddCheckInList("users_role_check", "role", []string{"admin", "user"}); err != nil {
+		t.Fatal(err)
+	}
+	orders := db.CreateTable("orders", []ColumnDef{
+		{Name: "id", Class: schema.ClassInteger},
+		{Name: "user_id", Class: schema.ClassInteger},
+	})
+	if err := orders.AddForeignKey("orders_user_fk", []string{"user_id"}, "users", []string{"id"}, "CASCADE"); err != nil {
+		t.Fatal(err)
+	}
+	users.MustInsert(Int(1), Str("admin"))
+
+	snap := db.Snapshot()
+	if got := len(snap.Tables()); got != 2 {
+		t.Fatalf("snapshot tables = %d", got)
+	}
+	s := snap.Reflect()
+	ut := s.Table("users")
+	if ut == nil || len(ut.PrimaryKey) != 1 || len(ut.Indexes) != 1 || len(ut.Checks) != 1 {
+		t.Fatalf("users reflection lost metadata: %+v", ut)
+	}
+	ot := s.Table("orders")
+	if ot == nil || len(ot.ForeignKeys) != 1 || ot.ForeignKeys[0].OnDelete != "CASCADE" {
+		t.Fatalf("orders reflection lost fks: %+v", ot)
+	}
+	// Structural DDL on the live database after the snapshot is
+	// invisible to the view.
+	db.CreateTable("later", []ColumnDef{{Name: "x", Class: schema.ClassInteger}})
+	if len(snap.Tables()) != 2 || snap.Table("later") != nil {
+		t.Error("snapshot saw a table created after it was taken")
+	}
+}
+
+func TestSnapshotOfSnapshot(t *testing.T) {
+	tab := snapTable(t, 10)
+	s1 := tab.Snapshot()
+	s2 := s1.Snapshot()
+	tab.MustInsert(Int(999), Str("late"))
+	if s2.Len() != 10 || len(collect(s2)) != 10 {
+		t.Errorf("second-order snapshot rows = %d", s2.Len())
+	}
+}

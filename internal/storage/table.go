@@ -18,6 +18,7 @@ var (
 	ErrArity        = errors.New("storage: row arity does not match table columns")
 	ErrNoRow        = errors.New("storage: row id not found")
 	ErrRestrict     = errors.New("storage: row is referenced by another table")
+	ErrFrozen       = errors.New("storage: table snapshot is read-only")
 )
 
 // ColumnDef declares one column of a storage table.
@@ -69,13 +70,28 @@ type CheckInList struct {
 	Allowed map[string]bool
 }
 
+// rowPage is the unit of copy-on-write sharing between a live table
+// and its snapshots: a fixed block of PageRows row slots, aligned with
+// the simulated I/O pages. A snapshot marks every page shared and
+// copies only the page-pointer slice; a writer copies a shared page
+// before its first mutation, so the snapshot keeps the frozen original
+// while DML proceeds on a private copy.
+type rowPage struct {
+	// shared is set (under the database writer lock) when at least one
+	// snapshot captured the page; writers must copy before mutating.
+	shared bool
+	rows   [PageRows]Row // slot = row id % PageRows; nil slot = deleted
+}
+
 // Table is an in-memory table with page-cost-modeled access.
 type Table struct {
 	Name    string
 	Cols    []ColumnDef
 	colIdx  map[string]int
-	rows    []Row // slot index = row id; nil slot = deleted
+	pages   []*rowPage // COW row storage; row id = page*PageRows + slot
+	slots   int        // total row slots allocated (live + deleted)
 	live    int
+	frozen  bool   // set on snapshots: DML and DDL are rejected
 	pk      *Index // unique index enforcing the primary key, may be nil
 	pkCols  []int
 	indexes []*Index
@@ -83,6 +99,30 @@ type Table struct {
 	checks  []CheckInList
 	db      *Database
 	pool    *bufferPool
+}
+
+// rowAt returns the row in the given slot (nil when deleted). The
+// caller must have bounds-checked id against t.slots.
+func (t *Table) rowAt(id int64) Row {
+	return t.pages[id/PageRows].rows[id%PageRows]
+}
+
+// writablePage returns the page holding row ids [pi*PageRows, ...),
+// copying it first when a snapshot shares it — the write half of the
+// copy-on-write protocol: the snapshot keeps the frozen original.
+func (t *Table) writablePage(pi int) *rowPage {
+	p := t.pages[pi]
+	if p.shared {
+		cp := &rowPage{rows: p.rows}
+		t.pages[pi] = cp
+		p = cp
+	}
+	return p
+}
+
+// setRow stores r in the given slot through the COW barrier.
+func (t *Table) setRow(id int64, r Row) {
+	t.writablePage(int(id / PageRows)).rows[id%PageRows] = r
 }
 
 // NewTable creates a table with the given columns.
@@ -106,7 +146,10 @@ func (t *Table) ColIndex(name string) int {
 func (t *Table) Len() int { return t.live }
 
 // Cap returns the number of row slots (live + deleted).
-func (t *Table) Cap() int { return len(t.rows) }
+func (t *Table) Cap() int { return t.slots }
+
+// Frozen reports whether the table is a read-only snapshot view.
+func (t *Table) Frozen() bool { return t.frozen }
 
 // IOStats returns the accumulated simulated I/O counters.
 func (t *Table) IOStats() IOStats { return t.pool.stats }
@@ -126,7 +169,10 @@ func (t *Table) touchRowPage(id int64) { t.pool.touch(id / PageRows) }
 // SetPrimaryKey declares the primary key columns. Must be called
 // before rows are inserted.
 func (t *Table) SetPrimaryKey(cols ...string) error {
-	if len(t.rows) > 0 {
+	if t.frozen {
+		return ErrFrozen
+	}
+	if t.slots > 0 {
 		return errors.New("storage: primary key must be set before inserts")
 	}
 	var ords []int
@@ -148,6 +194,9 @@ func (t *Table) PrimaryKey() []int { return t.pkCols }
 
 // AddForeignKey declares a foreign key to refTable(refCols...).
 func (t *Table) AddForeignKey(name string, cols []string, refTable string, refCols []string, onDelete string) error {
+	if t.frozen {
+		return ErrFrozen
+	}
 	fk := ForeignKey{Name: name, RefTable: refTable, RefCols: refCols, OnDelete: strings.ToUpper(onDelete)}
 	for _, c := range cols {
 		i := t.ColIndex(c)
@@ -168,6 +217,9 @@ func (t *Table) ForeignKeys() []ForeignKey { return t.fks }
 // CONSTRAINT performs in a real DBMS — this cost is the heart of the
 // enumerated-types experiment, Figure 8g–h).
 func (t *Table) AddCheckInList(name, col string, allowed []string) error {
+	if t.frozen {
+		return ErrFrozen
+	}
 	ord := t.ColIndex(col)
 	if ord < 0 {
 		return fmt.Errorf("storage: unknown check column %q", col)
@@ -195,6 +247,9 @@ func (t *Table) AddCheckInList(name, col string, allowed []string) error {
 // DropCheck removes the named CHECK constraint. Returns false if no
 // such constraint exists.
 func (t *Table) DropCheck(name string) bool {
+	if t.frozen {
+		return false
+	}
 	for i := range t.checks {
 		if strings.EqualFold(t.checks[i].Name, name) {
 			t.checks = append(t.checks[:i], t.checks[i+1:]...)
@@ -210,6 +265,9 @@ func (t *Table) Checks() []CheckInList { return t.checks }
 // CreateIndex builds a secondary index over the given columns,
 // populating it from existing rows.
 func (t *Table) CreateIndex(name string, unique bool, cols ...string) (*Index, error) {
+	if t.frozen {
+		return nil, ErrFrozen
+	}
 	var ords []int
 	for _, c := range cols {
 		i := t.ColIndex(c)
@@ -238,6 +296,9 @@ func (t *Table) CreateIndex(name string, unique bool, cols ...string) (*Index, e
 
 // DropIndex removes the named index; reports whether it existed.
 func (t *Table) DropIndex(name string) bool {
+	if t.frozen {
+		return false
+	}
 	for i, ix := range t.indexes {
 		if strings.EqualFold(ix.Name, name) {
 			t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
@@ -391,6 +452,9 @@ func (t *Table) matchIndex(ords []int) *Index {
 // Insert adds a row, enforcing all constraints and maintaining every
 // index (per-index maintenance cost is what Figure 8a measures).
 func (t *Table) Insert(r Row) (int64, error) {
+	if t.frozen {
+		return 0, ErrFrozen
+	}
 	if err := t.checkRow(r); err != nil {
 		return 0, err
 	}
@@ -407,8 +471,12 @@ func (t *Table) Insert(r Row) (int64, error) {
 			return 0, fmt.Errorf("%w: index %s", ErrDuplicateKey, ix.Name)
 		}
 	}
-	id := int64(len(t.rows))
-	t.rows = append(t.rows, r.Clone())
+	id := int64(t.slots)
+	if int(id/PageRows) == len(t.pages) {
+		t.pages = append(t.pages, &rowPage{})
+	}
+	t.setRow(id, r.Clone())
+	t.slots++
 	t.live++
 	t.touchRowPage(id)
 	if t.pk != nil {
@@ -435,26 +503,27 @@ func (t *Table) MustInsert(vals ...Value) int64 {
 // Fetch returns the row with the given id (paying page cost), or
 // ErrNoRow.
 func (t *Table) Fetch(id int64) (Row, error) {
-	if id < 0 || id >= int64(len(t.rows)) || t.rows[id] == nil {
+	if id < 0 || id >= int64(t.slots) || t.rowAt(id) == nil {
 		return nil, ErrNoRow
 	}
 	t.touchRowPage(id)
-	return t.rows[id], nil
+	return t.rowAt(id), nil
 }
 
 // Scan iterates all live rows in physical order, paying page cost once
 // per page. fn returning false stops the scan.
 func (t *Table) Scan(fn func(id int64, r Row) bool) {
 	lastPage := int64(-1)
-	for id := int64(0); id < int64(len(t.rows)); id++ {
-		if t.rows[id] == nil {
+	for id := int64(0); id < int64(t.slots); id++ {
+		r := t.rowAt(id)
+		if r == nil {
 			continue
 		}
 		if p := id / PageRows; p != lastPage {
 			t.pool.touch(p)
 			lastPage = p
 		}
-		if !fn(id, t.rows[id]) {
+		if !fn(id, r) {
 			return
 		}
 	}
@@ -465,13 +534,16 @@ func (t *Table) Scan(fn func(id int64, r Row) bool) {
 // measure workload queries; analysis-side readers (the data profiler)
 // use this scan so they neither skew the I/O statistics nor mutate
 // pool state — which makes it safe for any number of concurrent
-// readers, as long as no DML runs during analysis.
+// readers. On a live table that still requires no DML during the
+// scan; profiling a Snapshot lifts even that restriction, because
+// writers copy shared pages instead of mutating them.
 func (t *Table) ScanReadOnly(fn func(id int64, r Row) bool) {
-	for id := int64(0); id < int64(len(t.rows)); id++ {
-		if t.rows[id] == nil {
+	for id := int64(0); id < int64(t.slots); id++ {
+		r := t.rowAt(id)
+		if r == nil {
 			continue
 		}
-		if !fn(id, t.rows[id]) {
+		if !fn(id, r) {
 			return
 		}
 	}
@@ -480,7 +552,10 @@ func (t *Table) ScanReadOnly(fn func(id int64, r Row) bool) {
 // Update replaces the row with the given id, re-checking constraints
 // and maintaining indexes.
 func (t *Table) Update(id int64, newRow Row) error {
-	if id < 0 || id >= int64(len(t.rows)) || t.rows[id] == nil {
+	if t.frozen {
+		return ErrFrozen
+	}
+	if id < 0 || id >= int64(t.slots) || t.rowAt(id) == nil {
 		return ErrNoRow
 	}
 	if err := t.checkRow(newRow); err != nil {
@@ -489,7 +564,7 @@ func (t *Table) Update(id int64, newRow Row) error {
 	if err := t.checkFKs(newRow); err != nil {
 		return err
 	}
-	old := t.rows[id]
+	old := t.rowAt(id)
 	if t.pk != nil {
 		newKey := t.pk.keyFor(newRow)
 		if newKey != t.pk.keyFor(old) {
@@ -522,7 +597,7 @@ func (t *Table) Update(id int64, newRow Row) error {
 			ix.touches += 2
 		}
 	}
-	t.rows[id] = newRow.Clone()
+	t.setRow(id, newRow.Clone())
 	return nil
 }
 
@@ -531,10 +606,13 @@ func (t *Table) Update(id int64, newRow Row) error {
 // RESTRICT (default) refuses, CASCADE deletes referencing rows,
 // SET NULL clears the referencing columns.
 func (t *Table) Delete(id int64) error {
-	if id < 0 || id >= int64(len(t.rows)) || t.rows[id] == nil {
+	if t.frozen {
+		return ErrFrozen
+	}
+	if id < 0 || id >= int64(t.slots) || t.rowAt(id) == nil {
 		return ErrNoRow
 	}
-	row := t.rows[id]
+	row := t.rowAt(id)
 	if t.db != nil {
 		if err := t.db.applyReferentialActions(t, row); err != nil {
 			return err
@@ -549,7 +627,7 @@ func (t *Table) Delete(id int64) error {
 		ix.tree.Delete(ix.keyFor(row), id)
 		ix.touches++
 	}
-	t.rows[id] = nil
+	t.setRow(id, nil)
 	t.live--
 	return nil
 }

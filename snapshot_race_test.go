@@ -1,0 +1,180 @@
+package sqlcheck
+
+// The snapshot-isolation race suite (run under -race by `make test`):
+// writers hammer a registered database with concurrent INSERT/DELETE
+// statements while N workloads profile snapshots of it. Every report
+// taken mid-churn must be byte-identical to the report over the same
+// data quiesced — which is checked by materializing each snapshot's
+// visible rows into a fresh database after the writers stop and
+// re-running the analysis on that copy.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"sqlcheck/internal/storage"
+)
+
+const raceWorkloadSQL = `SELECT * FROM users WHERE role = 'admin';
+SELECT name FROM users WHERE bio LIKE '%go%'`
+
+// raceFixtureDB builds the hammered database: enough rows for real
+// sampling, a secondary index and enum-shaped column so schema and
+// data rules both fire.
+func raceFixtureDB(t testing.TB) *Database {
+	t.Helper()
+	db := NewDatabase("app")
+	db.MustExec(`CREATE TABLE users (id INT PRIMARY KEY, name TEXT, role TEXT, bio TEXT)`)
+	db.MustExec(`CREATE INDEX users_role ON users (role)`)
+	roles := []string{"admin", "user", "user", "user"}
+	for i := 0; i < 200; i++ {
+		db.MustExec(fmt.Sprintf(
+			`INSERT INTO users VALUES (%d, 'user-%d', '%s', 'writes go and sql no %d')`,
+			i, i, roles[i%len(roles)], i))
+	}
+	return db
+}
+
+// materialize copies a snapshot's schema and visible rows into a
+// fresh live database — the "same data, quiesced" baseline.
+func materialize(t *testing.T, snap *Database) *Database {
+	t.Helper()
+	out := NewDatabase(snap.inner.Name)
+	for _, ts := range snap.inner.Reflect().Tables() {
+		nt, err := out.inner.CreateTableFromSchema(ts)
+		if err != nil {
+			t.Fatalf("materialize %s: %v", ts.Name, err)
+		}
+		src := snap.inner.Table(ts.Name)
+		var failed error
+		src.ScanReadOnly(func(id int64, r storage.Row) bool {
+			if _, err := nt.Insert(r); err != nil {
+				failed = err
+				return false
+			}
+			return true
+		})
+		if failed != nil {
+			t.Fatalf("materialize %s rows: %v", ts.Name, failed)
+		}
+	}
+	return out
+}
+
+func reportJSON(t *testing.T, checker *Checker, w Workload) []byte {
+	t.Helper()
+	reports, err := checker.CheckWorkloads(context.Background(), []Workload{w})
+	if err != nil {
+		t.Fatalf("CheckWorkloads: %v", err)
+	}
+	raw, err := json.Marshal(reports[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestSnapshotProfilingUnderConcurrentDML(t *testing.T) {
+	db := raceFixtureDB(t)
+	checker := New(Options{Concurrency: 4})
+	if err := checker.RegisterDatabase("app", db); err != nil {
+		t.Fatal(err)
+	}
+	baseline := reportJSON(t, checker, Workload{SQL: raceWorkloadSQL, DBName: "app"})
+
+	const (
+		writers      = 4
+		opsPerWriter = 120
+		readers      = 4
+		snapsPerR    = 4
+	)
+
+	type observed struct {
+		snap   *Database
+		report []byte
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		seen []observed
+		errc = make(chan error, writers*opsPerWriter+readers)
+	)
+
+	// Writers: churn unique high ids — insert then delete the same
+	// row — so every op pair leaves the visible data unchanged, but a
+	// snapshot can land between them and observe the transient row.
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWriter; i++ {
+				id := 100000 + g*1000 + i
+				if _, err := db.Exec(fmt.Sprintf(
+					`INSERT INTO users VALUES (%d, 'churn-%d', 'user', 'transient row')`, id, id)); err != nil {
+					errc <- err
+					return
+				}
+				if _, err := db.Exec(fmt.Sprintf(`DELETE FROM users WHERE id = %d`, id)); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Readers: snapshot mid-churn and analyze the snapshot while DML
+	// continues on the live handle.
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < snapsPerR; i++ {
+				snap := db.Snapshot()
+				reports, err := checker.CheckWorkloads(context.Background(),
+					[]Workload{{SQL: raceWorkloadSQL, DB: snap}})
+				if err != nil {
+					errc <- err
+					return
+				}
+				raw, err := json.Marshal(reports[0])
+				if err != nil {
+					errc <- err
+					return
+				}
+				mu.Lock()
+				seen = append(seen, observed{snap: snap, report: raw})
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Quiesced-baseline equality: each mid-churn report must be
+	// byte-identical to analyzing a fresh database holding exactly the
+	// rows that snapshot saw.
+	if len(seen) != readers*snapsPerR {
+		t.Fatalf("observed %d snapshots, want %d", len(seen), readers*snapsPerR)
+	}
+	for i, obs := range seen {
+		quiesced := reportJSON(t, checker, Workload{SQL: raceWorkloadSQL, DB: materialize(t, obs.snap)})
+		if string(obs.report) != string(quiesced) {
+			t.Fatalf("snapshot %d: mid-churn report differs from quiesced baseline\nmid-churn: %s\nquiesced:  %s",
+				i, obs.report, quiesced)
+		}
+	}
+
+	// The churn is balanced (every insert deleted), so the registered
+	// database itself is back to its initial visible state and a fresh
+	// registry-resolved report equals the pre-churn baseline.
+	final := reportJSON(t, checker, Workload{SQL: raceWorkloadSQL, DBName: "app"})
+	if string(final) != string(baseline) {
+		t.Fatalf("post-churn report differs from pre-churn baseline\nbefore: %s\nafter:  %s", baseline, final)
+	}
+}

@@ -263,11 +263,19 @@ func (c *Checker) CheckApplicationContext(ctx context.Context, sql string, db *D
 type Workload struct {
 	// SQL is the workload's statement script.
 	SQL string
-	// DB, when non-nil, attaches a live database: the data-analysis
-	// phase profiles its tables (in parallel, on the Checker's pool)
-	// and the data rules run. Attaching the same *Database to several
-	// workloads is safe; analysis only reads it.
+	// DB, when non-nil, attaches a database: the data-analysis phase
+	// profiles its tables (in parallel, on the Checker's pool) and the
+	// data rules run. Analysis snapshots the database at batch
+	// admission (copy-on-write, see Database.Snapshot), so attaching
+	// the same *Database to several workloads is safe, and statements
+	// executed on the handle during analysis do not skew the reports.
 	DB *Database
+	// DBName analyzes a database previously registered on the Checker
+	// with RegisterDatabase, resolving it by name at batch admission;
+	// mutually exclusive with DB. Profiling always runs over a
+	// snapshot of the registered database, never the live handle.
+	// An unknown name fails the batch with ErrUnknownDatabase.
+	DBName string
 	// SampleSize overrides Options.SampleSize for this workload
 	// (0 keeps the Checker's setting).
 	SampleSize int
@@ -276,6 +284,54 @@ type Workload struct {
 	ProfileSeed uint64
 }
 
+// Registry lookup and registration errors, matched with errors.Is.
+// The daemon maps them to HTTP 404 and 409.
+var (
+	// ErrUnknownDatabase reports a Workload.DBName that resolves to no
+	// registered database.
+	ErrUnknownDatabase = core.ErrUnknownDatabase
+	// ErrDatabaseExists reports a RegisterDatabase call reusing a name.
+	ErrDatabaseExists = core.ErrDatabaseExists
+)
+
+// RegisterDatabase makes db available to workloads as DBName=name —
+// the fixture-reuse path: load a database once, analyze it from any
+// number of batch requests without re-executing its DDL/DML, while
+// DML on the live handle keeps flowing. Registering an existing name
+// fails with ErrDatabaseExists; unregister it first to replace it.
+func (c *Checker) RegisterDatabase(name string, db *Database) error {
+	if db == nil {
+		return errors.New("sqlcheck: nil database")
+	}
+	return c.engine().Registry().Register(name, db.inner)
+}
+
+// UnregisterDatabase removes a registered database; reports whether
+// the name was registered. In-flight workloads holding a snapshot of
+// it are unaffected.
+func (c *Checker) UnregisterDatabase(name string) bool {
+	return c.engine().Registry().Unregister(name)
+}
+
+// RegisteredDatabase returns the live handle registered under name,
+// or nil. Statements executed on it are visible to workloads admitted
+// afterwards (each batch snapshots the current state).
+func (c *Checker) RegisteredDatabase(name string) *Database {
+	db, ok := c.engine().Registry().Get(name)
+	if !ok {
+		return nil
+	}
+	return &Database{inner: db}
+}
+
+// RegisteredDatabases returns the registered names, sorted.
+func (c *Checker) RegisteredDatabases() []string {
+	return c.engine().Registry().Names()
+}
+
+// RegistryStats aliases the engine's registry counter snapshot.
+type RegistryStats = core.RegistryStats
+
 // CheckWorkloads analyzes independent workloads concurrently on the
 // Checker's shared pool and returns one ranked Report per workload in
 // input order. Statement parsing, per-table data profiling, and rule
@@ -283,15 +339,17 @@ type Workload struct {
 // worker pool, so large and small workloads batch together without
 // oversubscribing the host; reports are identical at any Concurrency
 // setting. A blank workload yields an empty report rather than
-// failing the batch. The error is non-nil only for an empty batch or
-// a canceled ctx — in which case it is ctx.Err().
+// failing the batch. The error is non-nil for an empty batch, a
+// canceled ctx (in which case it is ctx.Err()), a DBName that is not
+// registered (ErrUnknownDatabase), or a workload setting both DB and
+// DBName.
 func (c *Checker) CheckWorkloads(ctx context.Context, workloads []Workload) ([]*Report, error) {
 	if len(workloads) == 0 {
 		return nil, errors.New("sqlcheck: no workloads")
 	}
 	cws := make([]core.Workload, len(workloads))
 	for i, w := range workloads {
-		cw := core.Workload{SQL: w.SQL, DB: innerDB(w.DB)}
+		cw := core.Workload{SQL: w.SQL, DB: innerDB(w.DB), DBName: w.DBName}
 		if w.SampleSize > 0 || w.ProfileSeed != 0 {
 			p := c.engine().ProfileOptions()
 			if w.SampleSize > 0 {
