@@ -11,7 +11,7 @@ SHELL := /bin/bash -o pipefail
 # The benchmarks gating CI regressions (DESIGN.md §4). bench-baseline
 # regenerates the checked-in reference; bench-check compares a fresh
 # run against it and fails on >20% median regression.
-BENCH_GATE = BenchmarkCheckSQLParallel|BenchmarkRuleDispatch|BenchmarkProfileParallel|BenchmarkRegistryReuse
+BENCH_GATE = BenchmarkCheckSQLParallel|BenchmarkRuleDispatch|BenchmarkProfileParallel|BenchmarkRegistryReuse|BenchmarkQueryOnlyWorkload
 BENCH_COUNT ?= 5
 
 .PHONY: build test test-full bench bench-baseline bench-check lint ci
@@ -48,7 +48,7 @@ BENCH_BASELINE ?= bench/baseline.txt
 bench-check:
 	$(GO) test -bench '$(BENCH_GATE)' -count $(BENCH_COUNT) -benchtime 0.3s -run '^$$' . | tee bench-current.txt
 	$(GO) run ./cmd/benchcmp -baseline $(BENCH_BASELINE) -current bench-current.txt \
-		-max-regression 20 -require 'CheckSQLParallel,RuleDispatch,ProfileParallel,RegistryReuse'
+		-max-regression 20 -require 'CheckSQLParallel,RuleDispatch,ProfileParallel,RegistryReuse,QueryOnlyWorkload'
 
 lint:
 	$(GO) vet ./...

@@ -348,6 +348,43 @@ func BenchmarkRegistryReuse(b *testing.B) {
 	})
 }
 
+// BenchmarkQueryOnlyWorkload measures demand-planned phase skipping —
+// the rule catalog's metadata turned into wall-clock time. Both
+// variants analyze the same SQL against the same registered
+// multi-table database; "full" runs the whole catalog (snapshot +
+// 16-table profiling every request), "query-only" restricts the
+// workload to need-free query rules, so the engine takes no snapshot
+// and profiles nothing. The gap is the per-request cost rule
+// selection now avoids instead of filtering after the fact.
+func BenchmarkQueryOnlyWorkload(b *testing.B) {
+	db := profileBenchDB(16, 2000)
+	const workloadSQL = `SELECT * FROM bench_t00 ORDER BY RAND();
+SELECT id FROM bench_t01 WHERE city = 'C3';
+INSERT INTO bench_t02 VALUES (1, 'a', 'b', 'c', 'd');`
+	for _, cfg := range []struct {
+		name  string
+		rules []string
+	}{
+		{"full", nil},
+		{"query-only", []string{"column-wildcard", "order-by-rand", "implicit-columns", "too-many-joins"}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			checker := New()
+			if err := checker.RegisterDatabase("bench", db); err != nil {
+				b.Fatal(err)
+			}
+			workloads := []Workload{{SQL: workloadSQL, DBName: "bench", Rules: cfg.rules}}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := checker.CheckWorkloads(context.Background(), workloads); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // cleanCRUD builds a production-shaped workload: simple lookups and
 // writes with no anti-patterns, where the dispatch prefilter should
 // skip nearly the whole catalog per statement.

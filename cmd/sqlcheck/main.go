@@ -14,8 +14,11 @@
 //	-weights c1|c2        ranking weights: c1 read-heavy, c2 hybrid
 //	-min-confidence 0.5   confidence threshold
 //	-format text|json     output format
-//	-rules id1,id2        restrict to specific rule IDs
-//	-list-rules           print the anti-pattern catalog and exit
+//	-rules id1,id2        restrict detection to specific rule IDs;
+//	                      analysis phases the selection does not need
+//	                      are skipped, and unknown IDs are an error
+//	-list-rules           print the anti-pattern catalog (IDs, scopes,
+//	                      needs, impact flags) and exit
 package main
 
 import (
@@ -51,9 +54,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	if *listRules {
-		for _, r := range sqlcheck.Rules() {
-			fmt.Fprintf(stdout, "%-26s %-16s %s\n", r.ID, r.Category, r.Name)
-		}
+		printRules(stdout)
 		return 0
 	}
 
@@ -126,6 +127,42 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// printRules renders the catalog with the metadata detection is
+// planned from: scope list, resource needs, and Table 1 impact
+// letters (P performance, M maintainability, D± data amplification —
+// the sign is the direction a fix moves it, I integrity, A accuracy).
+func printRules(w io.Writer) {
+	fmt.Fprintf(w, "%-26s %-16s %-18s %-16s %-6s %s\n",
+		"ID", "CATEGORY", "SCOPES", "NEEDS", "IMPACT", "NAME")
+	for _, r := range sqlcheck.Rules() {
+		impact := ""
+		if r.Impact.Performance {
+			impact += "P"
+		}
+		if r.Impact.Maintainability {
+			impact += "M"
+		}
+		switch {
+		case r.Impact.DataAmplification > 0:
+			impact += "D+" // fixing the AP increases data amplification
+		case r.Impact.DataAmplification < 0:
+			impact += "D-" // fixing decreases it
+		}
+		if r.Impact.DataIntegrity {
+			impact += "I"
+		}
+		if r.Impact.Accuracy {
+			impact += "A"
+		}
+		needs := strings.Join(r.Needs, ",")
+		if needs == "" {
+			needs = "-"
+		}
+		fmt.Fprintf(w, "%-26s %-16s %-18s %-16s %-6s %s\n",
+			r.ID, r.Category, strings.Join(r.Scopes, ","), needs, impact, r.Name)
+	}
 }
 
 func printText(w io.Writer, report *sqlcheck.Report) {

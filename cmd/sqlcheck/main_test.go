@@ -74,6 +74,23 @@ func TestListRules(t *testing.T) {
 	if !strings.Contains(out, "multi-valued-attribute") {
 		t.Errorf("output = %q", out)
 	}
+	// The catalog listing carries the planning metadata: scope and
+	// needs columns, so users can compose phase-skipping subsets.
+	for _, frag := range []string{"SCOPES", "NEEDS", "schema,profile", "query,data"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("listing lacks %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestUnknownRuleFlag(t *testing.T) {
+	code, _, errOut := runCLI(t, []string{"-rules", "column-wildcard,wat"}, "SELECT 1")
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "wat") {
+		t.Errorf("stderr does not name the unknown rule: %q", errOut)
+	}
 }
 
 func TestRuleFilterFlag(t *testing.T) {

@@ -16,16 +16,24 @@
 //	     request; profiling runs over a copy-on-write snapshot, so
 //	     concurrent DML on the registered database never skews an
 //	     in-flight report (404 when the name is unknown)
+//	POST /api/check   {"workloads": [{"sql": "...", "db": "<name>", "rules": ["order-by-rand"]}]}
+//	  -> {"reports": [...]} — rule-scoped analysis: detection runs
+//	     only the listed rules, and the analysis phases are planned
+//	     from the selection (a query-rule-only workload takes no
+//	     snapshot and profiles no tables; 400 on unknown rule IDs)
 //	POST   /api/databases/{name}  {"fixture": "<DDL+DML>"}
 //	  -> 201 + table/row summary; 409 when the name exists,
 //	     400 when the fixture fails
 //	GET    /api/databases         -> all registered databases
 //	GET    /api/databases/{name}  -> one database (404 unknown)
 //	DELETE /api/databases/{name}  -> 204 (404 unknown)
-//	GET  /api/rules   -> the anti-pattern catalog
+//	GET  /api/rules   -> the anti-pattern catalog with per-rule
+//	                     metadata: scopes, admitted statement kinds,
+//	                     resource needs, Table 1 impact flags
 //	GET  /metrics     -> observability: Prometheus text format, or
 //	                     JSON with ?format=json — cache hit rate,
-//	                     pool saturation, per-phase latency histograms
+//	                     pool saturation, per-phase latency
+//	                     histograms, skipped-phase counters
 //	GET  /healthz     -> "ok"
 //
 // All requests share one Checker, so concurrent checks draw from a
@@ -104,6 +112,13 @@ type WorkloadRequest struct {
 	// SampleSize bounds data-analysis sampling for this workload
 	// (0 = server default).
 	SampleSize int `json:"sample_size,omitempty"`
+	// Rules restricts this workload to the listed rule IDs (see
+	// GET /api/rules for the catalog). Unknown IDs fail the request
+	// with 400. The analysis phases are planned from the selection:
+	// a query-rule-only workload against a registered database takes
+	// no snapshot and profiles no tables (watch the
+	// sqlcheck_phase_skipped_total counters on /metrics).
+	Rules []string `json:"rules,omitempty"`
 }
 
 // RegisterRequest is the POST /api/databases/{name} payload.
@@ -251,7 +266,7 @@ func NewHandler(checker *sqlcheck.Checker) http.Handler {
 		case len(req.Workloads) > 0:
 			workloads := make([]sqlcheck.Workload, len(req.Workloads))
 			for i, wr := range req.Workloads {
-				cw := sqlcheck.Workload{SQL: wr.SQL, DBName: wr.DB, SampleSize: wr.SampleSize}
+				cw := sqlcheck.Workload{SQL: wr.SQL, DBName: wr.DB, SampleSize: wr.SampleSize, Rules: wr.Rules}
 				if wr.Fixture != "" {
 					if wr.DB != "" {
 						writeJSON(w, http.StatusBadRequest, ErrorResponse{
@@ -286,8 +301,9 @@ func NewHandler(checker *sqlcheck.Checker) http.Handler {
 // writeCheckError maps analysis errors to responses. A canceled
 // request context means the client went away mid-analysis: nothing is
 // written (and nothing should be logged as a client error). A
-// workload naming an unregistered database is 404; everything else is
-// the client's malformed request.
+// workload naming an unregistered database is 404; an unknown rule ID
+// in a workload's rule filter — and everything else — is the client's
+// malformed request (400).
 func writeCheckError(w http.ResponseWriter, err error) {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return

@@ -100,6 +100,103 @@ func TestRulesEndpoint(t *testing.T) {
 	if len(catalog) != 27 {
 		t.Errorf("catalog = %d rules", len(catalog))
 	}
+	// The catalog carries the planning metadata clients select subsets
+	// with: scopes, admitted kinds, resource needs, impact flags.
+	sawNeeds, sawKinds := false, false
+	for _, r := range catalog {
+		if len(r.Scopes) == 0 {
+			t.Errorf("rule %s has no scopes over the wire", r.ID)
+		}
+		sawNeeds = sawNeeds || len(r.Needs) > 0
+		sawKinds = sawKinds || len(r.Kinds) > 0
+	}
+	if !sawNeeds || !sawKinds {
+		t.Errorf("catalog metadata missing: needs=%v kinds=%v", sawNeeds, sawKinds)
+	}
+}
+
+// TestCheckEndpointWorkloadRules drives the per-request rule subset:
+// a query-rule-only workload against a registered database runs
+// without snapshotting or profiling (visible on /metrics), disabled
+// rules never fire, and unknown rule IDs are the client's error.
+func TestCheckEndpointWorkloadRules(t *testing.T) {
+	srv := server(t)
+	fixture := `CREATE TABLE tenants (id INT PRIMARY KEY, user_ids TEXT);` +
+		`INSERT INTO tenants VALUES (1, 'U1,U2,U3');` +
+		`INSERT INTO tenants VALUES (2, 'U4,U5,U6');` +
+		`INSERT INTO tenants VALUES (3, 'U7,U8,U9');` +
+		`INSERT INTO tenants VALUES (4, 'U1,U5,U9');` +
+		`INSERT INTO tenants VALUES (5, 'U2,U4,U8');` +
+		`INSERT INTO tenants VALUES (6, 'U3,U6,U7');`
+	reg, err := http.Post(srv.URL+"/api/databases/subsets", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"fixture": %q}`, fixture)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Body.Close()
+	if reg.StatusCode != http.StatusCreated {
+		t.Fatalf("register status = %d", reg.StatusCode)
+	}
+
+	body := `{"workloads": [{"sql": "SELECT * FROM tenants WHERE user_ids LIKE '%U5%' ORDER BY RAND()",
+		"db": "subsets", "rules": ["column-wildcard", "order-by-rand"]}]}`
+	resp, err := http.Post(srv.URL+"/api/check", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var batch BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	rep := batch.Reports[0]
+	if !rep.Has("column-wildcard") || !rep.Has("order-by-rand") {
+		t.Errorf("subset findings = %+v", rep.Findings)
+	}
+	if rep.Has("multi-valued-attribute") {
+		t.Error("disabled MVA rule fired on a rule-scoped request")
+	}
+
+	// The plan is visible on /metrics: no snapshot was taken, and the
+	// skipped-phase counters moved.
+	mresp, err := http.Get(srv.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m sqlcheck.Metrics
+	err = json.NewDecoder(mresp.Body).Decode(&m)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Snapshots != 0 || m.Skips.Snapshot != 1 || m.Skips.Profile != 1 {
+		t.Errorf("query-only request: snapshots=%d skips=%+v", m.Snapshots, m.Skips)
+	}
+	// And in the Prometheus rendering.
+	promResp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(promResp.Body)
+	promResp.Body.Close()
+	if !strings.Contains(string(prom), `sqlcheck_phase_skipped_total{phase="profile"} 1`) {
+		t.Errorf("prometheus rendering lacks skip counter:\n%s", prom)
+	}
+
+	// Unknown rule IDs: 400, naming the ID.
+	bad, err := http.Post(srv.URL+"/api/check", "application/json",
+		strings.NewReader(`{"workloads": [{"sql": "SELECT 1", "rules": ["nope-rule"]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := io.ReadAll(bad.Body)
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest || !strings.Contains(string(msg), "nope-rule") {
+		t.Errorf("unknown rule: status=%d body=%s", bad.StatusCode, msg)
+	}
 }
 
 func TestCheckEndpointBatch(t *testing.T) {

@@ -36,6 +36,11 @@ func writePrometheus(w io.Writer, m sqlcheck.Metrics) {
 	counter("sqlcheck_registry_misses_total", "Workload db lookups that found no registered database.", m.Registry.Misses)
 	counter("sqlcheck_snapshots_total", "Copy-on-write database snapshots taken for profiling isolation.", m.Snapshots)
 
+	fmt.Fprint(w, "# HELP sqlcheck_phase_skipped_total Workloads whose rule set let the engine elide a pipeline phase.\n# TYPE sqlcheck_phase_skipped_total counter\n")
+	fmt.Fprintf(w, "sqlcheck_phase_skipped_total{phase=%q} %d\n", "profile", m.Skips.Profile)
+	fmt.Fprintf(w, "sqlcheck_phase_skipped_total{phase=%q} %d\n", "snapshot", m.Skips.Snapshot)
+	fmt.Fprintf(w, "sqlcheck_phase_skipped_total{phase=%q} %d\n", "inter_query", m.Skips.InterQuery)
+
 	pool := func(label string, p sqlcheck.PoolStats) {
 		fmt.Fprintf(w, "sqlcheck_pool_size{pool=%q} %d\n", label, p.Size)
 		fmt.Fprintf(w, "sqlcheck_pool_in_use{pool=%q} %d\n", label, p.InUse)

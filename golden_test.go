@@ -28,7 +28,10 @@ const goldenPath = "testdata/golden/corpus.json"
 
 // goldenWorkloads assembles a deterministic cross-section of the
 // corpus: query-only GitHub repos, database-attached Django apps, a
-// data-only Kaggle database, and the GlobaLeaks MVA study.
+// data-only Kaggle database, the GlobaLeaks MVA study, and rule-subset
+// workloads exercising the demand-planned phase paths (query-rule-only
+// runs that skip snapshot+profiling, data-rule-only runs that skip the
+// inter-query phase).
 func goldenWorkloads(t *testing.T) (names []string, ws []Workload) {
 	t.Helper()
 	add := func(name, sql string, db *storage.Database) {
@@ -53,6 +56,25 @@ func goldenWorkloads(t *testing.T) (names []string, ws []Workload) {
 	add("globaleaks/mva",
 		`SELECT * FROM Tenants WHERE User_IDs LIKE '[[:<:]]U10[[:>:]]'`,
 		corpus.GlobaLeaksMVA(corpus.GlobaLeaksOptions{Tenants: 60, Users: 180, UsersPerTenant: 3, Seed: 2}))
+	// Rule-subset entries: the same Django app twice, once restricted
+	// to need-free query rules (the engine analyzes it database-free:
+	// no snapshot, no profiling) and once to data rules only (profiled,
+	// but no inter-query phase). Golden pins that subset plans change
+	// which phases run without drifting the selected rules' findings.
+	app := corpus.DjangoSuite(corpus.DjangoSuiteOptions{})[0]
+	appSQL := strings.Join(app.Statements, ";\n")
+	names = append(names, "subset/query-only/"+app.Name)
+	ws = append(ws, Workload{SQL: appSQL, DB: &Database{inner: app.DB},
+		Rules: []string{"column-wildcard", "order-by-rand", "implicit-columns",
+			"distinct-join", "too-many-joins", "pattern-matching"}})
+	for _, k := range corpus.KaggleSuite(corpus.KaggleSuiteOptions{}) {
+		if k.Name == "history-of-baseball" {
+			names = append(names, "subset/data-only/"+k.Name)
+			ws = append(ws, Workload{SQL: "", DB: &Database{inner: k.DB},
+				Rules: []string{"multi-valued-attribute", "redundant-column",
+					"incorrect-data-type", "missing-timezone", "denormalized-table"}})
+		}
+	}
 	return names, ws
 }
 
@@ -66,9 +88,20 @@ func findingKey(f Finding) string {
 
 func TestGoldenCorpus(t *testing.T) {
 	names, ws := goldenWorkloads(t)
-	reports, err := New().CheckWorkloads(t.Context(), ws)
+	checker := New()
+	reports, err := checker.CheckWorkloads(t.Context(), ws)
 	if err != nil {
 		t.Fatal(err)
+	}
+	// The subset entries must have exercised the demand-planned phase
+	// paths: the query-only workload ran snapshot- and profile-free,
+	// the data-only workload skipped the inter-query phase.
+	m := checker.Metrics()
+	if m.Skips.Snapshot < 1 || m.Skips.Profile < 1 {
+		t.Errorf("query-only subset did not skip snapshot/profiling: skips = %+v", m.Skips)
+	}
+	if m.Skips.InterQuery < 1 {
+		t.Errorf("data-only subset did not skip the inter-query phase: skips = %+v", m.Skips)
 	}
 	got := make(map[string][]string, len(names))
 	for i, rep := range reports {

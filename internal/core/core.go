@@ -27,6 +27,11 @@ type Options struct {
 	// weakest string matches.
 	MinConfidence float64
 	// Rules restricts detection to the given rule IDs (nil = all).
+	// The filter compiles once into a rules.RuleSet — disabled rules
+	// never reach gates or detectors, and the engine plans pipeline
+	// phases from the compiled set's declared needs. Engine paths
+	// reject unknown IDs at admission (rules.ErrUnknownRule); the
+	// sequential Detect path drops them silently.
 	Rules []string
 	// NoPrefilter disables the rule-dispatch prefilter, running every
 	// query-scoped rule on every statement. Kept as the benchmark
@@ -52,13 +57,16 @@ type Result struct {
 }
 
 // Detect runs the full pipeline over parsed statements and an optional
-// live database.
+// live database. The rule filter compiles into a rules.RuleSet up
+// front; unknown IDs in Options.Rules are silently dropped on this
+// legacy path (the Engine paths reject them at admission instead).
 func Detect(stmts []sqlast.Statement, db *storage.Database, opts Options) *Result {
 	if opts.MinConfidence == 0 {
 		opts.MinConfidence = 0.5
 	}
+	rs, _ := rules.NewRuleSet(opts.Rules)
 	ctx := appctx.Build(stmts, db, opts.Config)
-	return detectWithContext(ctx, opts)
+	return detectWithContext(ctx, opts, rs)
 }
 
 // DetectSQL parses the SQL text and runs detection.
@@ -66,51 +74,37 @@ func DetectSQL(sqlText string, db *storage.Database, opts Options) *Result {
 	return Detect(parser.ParseAll(sqlText), db, opts)
 }
 
-func ruleEnabled(opts Options, id string) bool {
-	if len(opts.Rules) == 0 {
-		return true
-	}
-	for _, r := range opts.Rules {
-		if r == id {
-			return true
-		}
-	}
-	return false
-}
-
-func detectWithContext(ctx *appctx.Context, opts Options) *Result {
+func detectWithContext(ctx *appctx.Context, opts Options, rs *rules.RuleSet) *Result {
 	res := &Result{Context: ctx}
-	all := rules.All()
 
 	// Phase 1: query rules per statement (intra-query detection with
 	// contextual refinement).
-	buf := make([]*rules.Rule, 0, len(all))
+	buf := make([]*rules.Rule, 0, rs.Size())
 	for qi, f := range ctx.Facts {
-		res.Findings = append(res.Findings, queryFindings(ctx, opts, all, qi, f, buf)...)
+		res.Findings = append(res.Findings, queryFindings(ctx, opts, rs, qi, f, buf)...)
 	}
 
 	// Phases 2 and 3: inter-query and data rules.
-	res.Findings = append(res.Findings, globalFindings(ctx, opts, all)...)
+	res.Findings = append(res.Findings, globalFindings(ctx, rs)...)
 
 	res.Findings = dedupe(res.Findings, opts.MinConfidence)
 	return res
 }
 
-// queryFindings runs the query-scoped rules over one statement —
-// the per-statement unit of work the concurrent pipeline fans out.
-// Unless disabled, the dispatch prefilter narrows the catalog to the
-// rules whose gates admit the statement. buf is optional dispatch
-// scratch space reused across statements by sequential callers.
-func queryFindings(ctx *appctx.Context, opts Options, all []*rules.Rule, qi int, f *qanalyze.Facts, buf []*rules.Rule) []rules.Finding {
-	candidates := all
+// queryFindings runs the set's query-scoped rules over one statement
+// — the per-statement unit of work the concurrent pipeline fans out.
+// Disabled rules were compiled out of the set at admission, so the
+// loop touches only enabled rules; unless NoPrefilter is set, the
+// derived dispatch gates further narrow the set to the rules that
+// could fire on this statement. buf is optional dispatch scratch
+// space reused across statements by sequential callers.
+func queryFindings(ctx *appctx.Context, opts Options, rs *rules.RuleSet, qi int, f *qanalyze.Facts, buf []*rules.Rule) []rules.Finding {
+	candidates := rs.QueryRules()
 	if !opts.NoPrefilter {
-		candidates = rules.QueryRulesFor(f, all, buf)
+		candidates = rs.QueryRulesFor(f, buf)
 	}
 	var out []rules.Finding
 	for _, r := range candidates {
-		if r.DetectQuery == nil || !ruleEnabled(opts, r.ID) {
-			continue
-		}
 		out = append(out, r.DetectQuery(qi, f, ctx)...)
 	}
 	return out
@@ -123,29 +117,27 @@ func queryFindings(ctx *appctx.Context, opts Options, all []*rules.Rule, qi int,
 // Findings are returned raw: no dedupe or confidence threshold runs
 // on this path.
 func DetectQueries(ctx *appctx.Context, opts Options) []rules.Finding {
-	all := rules.All()
-	buf := make([]*rules.Rule, 0, len(all))
+	rs, _ := rules.NewRuleSet(opts.Rules)
+	buf := make([]*rules.Rule, 0, rs.Size())
 	var out []rules.Finding
 	for qi, f := range ctx.Facts {
-		out = append(out, queryFindings(ctx, opts, all, qi, f, buf)...)
+		out = append(out, queryFindings(ctx, opts, rs, qi, f, buf)...)
 	}
 	return out
 }
 
 // globalFindings runs the phases that need the whole application
-// context at once: schema rules (phase 2, inter-query detection) and
-// data rules per table profile (phase 3, Algorithm 3).
-func globalFindings(ctx *appctx.Context, opts Options, all []*rules.Rule) []rules.Finding {
+// context at once: the set's schema rules (phase 2, inter-query
+// detection) and its data rules per table profile (phase 3,
+// Algorithm 3). Empty scope slices skip their loops outright.
+func globalFindings(ctx *appctx.Context, rs *rules.RuleSet) []rules.Finding {
 	var out []rules.Finding
 	if ctx.Inter() {
-		for _, r := range all {
-			if r.DetectSchema == nil || !ruleEnabled(opts, r.ID) {
-				continue
-			}
+		for _, r := range rs.SchemaRules() {
 			out = append(out, r.DetectSchema(ctx)...)
 		}
 	}
-	if ctx.HasData() {
+	if ctx.HasData() && len(rs.DataRules()) > 0 {
 		// Deterministic table order.
 		var names []string
 		for name := range ctx.Profiles {
@@ -154,10 +146,7 @@ func globalFindings(ctx *appctx.Context, opts Options, all []*rules.Rule) []rule
 		sort.Strings(names)
 		for _, name := range names {
 			tp := ctx.Profiles[name]
-			for _, r := range all {
-				if r.DetectData == nil || !ruleEnabled(opts, r.ID) {
-					continue
-				}
+			for _, r := range rs.DataRules() {
 				out = append(out, r.DetectData(tp, ctx)...)
 			}
 		}

@@ -151,8 +151,29 @@ type EngineMetrics struct {
 	// Snapshots counts copy-on-write database snapshots taken for
 	// profiling isolation (one per database-attached workload).
 	Snapshots int64 `json:"snapshots"`
+	// Skips counts pipeline work elided by demand planning: stages
+	// that did not run because no enabled rule needed them.
+	Skips PhaseSkipStats `json:"skips"`
 	// Phases holds per-phase latency histograms in pipeline order.
 	Phases []PhaseStats `json:"phases"`
+}
+
+// PhaseSkipStats counts workloads whose compiled rule set let the
+// engine elide pipeline work. Each counter is per workload, so
+// (Skips.Profile + profile-phase Count) tracks database-attached
+// inter-mode workloads.
+type PhaseSkipStats struct {
+	// Profile counts database-attached workloads analyzed without
+	// table profiling (no enabled rule consumes data profiles).
+	Profile int64 `json:"profile"`
+	// Snapshot counts database-attached workloads analyzed without a
+	// copy-on-write snapshot: no enabled rule touches the database at
+	// all (implying a Profile skip too), or intra mode never builds
+	// schema or profiles.
+	Snapshot int64 `json:"snapshot"`
+	// InterQuery counts inter-mode workloads that ran no inter-query
+	// (schema-scoped) rules.
+	InterQuery int64 `json:"inter_query"`
 }
 
 // Metrics snapshots the engine's cache, pools, registry counters, and
@@ -164,6 +185,11 @@ func (e *Engine) Metrics() EngineMetrics {
 		Workloads:  e.workloads.Stats(),
 		Registry:   e.registry.Stats(),
 		Snapshots:  e.snapshots.Load(),
-		Phases:     e.phases.snapshot(),
+		Skips: PhaseSkipStats{
+			Profile:    e.skips.profile.Load(),
+			Snapshot:   e.skips.snapshot.Load(),
+			InterQuery: e.skips.interQuery.Load(),
+		},
+		Phases: e.phases.snapshot(),
 	}
 }

@@ -132,6 +132,14 @@ type Workload struct {
 	// Profile, when non-nil, replaces the engine's sampling options
 	// for this workload only.
 	Profile *profile.Options
+	// Rules, when non-empty, replaces the engine's rule filter for
+	// this workload. The IDs compile into a rules.RuleSet at batch
+	// admission; unknown IDs fail the batch with rules.ErrUnknownRule.
+	// The engine plans this workload's phases from the compiled set:
+	// no profile-needing rules means no table profiling, no
+	// database-needing rules means no admission snapshot, and no
+	// schema-scoped rules skips the inter-query phase.
+	Rules []string
 }
 
 // Engine is a reusable concurrent detection pipeline: a bounded
@@ -151,10 +159,32 @@ type Engine struct {
 	cache     *ParseCache
 	phases    *phaseSet
 	registry  *Registry
+	// ruleSet is Options.Rules compiled once at construction — the
+	// admission-time form of the rule filter. rulesErr records unknown
+	// IDs and fails every batch until the options are fixed.
+	ruleSet  *rules.RuleSet
+	rulesErr error
 	// snapshots counts copy-on-write database snapshots taken for
 	// profiling isolation — one per database-attached workload,
 	// whether registry-resolved or inline.
 	snapshots atomic.Int64
+	// skips counts demand-planning decisions: pipeline work not done
+	// because no enabled rule needed it.
+	skips phaseSkipCounters
+}
+
+// phaseSkipCounters tallies skipped work per planning decision.
+type phaseSkipCounters struct {
+	// profile counts workloads with an attached database whose rule
+	// set needed no data profiles, so table profiling did not run.
+	profile atomic.Int64
+	// snapshot counts database-attached workloads whose rule set
+	// needed nothing from the database, so no copy-on-write snapshot
+	// was taken and analysis proceeded database-free.
+	snapshot atomic.Int64
+	// interQuery counts inter-mode workloads whose rule set had no
+	// schema-scoped rules, so the inter-query phase did not run.
+	interQuery atomic.Int64
 }
 
 // NewEngine builds an Engine. concurrency bounds the worker pool
@@ -169,6 +199,7 @@ func NewEngine(opts Options, concurrency int) *Engine {
 	if cache == nil {
 		cache = NewParseCache(DefaultParseCacheBytes)
 	}
+	rs, rsErr := rules.NewRuleSet(opts.Rules)
 	return &Engine{
 		opts:      opts,
 		stmts:     NewPool(concurrency),
@@ -176,6 +207,8 @@ func NewEngine(opts Options, concurrency int) *Engine {
 		cache:     cache,
 		phases:    newPhaseSet(),
 		registry:  NewRegistry(),
+		ruleSet:   rs,
+		rulesErr:  rsErr,
 	}
 }
 
@@ -206,13 +239,13 @@ func (e *Engine) CacheStats() (hits, misses int64) {
 // is canceled or when a workload is malformed (unknown DBName, or
 // both DB and DBName set); no results are returned on error.
 func (e *Engine) DetectWorkloads(ctx context.Context, ws []Workload) ([]*Result, error) {
-	ws, err := e.resolveWorkloads(ws)
+	planned, err := e.resolveWorkloads(ws)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*Result, len(ws))
-	err = e.workloads.each(ctx, len(ws), func(i int) {
-		r, err := e.detectWorkload(ctx, ws[i])
+	out := make([]*Result, len(planned))
+	err = e.workloads.each(ctx, len(planned), func(i int) {
+		r, err := e.detectWorkload(ctx, planned[i])
 		if err != nil {
 			return // ctx canceled; surfaced below
 		}
@@ -224,17 +257,58 @@ func (e *Engine) DetectWorkloads(ctx context.Context, ws []Workload) ([]*Result,
 	return out, nil
 }
 
-// resolveWorkloads materializes each workload's analysis database:
-// named workloads resolve through the registry, and any attached
-// database — registered or inline — is replaced by a copy-on-write
-// snapshot, so profiling always reads a frozen, consistent view while
-// DML may continue on the live handle. Workloads sharing one database
-// (by name or by handle) share one snapshot, so the whole batch
-// analyzes the same state and pays the page-capture cost once.
-func (e *Engine) resolveWorkloads(ws []Workload) ([]Workload, error) {
-	out := make([]Workload, len(ws))
-	snaps := make(map[*storage.Database]*storage.Database)
+// plannedWorkload is a workload after admission: database resolved
+// and snapshotted (or dropped), rule filter compiled into the set the
+// detection stages dispatch from.
+type plannedWorkload struct {
+	Workload
+	rs *rules.RuleSet
+}
+
+// resolveWorkloads admits a batch: it compiles each workload's
+// effective rule set and materializes each workload's analysis
+// database. Named workloads resolve through the registry, and any
+// attached database — registered or inline — is replaced by a
+// copy-on-write snapshot, so profiling always reads a frozen,
+// consistent view while DML may continue on the live handle.
+// Workloads sharing one database (by name or by handle) share one
+// snapshot, so the whole batch analyzes the same state and pays the
+// page-capture cost once.
+//
+// Admission is also where demand planning happens: a workload whose
+// rule set needs nothing from the database analyzes database-free (no
+// snapshot is taken), and one whose set needs schema reflection but
+// no profiles is marked to skip the profiling phase. Unknown rule
+// IDs — in Options.Rules or a workload's Rules — fail the whole
+// batch here, before any analysis work starts.
+func (e *Engine) resolveWorkloads(ws []Workload) ([]plannedWorkload, error) {
+	if e.rulesErr != nil {
+		return nil, e.rulesErr
+	}
+	out := make([]plannedWorkload, len(ws))
+	engineSet := e.ruleSet
+	if engineSet.All() {
+		// An unfiltered engine tracks the live catalog, not the set
+		// compiled at construction: rules registered after NewEngine
+		// (the public RegisterRule extension path) must run here just
+		// as they do on the sequential Detect path. The all-set is
+		// cached and invalidated by Register, so this costs one lock
+		// per batch.
+		engineSet = rules.AllRuleSet()
+	}
+	// Pass 1 — validate the whole batch: compile every workload's rule
+	// set and resolve every database reference before any snapshot is
+	// taken or metric bumped, so a malformed workload anywhere in the
+	// batch costs nothing and skews no counters.
 	for i, w := range ws {
+		rs := engineSet
+		if len(w.Rules) > 0 {
+			var err error
+			rs, err = rules.NewRuleSet(w.Rules)
+			if err != nil {
+				return nil, fmt.Errorf("workload %d: %w", i, err)
+			}
+		}
 		if w.DBName != "" {
 			if w.DB != nil {
 				return nil, fmt.Errorf("sqlcheck: workload %d: DB and DBName are mutually exclusive", i)
@@ -245,7 +319,28 @@ func (e *Engine) resolveWorkloads(ws []Workload) ([]Workload, error) {
 			}
 			w.DB = db
 		}
-		if w.DB != nil {
+		out[i] = plannedWorkload{Workload: w, rs: rs}
+	}
+	// Pass 2 — the batch is admitted: apply the phase plan, snapshot
+	// the databases still needed, and count the planning decisions.
+	snaps := make(map[*storage.Database]*storage.Database)
+	inter := e.opts.Config.Mode != appctx.ModeIntra
+	for i := range out {
+		w, rs := &out[i].Workload, out[i].rs
+		if w.DB == nil {
+			continue
+		}
+		switch {
+		case !inter, !rs.NeedsDatabase():
+			// Nothing will read schema or data — either the rule set
+			// needs neither, or intra mode never builds them: analyze
+			// database-free. No snapshot, no reflection, no profiling.
+			w.DB = nil
+			e.skips.snapshot.Add(1)
+			if inter {
+				e.skips.profile.Add(1)
+			}
+		default:
 			snap, ok := snaps[w.DB]
 			if !ok {
 				snap = w.DB.Snapshot()
@@ -253,15 +348,20 @@ func (e *Engine) resolveWorkloads(ws []Workload) ([]Workload, error) {
 				e.snapshots.Add(1)
 			}
 			w.DB = snap
+			if inter && !rs.NeedsProfile() {
+				e.skips.profile.Add(1)
+			}
 		}
-		out[i] = w
 	}
 	return out, nil
 }
 
-// detectWorkload runs the staged pipeline over one workload. Stages
-// observe their wall time into the engine's phase histograms.
-func (e *Engine) detectWorkload(ctx context.Context, w Workload) (*Result, error) {
+// detectWorkload runs the staged pipeline over one admitted workload.
+// Stages observe their wall time into the engine's phase histograms;
+// stages the workload's rule set does not demand are skipped (zero
+// observations) rather than run empty.
+func (e *Engine) detectWorkload(ctx context.Context, pw plannedWorkload) (*Result, error) {
+	w := pw.Workload
 	cfg := e.opts.Config
 	if w.Profile != nil {
 		cfg.Profile = *w.Profile
@@ -284,14 +384,21 @@ func (e *Engine) detectWorkload(ctx context.Context, w Workload) (*Result, error
 
 	// Stage 2, per table: data profiling fans out on the same pool as
 	// statement work, so a 50-table database profiles with N-way
-	// parallelism instead of serially inside the context build.
-	start = time.Now()
-	profiles, err := e.profileTables(ctx, w.DB, cfg)
-	if err != nil {
-		return nil, err
-	}
-	if profiles != nil {
-		e.phases.observe(PhaseProfile, time.Since(start))
+	// parallelism instead of serially inside the context build. The
+	// phase runs only on demand: when no rule in the workload's set
+	// consumes profiles, the whole stage — snapshot scan, sampling,
+	// histogramming — is elided (counted at admission in skips).
+	var profiles map[string]*profile.TableProfile
+	if pw.rs.NeedsProfile() {
+		start = time.Now()
+		var err error
+		profiles, err = e.profileTables(ctx, w.DB, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if profiles != nil {
+			e.phases.observe(PhaseProfile, time.Since(start))
+		}
 	}
 
 	// Stage 3, global: application-context build (schema replay,
@@ -308,13 +415,14 @@ func (e *Engine) detectWorkload(ctx context.Context, w Workload) (*Result, error
 	e.phases.observe(PhaseContext, time.Since(start))
 
 	// Stage 4, per statement: query-rule evaluation behind the
-	// dispatch prefilter. The context is read-only from here on;
-	// per-statement result slots keep ordering deterministic.
+	// dispatch prefilter, over the workload's compiled rule set —
+	// disabled rules were dropped at admission and never reach the
+	// gates. The context is read-only from here on; per-statement
+	// result slots keep ordering deterministic.
 	start = time.Now()
-	all := rules.All()
 	perStmt := make([][]rules.Finding, len(facts))
 	if err := e.stmts.each(ctx, len(facts), func(i int) {
-		perStmt[i] = queryFindings(actx, e.opts, all, i, facts[i], nil)
+		perStmt[i] = queryFindings(actx, e.opts, pw.rs, i, facts[i], nil)
 	}); err != nil {
 		return nil, err
 	}
@@ -322,14 +430,18 @@ func (e *Engine) detectWorkload(ctx context.Context, w Workload) (*Result, error
 
 	// Stage 5, global: inter-query and data rules, then dedupe — in
 	// the sequential path's exact append order, so results match
-	// Detect byte for byte.
+	// Detect byte for byte. A set with no schema-scoped rules skips
+	// the inter-query phase (counted in skips).
+	if actx.Inter() && !pw.rs.HasGlobalRules() {
+		e.skips.interQuery.Add(1)
+	}
 	start = time.Now()
 	res := &Result{Context: actx}
 	if err := e.stmts.run(ctx, func() {
 		for _, fs := range perStmt {
 			res.Findings = append(res.Findings, fs...)
 		}
-		res.Findings = append(res.Findings, globalFindings(actx, e.opts, all)...)
+		res.Findings = append(res.Findings, globalFindings(actx, pw.rs)...)
 		res.Findings = dedupe(res.Findings, e.opts.MinConfidence)
 	}); err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"sqlcheck/internal/profile"
+	"sqlcheck/internal/rules"
 	"sqlcheck/internal/schema"
 	"sqlcheck/internal/storage"
 )
@@ -259,6 +261,176 @@ func TestEngineWorkloadProfileOverride(t *testing.T) {
 	}
 	if n := got[1].Context.Profiles["tenants"].RowsSampled; n != 60 {
 		t.Errorf("default workload sampled %d rows, want all 60", n)
+	}
+}
+
+// phaseCount returns the observation count of one phase histogram.
+func phaseCount(m EngineMetrics, phase string) int64 {
+	for _, ph := range m.Phases {
+		if ph.Phase == phase {
+			return ph.Count
+		}
+	}
+	return -1
+}
+
+// TestQueryOnlyWorkloadSkipsProfilingAndSnapshot is the demand-planning
+// contract: a workload restricted to rules that need nothing from the
+// database analyzes it as if no database were attached — no
+// copy-on-write snapshot, no table profiling — and still produces
+// exactly the findings those rules produce on a full-phase run.
+func TestQueryOnlyWorkloadSkipsProfilingAndSnapshot(t *testing.T) {
+	db := workloadDB(0)
+	sql := pipelineSQL(1)
+	subset := []string{rules.IDColumnWildcard, rules.IDOrderByRand, rules.IDDistinctJoin}
+
+	// Ground truth: the full-phase run, filtered to the subset.
+	full := DetectSQL(sql, db, DefaultOptions())
+	var want []rules.Finding
+	for _, f := range full.Findings {
+		for _, id := range subset {
+			if f.RuleID == id {
+				want = append(want, f)
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("subset found nothing on the corpus; test is vacuous")
+	}
+
+	eng := NewEngine(DefaultOptions(), 2)
+	got, err := eng.DetectWorkloads(context.Background(), []Workload{
+		{SQL: sql, DB: db, Rules: subset},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got[0].Findings) {
+		t.Errorf("subset findings diverge from filtered full run:\nwant %+v\ngot  %+v", want, got[0].Findings)
+	}
+	m := eng.Metrics()
+	if m.Snapshots != 0 {
+		t.Errorf("query-only workload took %d snapshots, want 0", m.Snapshots)
+	}
+	if m.Skips.Snapshot != 1 || m.Skips.Profile != 1 {
+		t.Errorf("skips = %+v, want snapshot=1 profile=1", m.Skips)
+	}
+	if n := phaseCount(m, PhaseProfile); n != 0 {
+		t.Errorf("profile phase observed %d workloads, want 0", n)
+	}
+	if got[0].Context.HasData() {
+		t.Error("query-only workload still built data profiles")
+	}
+}
+
+// TestSchemaNeedingSubsetSnapshotsWithoutProfiling: a subset that
+// refines against the schema but consumes no profiles still snapshots
+// the database (reflection must not race with live DML) yet skips the
+// profiling phase.
+func TestSchemaNeedingSubsetSnapshotsWithoutProfiling(t *testing.T) {
+	eng := NewEngine(DefaultOptions(), 2)
+	_, err := eng.DetectWorkloads(context.Background(), []Workload{
+		{SQL: `SELECT label || user_ids FROM tenants`, DB: workloadDB(3),
+			Rules: []string{rules.IDConcatenateNulls}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := eng.Metrics()
+	if m.Snapshots != 1 || m.Skips.Snapshot != 0 {
+		t.Errorf("snapshots = %d, skips = %+v; want one snapshot, none skipped", m.Snapshots, m.Skips)
+	}
+	if m.Skips.Profile != 1 || phaseCount(m, PhaseProfile) != 0 {
+		t.Errorf("profiling ran: skips = %+v, phase count = %d", m.Skips, phaseCount(m, PhaseProfile))
+	}
+}
+
+// TestDataOnlySubsetSkipsInterQueryPhase: a data-rule-only subset
+// profiles the database but runs no schema-scoped rules, and its
+// findings equal the sequential path under the same filter.
+func TestDataOnlySubsetSkipsInterQueryPhase(t *testing.T) {
+	db := workloadDB(5)
+	subset := []string{rules.IDRedundantColumn, rules.IDIncorrectDataType}
+	opts := DefaultOptions()
+	opts.Rules = subset
+	want := DetectSQL("", db, opts)
+
+	eng := NewEngine(DefaultOptions(), 2)
+	got, err := eng.DetectWorkloads(context.Background(), []Workload{
+		{SQL: "", DB: db, Rules: subset},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Findings, got[0].Findings) {
+		t.Errorf("data-only subset diverges from sequential path")
+	}
+	m := eng.Metrics()
+	if m.Snapshots != 1 || phaseCount(m, PhaseProfile) != 1 {
+		t.Errorf("data subset must snapshot and profile: snapshots=%d profile count=%d",
+			m.Snapshots, phaseCount(m, PhaseProfile))
+	}
+	if m.Skips.InterQuery != 1 {
+		t.Errorf("inter-query skips = %d, want 1", m.Skips.InterQuery)
+	}
+}
+
+// TestWorkloadRulesOverrideEngineFilter: a workload's Rules replaces
+// the engine's Options.Rules for that workload only.
+func TestWorkloadRulesOverrideEngineFilter(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Rules = []string{rules.IDOrderByRand}
+	eng := NewEngine(opts, 2)
+	got, err := eng.DetectWorkloads(context.Background(), []Workload{
+		{SQL: `SELECT * FROM t ORDER BY RAND()`},
+		{SQL: `SELECT * FROM t ORDER BY RAND()`, Rules: []string{rules.IDColumnWildcard}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := CountByRule(got[0].Findings); c[rules.IDOrderByRand] != 1 || c[rules.IDColumnWildcard] != 0 {
+		t.Errorf("engine filter workload: %v", c)
+	}
+	if c := CountByRule(got[1].Findings); c[rules.IDColumnWildcard] != 1 || c[rules.IDOrderByRand] != 0 {
+		t.Errorf("workload override: %v", c)
+	}
+}
+
+// TestUnknownRuleIDsFailAtAdmission: unknown IDs — per workload or in
+// the engine options — fail the batch before any analysis runs.
+func TestUnknownRuleIDsFailAtAdmission(t *testing.T) {
+	eng := NewEngine(DefaultOptions(), 2)
+	_, err := eng.DetectWorkloads(context.Background(), []Workload{
+		{SQL: "SELECT 1", Rules: []string{"no-such-rule"}},
+	})
+	if !errors.Is(err, rules.ErrUnknownRule) || !strings.Contains(err.Error(), "no-such-rule") {
+		t.Errorf("workload rules: err = %v", err)
+	}
+
+	opts := DefaultOptions()
+	opts.Rules = []string{"still-not-a-rule"}
+	badEng := NewEngine(opts, 2)
+	if _, err := badEng.DetectWorkloads(context.Background(), []Workload{{SQL: "SELECT 1"}}); !errors.Is(err, rules.ErrUnknownRule) {
+		t.Errorf("engine rules: err = %v", err)
+	}
+}
+
+// TestFailedAdmissionLeavesNoTrace: a batch rejected at admission —
+// here a valid database workload followed by a bad rule filter —
+// must cost nothing: no snapshot taken, no snapshot or skip counter
+// moved. Metrics only ever describe analyses that were admitted.
+func TestFailedAdmissionLeavesNoTrace(t *testing.T) {
+	eng := NewEngine(DefaultOptions(), 2)
+	_, err := eng.DetectWorkloads(context.Background(), []Workload{
+		{SQL: "SELECT 1", DB: workloadDB(2)},
+		{SQL: "SELECT 1", Rules: []string{"no-such-rule"}},
+	})
+	if !errors.Is(err, rules.ErrUnknownRule) {
+		t.Fatalf("err = %v, want ErrUnknownRule", err)
+	}
+	m := eng.Metrics()
+	if m.Snapshots != 0 || m.Skips != (PhaseSkipStats{}) {
+		t.Errorf("rejected batch left metrics: snapshots=%d skips=%+v", m.Snapshots, m.Skips)
 	}
 }
 

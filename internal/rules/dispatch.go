@@ -3,13 +3,18 @@ package rules
 // Rule-dispatch prefilter: before the detection loop invokes a
 // query-scoped rule, its Gate — a cheap statement-kind and keyword
 // check — decides whether the rule can possibly fire on the
-// statement. Gates are conservative: a gate may admit a statement the
-// detector then rejects, but it must never reject a statement the
-// detector would flag, so prefiltered detection produces exactly the
-// findings a full registry scan would. On realistic workloads most
-// statements are plain DML that can trigger only a handful of the
-// catalog's rules, so dispatch cost drops from |rules| detector calls
-// per statement to a few substring probes plus the admitted calls.
+// statement. Gates are never hand-written: Register derives each
+// rule's gate from its declarative Meta (statement kinds, fact
+// predicate, token requirements), so a rule's dispatch behavior is
+// read off the same metadata that drives phase planning and the
+// catalog endpoints. Gates are conservative: a gate may admit a
+// statement the detector then rejects, but it must never reject a
+// statement the detector would flag, so prefiltered detection
+// produces exactly the findings a full registry scan would. On
+// realistic workloads most statements are plain DML that can trigger
+// only a handful of the catalog's rules, so dispatch cost drops from
+// |rules| detector calls per statement to a few substring probes plus
+// the admitted calls.
 
 import (
 	"strings"
@@ -111,26 +116,4 @@ func (g *Gate) admitsLazy(f *qanalyze.Facts, upper *string, uppered *bool) bool 
 		*uppered = true
 	}
 	return g.tokensAdmit(*upper)
-}
-
-// QueryRulesFor returns the subset of rules whose DetectQuery could
-// fire on the statement, admitting through each rule's Gate. Rules
-// without a DetectQuery are dropped; order is preserved so dispatch
-// stays deterministic. buf, when non-nil, is reused as the backing
-// array to keep dispatch allocation-free in hot loops; the lazily
-// upper-cased text is shared across all gates of the statement.
-func QueryRulesFor(f *qanalyze.Facts, all []*Rule, buf []*Rule) []*Rule {
-	out := buf[:0]
-	var upper string
-	var uppered bool
-	for _, r := range all {
-		if r.DetectQuery == nil {
-			continue
-		}
-		if !r.Gate.admitsLazy(f, &upper, &uppered) {
-			continue
-		}
-		out = append(out, r)
-	}
-	return out
 }

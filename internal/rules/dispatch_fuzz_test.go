@@ -36,7 +36,7 @@ func assertGateConservative(t *testing.T, sqlText string) {
 	ctx := appctx.Build(stmts, nil, appctx.DefaultConfig())
 	all := rules.All()
 	for qi, f := range ctx.Facts {
-		gated := findingsVia(rules.QueryRulesFor(f, all, nil), qi, f, ctx)
+		gated := findingsVia(rules.AllRuleSet().QueryRulesFor(f, nil), qi, f, ctx)
 		full := findingsVia(queryRules(all), qi, f, ctx)
 		if !reflect.DeepEqual(gated, full) {
 			t.Errorf("gated dispatch diverges from full scan on %q:\ngated: %v\nfull:  %v",
@@ -151,7 +151,7 @@ func TestDispatchGateRejectionMeansNoFindings(t *testing.T) {
 		ctx := appctx.Build(stmts, nil, appctx.DefaultConfig())
 		for qi, f := range ctx.Facts {
 			admitted := map[string]bool{}
-			for _, r := range rules.QueryRulesFor(f, all, nil) {
+			for _, r := range rules.AllRuleSet().QueryRulesFor(f, nil) {
 				admitted[r.ID] = true
 			}
 			for _, r := range all {

@@ -107,7 +107,7 @@ func TestPrefilterPreservesFindings(t *testing.T) {
 				}
 				full = append(full, r.DetectQuery(qi, f, ctx)...)
 			}
-			for _, r := range QueryRulesFor(f, all, nil) {
+			for _, r := range AllRuleSet().QueryRulesFor(f, nil) {
 				gated = append(gated, r.DetectQuery(qi, f, ctx)...)
 			}
 			if !reflect.DeepEqual(full, gated) {
@@ -130,7 +130,7 @@ func TestPrefilterSkipsRules(t *testing.T) {
 			queryScoped++
 		}
 	}
-	admitted := QueryRulesFor(ctx.Facts[0], all, nil)
+	admitted := AllRuleSet().QueryRulesFor(ctx.Facts[0], nil)
 	if len(admitted) >= queryScoped {
 		t.Errorf("prefilter admitted %d of %d query-scoped rules for a trivial lookup",
 			len(admitted), queryScoped)

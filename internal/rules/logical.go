@@ -44,7 +44,9 @@ func init() {
 		// Every detection path needs a pattern-match operator (the
 		// SIMILAR TO case arrives as ExprJoin + PatternMatching) or a
 		// delimiter character inside a compared/inserted literal.
-		Gate: &Gate{Match: func(f *qanalyze.Facts) bool {
+		// NeedSchema|NeedProfile: the query detector refines against
+		// declared column classes and the delimiter-list data profile.
+		Meta: Meta{Needs: NeedSchema | NeedProfile, Facts: func(f *qanalyze.Facts) bool {
 			if f.ExprJoin && f.PatternMatching {
 				return true
 			}
@@ -180,7 +182,7 @@ func init() {
 			"identity; duplicates accumulate and replication breaks.",
 		Flags:   ImpactFlags{Performance: true, Maintainability: true, DataAmp: 1, DataIntegrity: true},
 		Metrics: Metrics{ReadPerf: 2, Maint: 2, DataAmp: 1, Integrity: 1},
-		Gate:    &Gate{Kinds: []sqlast.StatementKind{sqlast.KindCreateTable}},
+		Meta:    Meta{Kinds: []sqlast.StatementKind{sqlast.KindCreateTable}},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			ct, ok := f.Stmt.(*sqlast.CreateTableStatement)
 			if !ok || ct.AsSelect != nil {
@@ -261,7 +263,7 @@ func init() {
 			"domain key and invites duplicate logical rows.",
 		Flags:   ImpactFlags{Maintainability: true},
 		Metrics: Metrics{Maint: 1},
-		Gate:    &Gate{Kinds: []sqlast.StatementKind{sqlast.KindCreateTable}},
+		Meta:    Meta{Kinds: []sqlast.StatementKind{sqlast.KindCreateTable}},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			ct, ok := f.Stmt.(*sqlast.CreateTableStatement)
 			if !ok {
@@ -296,7 +298,7 @@ func init() {
 			"sales_2019, sales_2020) forces DDL changes as data grows.",
 		Flags:   ImpactFlags{Performance: true, Maintainability: true, DataAmp: -1, DataIntegrity: true, Accuracy: true},
 		Metrics: Metrics{ReadPerf: 1, Maint: 4, DataAmp: 1, Integrity: 1, Accuracy: 1},
-		Gate:    &Gate{Kinds: []sqlast.StatementKind{sqlast.KindCreateTable}},
+		Meta:    Meta{Kinds: []sqlast.StatementKind{sqlast.KindCreateTable}},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			ct, ok := f.Stmt.(*sqlast.CreateTableStatement)
 			if !ok {
@@ -337,7 +339,7 @@ func init() {
 			"but makes depth queries and subtree deletes expensive.",
 		Flags:   ImpactFlags{Performance: true},
 		Metrics: Metrics{ReadPerf: 1.1},
-		Gate: &Gate{
+		Meta: Meta{
 			Kinds:    []sqlast.StatementKind{sqlast.KindCreateTable},
 			AnyToken: []string{"REFERENCES", "FOREIGN"},
 		},
@@ -388,7 +390,7 @@ func init() {
 			"several entities and update patterns.",
 		Flags:   ImpactFlags{Performance: true, Maintainability: true},
 		Metrics: Metrics{ReadPerf: 1.2, Maint: 3},
-		Gate:    &Gate{Kinds: []sqlast.StatementKind{sqlast.KindCreateTable}},
+		Meta:    Meta{Kinds: []sqlast.StatementKind{sqlast.KindCreateTable}},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			ct, ok := f.Stmt.(*sqlast.CreateTableStatement)
 			if !ok {

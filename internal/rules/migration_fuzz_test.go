@@ -1,0 +1,213 @@
+package rules_test
+
+// Migration safety for the metadata-derived dispatch gates. Until
+// this refactor the 17 dispatch gates were hand-written Gate literals
+// in the rule definitions; they are now derived from each rule's
+// declarative Meta. The hand-written gates were fuzz-verified
+// conservative, so the migration is safe iff, for every statement,
+// (1) a derived gate admits at least what its hand-written
+// predecessor admitted — the derived admission set is a superset —
+// and (2) gated dispatch still produces byte-identical findings to a
+// NoPrefilter full-catalog scan (conservatism, checked via
+// assertGateConservative). legacyGates below is a frozen copy of the
+// pre-refactor literals; it is test data and must not track future
+// metadata changes — it pins what the migration had to preserve.
+
+import (
+	"strings"
+	"testing"
+
+	"sqlcheck/internal/appctx"
+	"sqlcheck/internal/corpus"
+	"sqlcheck/internal/parser"
+	"sqlcheck/internal/qanalyze"
+	"sqlcheck/internal/rules"
+	"sqlcheck/internal/sqlast"
+)
+
+// legacyGates reproduces the hand-written Gate literals exactly as
+// they appeared in internal/rules/{query,logical,physical}.go before
+// gates were derived from rule metadata. Rules absent from the map
+// had no gate (readable-password) or no query detector.
+var legacyGates = map[string]*rules.Gate{
+	rules.IDColumnWildcard: {
+		Kinds: []sqlast.StatementKind{sqlast.KindSelect},
+		Match: func(f *qanalyze.Facts) bool { return f.SelectStar },
+	},
+	rules.IDConcatenateNulls: {
+		Match: func(f *qanalyze.Facts) bool { return len(f.ConcatColumns) > 0 },
+	},
+	rules.IDOrderByRand: {
+		Match: func(f *qanalyze.Facts) bool { return f.OrderByRand },
+	},
+	rules.IDPatternMatching: {
+		Match: func(f *qanalyze.Facts) bool {
+			if f.ExprJoin && f.PatternMatching {
+				return true
+			}
+			for _, p := range f.Predicates {
+				if p.LeadingWildcard || p.Op == "REGEXP" || p.Op == "RLIKE" ||
+					p.Op == "SIMILAR TO" || strings.Contains(p.Literal, "[[:") {
+					return true
+				}
+			}
+			return false
+		},
+	},
+	rules.IDImplicitColumns: {
+		Kinds: []sqlast.StatementKind{sqlast.KindInsert},
+	},
+	rules.IDDistinctJoin: {
+		Kinds: []sqlast.StatementKind{sqlast.KindSelect},
+		Match: func(f *qanalyze.Facts) bool { return f.Distinct && f.JoinCount > 0 },
+	},
+	rules.IDTooManyJoins: {
+		Kinds: []sqlast.StatementKind{sqlast.KindSelect, sqlast.KindInsert},
+		Match: func(f *qanalyze.Facts) bool { return f.JoinCount > 0 },
+	},
+	rules.IDMultiValuedAttribute: {
+		Match: func(f *qanalyze.Facts) bool {
+			if f.ExprJoin && f.PatternMatching {
+				return true
+			}
+			for _, p := range f.Predicates {
+				switch p.Op {
+				case "LIKE", "ILIKE", "REGEXP", "RLIKE", "GLOB":
+					return true
+				}
+				if strings.ContainsAny(p.Literal, ",;|") {
+					return true
+				}
+			}
+			for _, row := range f.InsertLiterals {
+				for _, lit := range row {
+					if strings.ContainsAny(lit, ",;|") {
+						return true
+					}
+				}
+			}
+			return false
+		},
+	},
+	rules.IDNoPrimaryKey: {
+		Kinds: []sqlast.StatementKind{sqlast.KindCreateTable},
+	},
+	rules.IDGenericPrimaryKey: {
+		Kinds: []sqlast.StatementKind{sqlast.KindCreateTable},
+	},
+	rules.IDDataInMetadata: {
+		Kinds: []sqlast.StatementKind{sqlast.KindCreateTable},
+	},
+	rules.IDAdjacencyList: {
+		Kinds:    []sqlast.StatementKind{sqlast.KindCreateTable},
+		AnyToken: []string{"REFERENCES", "FOREIGN"},
+	},
+	rules.IDGodTable: {
+		Kinds: []sqlast.StatementKind{sqlast.KindCreateTable},
+	},
+	rules.IDRoundingErrors: {
+		Kinds:    []sqlast.StatementKind{sqlast.KindCreateTable},
+		AnyToken: []string{"FLOAT", "REAL", "DOUBLE"},
+	},
+	rules.IDEnumeratedTypes: {
+		Kinds:    []sqlast.StatementKind{sqlast.KindCreateTable, sqlast.KindAlterTable},
+		AnyToken: []string{"ENUM", "SET", "CHECK"},
+	},
+	rules.IDExternalDataStorage: {
+		Kinds:    []sqlast.StatementKind{sqlast.KindCreateTable},
+		AnyToken: []string{"PATH", "FILE", "ATTACHMENT", "IMAGE_URL"},
+	},
+	rules.IDCloneTable: {
+		Kinds: []sqlast.StatementKind{sqlast.KindCreateTable},
+	},
+}
+
+// assertDerivedSuperset checks one workload: every statement a
+// hand-written gate admitted must also be admitted by the derived
+// dispatch, and gated findings must equal the full scan (the
+// conservatism contract, carried over).
+func assertDerivedSuperset(t *testing.T, sqlText string) {
+	t.Helper()
+	stmts := parser.ParseAll(sqlText)
+	if len(stmts) == 0 {
+		return
+	}
+	ctx := appctx.Build(stmts, nil, appctx.DefaultConfig())
+	rs := rules.AllRuleSet()
+	for _, f := range ctx.Facts {
+		derived := map[string]bool{}
+		for _, r := range rs.QueryRulesFor(f, nil) {
+			derived[r.ID] = true
+		}
+		for id, legacy := range legacyGates {
+			if legacy.Admits(f) && !derived[id] {
+				t.Errorf("rule %s: hand-written gate admitted %q but derived dispatch rejects it",
+					id, f.Raw)
+			}
+		}
+	}
+	assertGateConservative(t, sqlText)
+}
+
+// FuzzDerivedGateMigration explores arbitrary statement text against
+// the frozen hand-written gates. Run under `go test` it replays the
+// seed corpus; the nightly fuzz workflow explores further.
+func FuzzDerivedGateMigration(f *testing.F) {
+	seeds := []string{
+		`SELECT * FROM users`,
+		`SELECT DISTINCT a.x FROM a JOIN b ON a.id = b.id`,
+		`SELECT id FROM t WHERE tags LIKE '%a,b%'`,
+		`SELECT * FROM t ORDER BY RAND()`,
+		`SELECT name || title FROM people WHERE bio REGEXP '[[:<:]]x[[:>:]]'`,
+		`CREATE TABLE t (id INT PRIMARY KEY, total FLOAT, file_path TEXT)`,
+		`CREATE TABLE c (id INT, parent INT REFERENCES c(id), role ENUM('a','b'))`,
+		`CREATE TABLE sales_2019 (q1 INT, q2 INT, q3 INT)`,
+		`ALTER TABLE u ADD CONSTRAINT ck CHECK (r IN ('a','b'))`,
+		`INSERT INTO t VALUES (1, 'a;b;c')`,
+		`UPDATE t SET x = 1 WHERE y ILIKE '%z'`,
+		`DELETE FROM t WHERE id = 1`,
+		``,
+	}
+	c := corpus.GitHub(corpus.GitHubOptions{Repos: 2, Seed: 11, MinStatements: 8, MaxStatements: 8})
+	for _, repo := range c.Repos {
+		seeds = append(seeds, repo.Statements...)
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sqlText string) {
+		if len(sqlText) > 1<<16 {
+			return // keep the parser's worst case bounded per exec
+		}
+		assertDerivedSuperset(t, sqlText)
+	})
+}
+
+// TestDerivedGateMigrationOverCorpus sweeps whole randomized
+// repositories through the superset check, covering the realistic
+// statement shapes the fuzz mutator starts from.
+func TestDerivedGateMigrationOverCorpus(t *testing.T) {
+	c := corpus.GitHub(corpus.GitHubOptions{Repos: 10, Seed: 23})
+	for _, repo := range c.Repos {
+		var sqlText string
+		for _, s := range repo.Statements {
+			sqlText += s + ";\n"
+		}
+		t.Run(repo.Name, func(t *testing.T) {
+			assertDerivedSuperset(t, sqlText)
+		})
+	}
+}
+
+// TestLegacyGateTableCoversCatalog guards the frozen table itself:
+// every built-in rule with a query detector either appears in
+// legacyGates or is a documented no-gate rule, so the superset check
+// cannot silently skip a migrated rule.
+func TestLegacyGateTableCoversCatalog(t *testing.T) {
+	noGate := map[string]bool{rules.IDReadablePassword: true}
+	for _, r := range rules.AllRuleSet().QueryRules() {
+		if legacyGates[r.ID] == nil && !noGate[r.ID] && !strings.HasPrefix(r.ID, "probe-") {
+			t.Errorf("rule %s has a query detector but no entry in the frozen legacy gate table", r.ID)
+		}
+	}
+}

@@ -37,7 +37,7 @@ func init() {
 		Flags:   ImpactFlags{Accuracy: true},
 		Metrics: Metrics{Accuracy: 1},
 		// Approximate-numeric type names all contain one of these.
-		Gate: &Gate{
+		Meta: Meta{
 			Kinds:    []sqlast.StatementKind{sqlast.KindCreateTable},
 			AnyToken: []string{"FLOAT", "REAL", "DOUBLE"},
 		},
@@ -94,7 +94,7 @@ func init() {
 			"constraint surgery over the whole table (paper Example 4).",
 		Flags:   ImpactFlags{Performance: true, Maintainability: true, DataAmp: -1},
 		Metrics: Metrics{WritePerf: 10, Maint: 2, DataAmp: 1},
-		Gate: &Gate{
+		Meta: Meta{
 			Kinds:    []sqlast.StatementKind{sqlast.KindCreateTable, sqlast.KindAlterTable},
 			AnyToken: []string{"ENUM", "SET", "CHECK"},
 		},
@@ -174,7 +174,7 @@ func init() {
 			"referenced bytes outside transactions and backups.",
 		Flags:   ImpactFlags{Maintainability: true, DataIntegrity: true, Accuracy: true},
 		Metrics: Metrics{Maint: 1, Integrity: 1, Accuracy: 1},
-		Gate: &Gate{
+		Meta: Meta{
 			Kinds:    []sqlast.StatementKind{sqlast.KindCreateTable},
 			AnyToken: []string{"PATH", "FILE", "ATTACHMENT", "IMAGE_URL"},
 		},
@@ -283,6 +283,9 @@ func init() {
 			"excluded via data analysis (Fig 8c).",
 		Flags:   ImpactFlags{Performance: true, Maintainability: true, DataAmp: 1},
 		Metrics: Metrics{ReadPerf: 1.5},
+		// NeedProfile: the schema detector consults column-cardinality
+		// profiles to drop low-cardinality false positives (Fig 8c).
+		Meta: Meta{Needs: NeedProfile},
 		DetectSchema: func(ctx *appctx.Context) []Finding {
 			r := ByID(IDIndexUnderuse)
 			var out []Finding
@@ -361,7 +364,7 @@ func init() {
 			}
 			return out
 		},
-		Gate: &Gate{Kinds: []sqlast.StatementKind{sqlast.KindCreateTable}},
+		Meta: Meta{Kinds: []sqlast.StatementKind{sqlast.KindCreateTable}},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			// Intra-mode fallback: a single CREATE TABLE with a
 			// numbered suffix is a weak clone signal (this is what a

@@ -33,9 +33,9 @@ func init() {
 			"list; refactoring the table silently breaks consumers.",
 		Flags:   ImpactFlags{Performance: true, Accuracy: true},
 		Metrics: Metrics{ReadPerf: 1.3, Accuracy: 1},
-		Gate: &Gate{
+		Meta: Meta{
 			Kinds: []sqlast.StatementKind{sqlast.KindSelect},
-			Match: func(f *qanalyze.Facts) bool { return f.SelectStar },
+			Facts: func(f *qanalyze.Facts) bool { return f.SelectStar },
 		},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			if !f.SelectStar {
@@ -56,7 +56,12 @@ func init() {
 			"concatenation.",
 		Flags:   ImpactFlags{Accuracy: true},
 		Metrics: Metrics{Accuracy: 1},
-		Gate:    &Gate{Match: func(f *qanalyze.Facts) bool { return len(f.ConcatColumns) > 0 }},
+		// NeedSchema: the detector consults column NOT NULL declarations
+		// to suppress (or confirm) nullable-concat findings.
+		Meta: Meta{
+			Facts: func(f *qanalyze.Facts) bool { return len(f.ConcatColumns) > 0 },
+			Needs: NeedSchema,
+		},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			if len(f.ConcatColumns) == 0 {
 				return nil
@@ -101,7 +106,7 @@ func init() {
 			"result to pick a few rows.",
 		Flags:   ImpactFlags{Performance: true},
 		Metrics: Metrics{ReadPerf: 3},
-		Gate:    &Gate{Match: func(f *qanalyze.Facts) bool { return f.OrderByRand }},
+		Meta:    Meta{Facts: func(f *qanalyze.Facts) bool { return f.OrderByRand }},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			if !f.OrderByRand {
 				return nil
@@ -123,7 +128,7 @@ func init() {
 		Metrics: Metrics{ReadPerf: 4},
 		// Mirrors the detector's trigger set: heavy predicates or a
 		// pattern-matching join.
-		Gate: &Gate{Match: func(f *qanalyze.Facts) bool {
+		Meta: Meta{Facts: func(f *qanalyze.Facts) bool {
 			if f.ExprJoin && f.PatternMatching {
 				return true
 			}
@@ -166,7 +171,7 @@ func init() {
 			"evolves (paper Example 2).",
 		Flags:   ImpactFlags{Maintainability: true, DataIntegrity: true},
 		Metrics: Metrics{Maint: 2, Integrity: 1},
-		Gate:    &Gate{Kinds: []sqlast.StatementKind{sqlast.KindInsert}},
+		Meta:    Meta{Kinds: []sqlast.StatementKind{sqlast.KindInsert}},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			if !f.InsertNoColumns {
 				return nil
@@ -186,9 +191,9 @@ func init() {
 			"missing semi-join (EXISTS) and re-sorts the whole result.",
 		Flags:   ImpactFlags{Performance: true, Maintainability: true},
 		Metrics: Metrics{ReadPerf: 1.5, Maint: 1},
-		Gate: &Gate{
+		Meta: Meta{
 			Kinds: []sqlast.StatementKind{sqlast.KindSelect},
-			Match: func(f *qanalyze.Facts) bool { return f.Distinct && f.JoinCount > 0 },
+			Facts: func(f *qanalyze.Facts) bool { return f.Distinct && f.JoinCount > 0 },
 		},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			if !f.Distinct || f.JoinCount == 0 {
@@ -210,9 +215,9 @@ func init() {
 			"ORM-generated queries.",
 		Flags:   ImpactFlags{Performance: true},
 		Metrics: Metrics{ReadPerf: 2},
-		Gate: &Gate{
+		Meta: Meta{
 			Kinds: []sqlast.StatementKind{sqlast.KindSelect, sqlast.KindInsert},
-			Match: func(f *qanalyze.Facts) bool { return f.JoinCount > 0 },
+			Facts: func(f *qanalyze.Facts) bool { return f.JoinCount > 0 },
 		},
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			threshold := ctx.Config.TooManyJoins
@@ -237,8 +242,10 @@ func init() {
 			"expose every account on any leak; store salted hashes.",
 		Flags:   ImpactFlags{DataIntegrity: true, Accuracy: true},
 		Metrics: Metrics{Integrity: 1, Accuracy: 1},
-		// No gate: the detector's own column-name scan over extracted
-		// facts is already as cheap as any prefilter could be.
+		// No admission metadata: password columns and literals appear in
+		// any statement kind, and the detector's own column-name scan
+		// over extracted facts is already as cheap as any prefilter
+		// could be — the derived gate admits everything.
 		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding {
 			r := ByID(IDReadablePassword)
 			var out []Finding

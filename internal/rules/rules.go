@@ -14,10 +14,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"sqlcheck/internal/appctx"
 	"sqlcheck/internal/profile"
 	"sqlcheck/internal/qanalyze"
+	"sqlcheck/internal/sqlast"
 )
 
 // Category groups anti-patterns as in Table 1.
@@ -88,6 +91,99 @@ func (f Finding) SiteKey() string {
 		strings.ToLower(f.Table), strings.ToLower(f.Column))
 }
 
+// Need is a bitmask of analysis resources a rule's detectors consume
+// beyond per-statement facts. The engine plans pipeline phases from
+// the union of the enabled rules' needs: a rule set needing no
+// profiles skips table profiling (and, when nothing needs the
+// database at all, the admission snapshot) entirely.
+type Need uint8
+
+// Analysis resources.
+const (
+	// NeedSchema marks rules that consult the application schema or
+	// cross-query aggregates (ctx.Schema, join edges, predicate
+	// counts) — from a schema-scoped detector or as query-rule
+	// refinement. Workloads running such rules reflect the attached
+	// database's schema (via a snapshot) even when profiling is
+	// skipped.
+	NeedSchema Need = 1 << iota
+	// NeedProfile marks rules that consult table data profiles —
+	// from a data-scoped detector or as query-rule refinement.
+	// Workloads running such rules pay the data-profiling phase.
+	NeedProfile
+)
+
+// Has reports whether every resource in mask is needed.
+func (n Need) Has(mask Need) bool { return n&mask == mask }
+
+// Strings renders the set for catalogs and diagnostics.
+func (n Need) Strings() []string {
+	var out []string
+	if n.Has(NeedSchema) {
+		out = append(out, "schema")
+	}
+	if n.Has(NeedProfile) {
+		out = append(out, "profile")
+	}
+	return out
+}
+
+// Meta is a rule's declarative dispatch and planning metadata — the
+// machine-readable form of the paper's Table 1 row. The dispatch Gate
+// is derived from it at registration (Register), never hand-written,
+// so a downstream rule added via Register gets exactly the same
+// prefilter machinery as the built-in catalog. All admission fields
+// must be conservative: together they must admit every statement the
+// rule's DetectQuery could flag.
+type Meta struct {
+	// Kinds lists the statement kinds DetectQuery can fire on; empty
+	// admits any kind (the right declaration for detectors that
+	// inspect predicates, which occur in most DML).
+	Kinds []sqlast.StatementKind
+	// Facts, when set, decides admission from the statement's
+	// precomputed facts (after Kinds). It must return true whenever
+	// the detector could emit a finding.
+	Facts func(f *qanalyze.Facts) bool
+	// AnyToken admits statements whose upper-cased text contains at
+	// least one entry; AllTokens requires every entry. Both are
+	// ignored when Facts is set. Token scans upper-case the statement
+	// text, so they are best reserved for kind-gated DDL rules.
+	AnyToken  []string
+	AllTokens []string
+	// Needs declares resources the rule consumes beyond the facts of
+	// the statement under inspection — schema/profile lookups inside
+	// DetectQuery (contextual refinement, Algorithm 2 line 5).
+	// Needs implied by the detectors themselves (DetectSchema ⇒
+	// NeedSchema, DetectData ⇒ NeedSchema|NeedProfile) are derived
+	// automatically and do not have to be declared.
+	Needs Need
+}
+
+// gate derives the dispatch prefilter from the metadata. A rule with
+// no admission constraints gets a nil gate (admit everything). Token
+// entries are normalized to upper case here: the gate probes the
+// upper-cased statement text, so a lowercase declaration in a
+// downstream rule would otherwise reject every statement and
+// silently lose its findings.
+func (m Meta) gate() *Gate {
+	if len(m.Kinds) == 0 && m.Facts == nil && len(m.AnyToken) == 0 && len(m.AllTokens) == 0 {
+		return nil
+	}
+	return &Gate{Kinds: m.Kinds, Match: m.Facts,
+		AnyToken: upperAll(m.AnyToken), AllTokens: upperAll(m.AllTokens)}
+}
+
+func upperAll(in []string) []string {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]string, len(in))
+	for i, s := range in {
+		out[i] = strings.ToUpper(s)
+	}
+	return out
+}
+
 // Rule is one anti-pattern detector.
 type Rule struct {
 	ID          string
@@ -99,10 +195,10 @@ type Rule struct {
 	// can substitute measured values.
 	Metrics Metrics
 
-	// Gate is the dispatch prefilter for DetectQuery: a conservative
-	// statement-kind and keyword check that admits every statement the
-	// detector could flag. Nil runs the detector on every statement.
-	Gate *Gate
+	// Meta declares dispatch and planning metadata. Register derives
+	// the rule's dispatch gate and resource needs from it; rule
+	// definitions never construct gates by hand.
+	Meta Meta
 
 	// DetectQuery inspects one statement's facts. It may consult ctx
 	// for inter-query refinement; in ModeIntra ctx has no schema or
@@ -113,35 +209,135 @@ type Rule struct {
 	// DetectData inspects one table's data profile (when a database
 	// is available).
 	DetectData func(tp *profile.TableProfile, ctx *appctx.Context) []Finding
+
+	// gate is the dispatch prefilter derived from Meta at
+	// registration; nil admits every statement.
+	gate *Gate
+	// needs is the declared plus derived resource set.
+	needs Need
 }
 
-// registry holds all known rules in registration order.
-var registry []*Rule
+// DispatchGate returns the gate derived from the rule's metadata (nil
+// admits everything). Exported for conservatism and migration tests;
+// dispatch itself goes through RuleSet.QueryRulesFor.
+func (r *Rule) DispatchGate() *Gate { return r.gate }
 
-// Register adds a rule. It panics on duplicate IDs, which would make
-// findings ambiguous.
+// Needs returns the rule's full resource set: declared refinement
+// needs plus those implied by its detectors.
+func (r *Rule) Needs() Need { return r.needs }
+
+// Scopes lists the detection scopes the rule participates in, in
+// pipeline order: "query", "schema", "data".
+func (r *Rule) Scopes() []string {
+	var out []string
+	if r.DetectQuery != nil {
+		out = append(out, "query")
+	}
+	if r.DetectSchema != nil {
+		out = append(out, "schema")
+	}
+	if r.DetectData != nil {
+		out = append(out, "data")
+	}
+	return out
+}
+
+// registry holds all known rules in registration order, behind an
+// atomic pointer so detection hot paths (ByID inside detectors,
+// catalog compilation) read it lock-free while RegisterRule may run
+// concurrently: Register publishes a copied slice under registryMu
+// (copy-on-write), so readers always observe a complete catalog —
+// either before or after the new rule, never a torn append.
+var (
+	registryMu sync.Mutex
+	registry   atomic.Pointer[[]*Rule]
+)
+
+// loadRegistry returns the current catalog snapshot. Callers must not
+// mutate it.
+func loadRegistry() []*Rule {
+	if p := registry.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Register adds a rule after validating its metadata, then derives
+// the dispatch gate and resource needs from it. It panics on
+// incomplete or contradictory declarations — a malformed downstream
+// extension must fail at init, not silently lose findings at
+// dispatch time.
 func Register(r *Rule) {
 	if r.ID == "" || r.Name == "" {
 		panic("rules: rule must have ID and Name")
 	}
-	for _, existing := range registry {
+	switch r.Category {
+	case Logical, Physical, Query, Data:
+	default:
+		panic("rules: rule " + r.ID + " has unknown category " + string(r.Category))
+	}
+	if r.Description == "" {
+		panic("rules: rule " + r.ID + " lacks a description")
+	}
+	if r.DetectQuery == nil && r.DetectSchema == nil && r.DetectData == nil {
+		panic("rules: rule " + r.ID + " declares no detector")
+	}
+	if r.DetectQuery == nil && r.Meta.gate() != nil {
+		panic("rules: rule " + r.ID + " declares dispatch metadata without DetectQuery")
+	}
+	if r.Meta.Facts != nil && (len(r.Meta.AnyToken) > 0 || len(r.Meta.AllTokens) > 0) {
+		// The derived gate decides from Facts alone when it is set, so
+		// token requirements would be silently ignored — a downstream
+		// rule declaring both (expecting union semantics) would lose
+		// the token-admitted findings. Fold the token check into the
+		// Facts predicate instead.
+		panic("rules: rule " + r.ID + " declares both Facts and token requirements; tokens are ignored when Facts is set")
+	}
+	for _, k := range r.Meta.Kinds {
+		if !k.Valid() {
+			panic(fmt.Sprintf("rules: rule %s declares unknown statement kind %d", r.ID, k))
+		}
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	cur := loadRegistry()
+	for _, existing := range cur {
 		if existing.ID == r.ID {
 			panic("rules: duplicate rule ID " + r.ID)
 		}
 	}
-	registry = append(registry, r)
+	r.gate = r.Meta.gate()
+	r.needs = r.Meta.Needs
+	if r.DetectSchema != nil {
+		r.needs |= NeedSchema
+	}
+	if r.DetectData != nil {
+		// Data detectors consume profiles and routinely consult the
+		// schema for declared types and constraints.
+		r.needs |= NeedSchema | NeedProfile
+	}
+	next := make([]*Rule, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = r
+	registry.Store(&next)
+	// Invalidate after the store, and while still holding registryMu:
+	// a concurrent AllRuleSet fill compiled from the pre-store catalog
+	// blocks this invalidation (both take allSetMu), never overwrites
+	// it, so the next compilation sees the new rule.
+	invalidateAllRuleSet()
 }
 
 // All returns the registered rules in registration order.
 func All() []*Rule {
-	out := make([]*Rule, len(registry))
-	copy(out, registry)
+	cur := loadRegistry()
+	out := make([]*Rule, len(cur))
+	copy(out, cur)
 	return out
 }
 
 // ByID returns the rule with the given ID, or nil.
 func ByID(id string) *Rule {
-	for _, r := range registry {
+	for _, r := range loadRegistry() {
 		if r.ID == id {
 			return r
 		}
@@ -152,7 +348,7 @@ func ByID(id string) *Rule {
 // ByCategory returns rules of one category, ordered by name.
 func ByCategory(c Category) []*Rule {
 	var out []*Rule
-	for _, r := range registry {
+	for _, r := range loadRegistry() {
 		if r.Category == c {
 			out = append(out, r)
 		}

@@ -1,13 +1,83 @@
 package rules
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
+	"sqlcheck/internal/appctx"
 	"sqlcheck/internal/parser"
+	"sqlcheck/internal/profile"
+	"sqlcheck/internal/qanalyze"
 	"sqlcheck/internal/schema"
 	"sqlcheck/internal/sqlast"
 )
+
+// unregister removes a probe rule registered by a test, restoring the
+// built-in catalog for the rest of the binary.
+func unregister(id string) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	cur := loadRegistry()
+	next := make([]*Rule, 0, len(cur))
+	for _, r := range cur {
+		if r.ID != id {
+			next = append(next, r)
+		}
+	}
+	registry.Store(&next)
+	invalidateAllRuleSet()
+}
+
+// TestConcurrentRegisterAndCompile pins the pattern the copy-on-write
+// registry exists for: RegisterRule may run while concurrent checks
+// compile and dispatch from the catalog (the engine re-reads
+// AllRuleSet per batch to honor late registration). Under -race (CI
+// runs it) any unsynchronized registry access fails here.
+func TestConcurrentRegisterAndCompile(t *testing.T) {
+	const probes = 8
+	detector := func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding { return nil }
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if rs := AllRuleSet(); rs.Size() < 27 {
+					t.Errorf("catalog shrank mid-registration: %d rules", rs.Size())
+					return
+				}
+				if ByID(IDGodTable) == nil {
+					t.Error("built-in rule vanished mid-registration")
+					return
+				}
+				if _, err := NewRuleSet([]string{IDGodTable}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < probes; i++ {
+		Register(&Rule{ID: fmt.Sprintf("probe-race-%d", i), Name: "Race Probe",
+			Category: Query, Description: "d", DetectQuery: detector})
+	}
+	close(stop)
+	wg.Wait()
+	for i := 0; i < probes; i++ {
+		unregister(fmt.Sprintf("probe-race-%d", i))
+	}
+	if got := len(All()); got != 27 {
+		t.Fatalf("registry not restored after race probes: %d rules", got)
+	}
+}
 
 func TestRegistryInvariants(t *testing.T) {
 	all := All()
@@ -42,10 +112,148 @@ func TestRegisterValidation(t *testing.T) {
 		}()
 		f()
 	}
+	// detector is a minimal valid query detector for probe rules.
+	detector := func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding { return nil }
 	mustPanic("empty id", func() { Register(&Rule{Name: "x"}) })
 	mustPanic("duplicate id", func() {
-		Register(&Rule{ID: IDGodTable, Name: "dup"})
+		Register(&Rule{ID: IDGodTable, Name: "dup", Category: Query,
+			Description: "d", DetectQuery: detector})
 	})
+	mustPanic("unknown category", func() {
+		Register(&Rule{ID: "probe-bad-cat", Name: "x", Category: "weird",
+			Description: "d", DetectQuery: detector})
+	})
+	mustPanic("missing description", func() {
+		Register(&Rule{ID: "probe-no-desc", Name: "x", Category: Query,
+			DetectQuery: detector})
+	})
+	mustPanic("no detector", func() {
+		Register(&Rule{ID: "probe-no-detector", Name: "x", Category: Query,
+			Description: "d"})
+	})
+	mustPanic("dispatch metadata without DetectQuery", func() {
+		Register(&Rule{ID: "probe-gate-no-query", Name: "x", Category: Data,
+			Description: "d",
+			Meta:        Meta{Kinds: []sqlast.StatementKind{sqlast.KindSelect}},
+			DetectData:  func(tp *profile.TableProfile, ctx *appctx.Context) []Finding { return nil }})
+	})
+	mustPanic("unknown statement kind", func() {
+		Register(&Rule{ID: "probe-bad-kind", Name: "x", Category: Query,
+			Description: "d",
+			Meta:        Meta{Kinds: []sqlast.StatementKind{sqlast.StatementKind(99)}},
+			DetectQuery: detector})
+	})
+	mustPanic("Facts combined with token requirements", func() {
+		Register(&Rule{ID: "probe-facts-and-tokens", Name: "x", Category: Query,
+			Description: "d",
+			Meta: Meta{Facts: func(f *qanalyze.Facts) bool { return true },
+				AnyToken: []string{"MERGE"}},
+			DetectQuery: detector})
+	})
+}
+
+// TestRegisterDerivesDispatchAndNeeds registers a complete downstream
+// rule (the paper's §7 extensibility path) and checks that Register
+// derives exactly the machinery the built-in catalog gets: a dispatch
+// gate from the declared metadata, needs unioned with the detectors'
+// implicit requirements, and scope labels. The probe admits nothing
+// and detects nothing, and is removed from the registry afterwards,
+// so other tests in this binary are unaffected.
+func TestRegisterDerivesDispatchAndNeeds(t *testing.T) {
+	probe := &Rule{
+		ID: "probe-derived", Name: "Probe", Category: Physical,
+		Description: "registration probe",
+		Metrics:     Metrics{Maint: 1},
+		Flags:       ImpactFlags{Maintainability: true},
+		Meta: Meta{
+			Kinds: []sqlast.StatementKind{sqlast.KindSelect},
+			Facts: func(f *qanalyze.Facts) bool { return false },
+			Needs: NeedSchema,
+		},
+		DetectQuery: func(qi int, f *qanalyze.Facts, ctx *appctx.Context) []Finding { return nil },
+		DetectData:  func(tp *profile.TableProfile, ctx *appctx.Context) []Finding { return nil },
+	}
+	Register(probe)
+	defer unregister(probe.ID)
+
+	g := probe.DispatchGate()
+	if g == nil || len(g.Kinds) != 1 || g.Match == nil {
+		t.Fatalf("derived gate = %+v, want kinds+match from Meta", g)
+	}
+	if g.Admits(factsFor(t, "SELECT 1")) {
+		t.Error("derived gate ignored the Facts predicate")
+	}
+	if g.Admits(factsFor(t, "INSERT INTO t VALUES (1)")) {
+		t.Error("derived gate ignored the declared kinds")
+	}
+	if want := NeedSchema | NeedProfile; probe.Needs() != want {
+		t.Errorf("needs = %v, want declared|derived = %v", probe.Needs().Strings(), want.Strings())
+	}
+	if got := probe.Scopes(); len(got) != 2 || got[0] != "query" || got[1] != "data" {
+		t.Errorf("scopes = %v", got)
+	}
+	rs, err := NewRuleSet([]string{"probe-derived"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.NeedsProfile() || !rs.NeedsDatabase() {
+		t.Error("compiled set lost the probe's needs")
+	}
+}
+
+// TestMetadataComplete is the registry invariant the derived-dispatch
+// design rests on: every registered rule — built-in or added through
+// Register — declares complete, coherent metadata. Incomplete
+// declarations cannot exist past Register (it panics), so this guards
+// the derivations themselves.
+func TestMetadataComplete(t *testing.T) {
+	for _, r := range All() {
+		if len(r.Scopes()) == 0 {
+			t.Errorf("%s: no detection scope", r.ID)
+		}
+		if r.DetectQuery == nil && r.DispatchGate() != nil {
+			t.Errorf("%s: dispatch gate without query detector", r.ID)
+		}
+		for _, k := range r.Meta.Kinds {
+			if !k.Valid() {
+				t.Errorf("%s: invalid statement kind %d", r.ID, k)
+			}
+		}
+		// Data detectors consume profiles and the schema; schema
+		// detectors consume the schema. The derived needs must say so.
+		if r.DetectData != nil && !r.Needs().Has(NeedSchema|NeedProfile) {
+			t.Errorf("%s: data detector but needs = %v", r.ID, r.Needs().Strings())
+		}
+		if r.DetectSchema != nil && !r.Needs().Has(NeedSchema) {
+			t.Errorf("%s: schema detector but needs = %v", r.ID, r.Needs().Strings())
+		}
+		// A rule with needs but no consumer of them is a declaration
+		// error: needs come from query-rule refinement or global
+		// detectors, never from nowhere.
+		if r.Needs() != 0 && r.DetectQuery == nil && r.DetectSchema == nil && r.DetectData == nil {
+			t.Errorf("%s: needs %v without any detector", r.ID, r.Needs().Strings())
+		}
+	}
+	// Spot-check the declared refinement needs that drive phase
+	// planning: these rules consult schema/profile inside DetectQuery
+	// or DetectSchema, and forgetting the declaration would silently
+	// degrade their findings under subset plans.
+	for id, want := range map[string]Need{
+		IDConcatenateNulls:     NeedSchema,
+		IDMultiValuedAttribute: NeedSchema | NeedProfile,
+		IDIndexUnderuse:        NeedSchema | NeedProfile,
+	} {
+		if got := ByID(id).Needs(); !got.Has(want) {
+			t.Errorf("%s: needs = %v, want at least %v", id, got.Strings(), want.Strings())
+		}
+	}
+	// And the pure-intra query rules must stay need-free: they are
+	// what makes query-only workloads run snapshot- and profile-free.
+	for _, id := range []string{IDColumnWildcard, IDOrderByRand, IDTooManyJoins, IDDistinctJoin} {
+		if got := ByID(id).Needs(); got != 0 {
+			t.Errorf("%s: needs = %v, want none", id, got.Strings())
+		}
+	}
 }
 
 // Metric vectors must never claim impact the Table 1 flags deny. The

@@ -50,6 +50,15 @@ func (k StatementKind) String() string {
 	return "OTHER"
 }
 
+// Valid reports whether k is a kind the parser can produce. Rule
+// metadata validation uses it to reject declarations naming kinds no
+// statement will ever carry, which would make a dispatch gate reject
+// everything.
+func (k StatementKind) Valid() bool {
+	_, ok := kindNames[k]
+	return ok
+}
+
 // Statement is any parsed SQL statement.
 type Statement interface {
 	Kind() StatementKind

@@ -76,6 +76,18 @@ type Options struct {
 	// from total score to finding count (paper §5.2).
 	RankQueriesByCount bool
 	// Rules restricts detection to the listed rule IDs (nil = all).
+	// The filter is resolved once, at admission, into a compiled rule
+	// set: disabled rules never reach dispatch gates or detectors,
+	// and the Checker plans analysis phases from the set's declared
+	// needs — a selection that consumes no data profiles skips table
+	// profiling (and the admission snapshot) for database-attached
+	// workloads. The skip is observable in fixes too: without schema
+	// reflection, fixes that expand columns from a registered schema
+	// (SELECT * expansion, implicit-column INSERT rewrites) degrade
+	// to textual guidance; include a schema-needing rule or leave the
+	// filter empty to keep concrete rewrites. Unknown IDs fail every
+	// check with ErrUnknownRule. Per-workload Workload.Rules
+	// overrides this filter.
 	Rules []string
 	// SampleSize bounds data-analysis sampling per table (default
 	// 1000 rows).
@@ -282,6 +294,18 @@ type Workload struct {
 	// ProfileSeed overrides the deterministic sampling seed for this
 	// workload (0 keeps the default seed).
 	ProfileSeed uint64
+	// Rules, when non-empty, replaces the Checker's rule filter for
+	// this workload only. The IDs compile into a rule set at batch
+	// admission; unknown IDs fail the batch with ErrUnknownRule. The
+	// workload's analysis phases are planned from the compiled set:
+	// if no selected rule consumes data profiles, the attached (or
+	// registry-resolved) database is not profiled, and if none reads
+	// the database at all, no snapshot is taken — rule selection is
+	// an admission-time plan, not a post-hoc findings filter. A
+	// database-free plan also skips schema reflection, so fixes that
+	// expand columns from the schema degrade to textual guidance for
+	// such workloads (see Options.Rules).
+	Rules []string
 }
 
 // Registry lookup and registration errors, matched with errors.Is.
@@ -292,6 +316,10 @@ var (
 	ErrUnknownDatabase = core.ErrUnknownDatabase
 	// ErrDatabaseExists reports a RegisterDatabase call reusing a name.
 	ErrDatabaseExists = core.ErrDatabaseExists
+	// ErrUnknownRule reports a rule filter (Options.Rules or
+	// Workload.Rules) naming a rule ID that is not in the catalog.
+	// The daemon maps it to HTTP 400.
+	ErrUnknownRule = rules.ErrUnknownRule
 )
 
 // RegisterDatabase makes db available to workloads as DBName=name —
@@ -341,15 +369,15 @@ type RegistryStats = core.RegistryStats
 // setting. A blank workload yields an empty report rather than
 // failing the batch. The error is non-nil for an empty batch, a
 // canceled ctx (in which case it is ctx.Err()), a DBName that is not
-// registered (ErrUnknownDatabase), or a workload setting both DB and
-// DBName.
+// registered (ErrUnknownDatabase), a rule filter naming an unknown
+// rule ID (ErrUnknownRule), or a workload setting both DB and DBName.
 func (c *Checker) CheckWorkloads(ctx context.Context, workloads []Workload) ([]*Report, error) {
 	if len(workloads) == 0 {
 		return nil, errors.New("sqlcheck: no workloads")
 	}
 	cws := make([]core.Workload, len(workloads))
 	for i, w := range workloads {
-		cw := core.Workload{SQL: w.SQL, DB: innerDB(w.DB), DBName: w.DBName}
+		cw := core.Workload{SQL: w.SQL, DB: innerDB(w.DB), DBName: w.DBName, Rules: w.Rules}
 		if w.SampleSize > 0 || w.ProfileSeed != 0 {
 			p := c.engine().ProfileOptions()
 			if w.SampleSize > 0 {
@@ -487,16 +515,34 @@ func (c *Checker) buildReport(res *core.Result) *Report {
 }
 
 // Rules describes the anti-pattern catalog: rule IDs, names,
-// categories, and descriptions, grouped and sorted by category.
+// categories, descriptions, and the declarative metadata each rule
+// carries — detection scopes, admitted statement kinds, resource
+// needs, and Table 1 impact flags — grouped and sorted by category.
+// The metadata is the same information the engine derives dispatch
+// gates and phase plans from, so a caller can predict which phases a
+// rule subset will run before submitting it.
 func Rules() []RuleInfo {
 	var out []RuleInfo
 	for _, r := range rules.All() {
-		out = append(out, RuleInfo{
+		info := RuleInfo{
 			ID:          r.ID,
 			Name:        r.Name,
 			Category:    string(r.Category),
 			Description: r.Description,
-		})
+			Scopes:      r.Scopes(),
+			Needs:       r.Needs().Strings(),
+			Impact: RuleImpact{
+				Performance:       r.Flags.Performance,
+				Maintainability:   r.Flags.Maintainability,
+				DataAmplification: r.Flags.DataAmp,
+				DataIntegrity:     r.Flags.DataIntegrity,
+				Accuracy:          r.Flags.Accuracy,
+			},
+		}
+		for _, k := range r.Meta.Kinds {
+			info.Kinds = append(info.Kinds, k.String())
+		}
+		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Category != out[j].Category {
@@ -507,10 +553,34 @@ func Rules() []RuleInfo {
 	return out
 }
 
-// RuleInfo describes one catalog entry.
+// RuleInfo describes one catalog entry with its full metadata.
 type RuleInfo struct {
 	ID          string `json:"id"`
 	Name        string `json:"name"`
 	Category    string `json:"category"`
 	Description string `json:"description"`
+	// Scopes lists the detection scopes the rule participates in, in
+	// pipeline order: "query", "schema", "data".
+	Scopes []string `json:"scopes"`
+	// Kinds lists the statement kinds the rule's dispatch gate
+	// admits; empty means any statement kind.
+	Kinds []string `json:"kinds,omitempty"`
+	// Needs lists analysis resources the rule consumes beyond
+	// per-statement facts: "schema" and/or "profile". Selecting only
+	// rules with no needs analyzes database-attached workloads
+	// without profiling or snapshotting.
+	Needs []string `json:"needs,omitempty"`
+	// Impact mirrors the paper's Table 1 checkmarks.
+	Impact RuleImpact `json:"impact"`
+}
+
+// RuleImpact mirrors Table 1's quality-dimension checkmarks.
+// DataAmplification is +1 when fixing the anti-pattern increases data
+// amplification, -1 when it decreases it, 0 when unaffected.
+type RuleImpact struct {
+	Performance       bool `json:"performance"`
+	Maintainability   bool `json:"maintainability"`
+	DataAmplification int  `json:"data_amplification"`
+	DataIntegrity     bool `json:"data_integrity"`
+	Accuracy          bool `json:"accuracy"`
 }

@@ -3,6 +3,7 @@ package sqlcheck
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -215,10 +216,98 @@ func TestRulesCatalog(t *testing.T) {
 	if len(catalog) < 27 {
 		t.Fatalf("catalog = %d rules", len(catalog))
 	}
+	byID := map[string]RuleInfo{}
 	for _, r := range catalog {
+		byID[r.ID] = r
 		if r.ID == "" || r.Name == "" || r.Category == "" || r.Description == "" {
 			t.Errorf("incomplete rule info: %+v", r)
 		}
+		if len(r.Scopes) == 0 {
+			t.Errorf("%s: no scopes in catalog metadata", r.ID)
+		}
+	}
+	// Metadata spot checks: the catalog must expose what the planner
+	// derives dispatch and phases from.
+	cw := byID["column-wildcard"]
+	if len(cw.Scopes) != 1 || cw.Scopes[0] != "query" || len(cw.Needs) != 0 {
+		t.Errorf("column-wildcard metadata: %+v", cw)
+	}
+	if len(cw.Kinds) != 1 || cw.Kinds[0] != "SELECT" {
+		t.Errorf("column-wildcard kinds: %v", cw.Kinds)
+	}
+	if !cw.Impact.Performance || !cw.Impact.Accuracy || cw.Impact.Maintainability {
+		t.Errorf("column-wildcard impact: %+v", cw.Impact)
+	}
+	mva := byID["multi-valued-attribute"]
+	if len(mva.Needs) != 2 { // schema + profile
+		t.Errorf("multi-valued-attribute needs: %v", mva.Needs)
+	}
+	if len(mva.Scopes) != 2 { // query + data
+		t.Errorf("multi-valued-attribute scopes: %v", mva.Scopes)
+	}
+	tz := byID["missing-timezone"]
+	if len(tz.Scopes) != 1 || tz.Scopes[0] != "data" || len(tz.Kinds) != 0 {
+		t.Errorf("missing-timezone metadata: %+v", tz)
+	}
+}
+
+// TestWorkloadRulesPlansPhases exercises the public demand-planning
+// path: a query-rule-only workload against a registered database
+// triggers neither snapshotting nor profiling, and rule subsets are
+// admission plans, not findings filters — unknown IDs fail the batch.
+func TestWorkloadRulesPlansPhases(t *testing.T) {
+	checker := New()
+	db := NewDatabase("plans")
+	db.MustExec("CREATE TABLE tenants (id INT PRIMARY KEY, user_ids TEXT)")
+	for i := 0; i < 30; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO tenants VALUES (%d, 'U%d,U%d')", i, i, i+1))
+	}
+	if err := checker.RegisterDatabase("plans", db); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := checker.CheckWorkloads(context.Background(), []Workload{
+		{SQL: "SELECT * FROM tenants ORDER BY RAND()", DBName: "plans",
+			Rules: []string{"column-wildcard", "order-by-rand"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reports[0].Has("column-wildcard") || !reports[0].Has("order-by-rand") {
+		t.Errorf("subset findings: %v", ruleIDs(reports[0]))
+	}
+	if reports[0].Has("multi-valued-attribute") {
+		t.Error("disabled rule fired")
+	}
+	m := checker.Metrics()
+	if m.Snapshots != 0 || m.Skips.Snapshot != 1 || m.Skips.Profile != 1 {
+		t.Errorf("query-only workload: snapshots=%d skips=%+v", m.Snapshots, m.Skips)
+	}
+
+	// Full-catalog workload against the same database: snapshot and
+	// profiling run, and the data-confirmed MVA appears.
+	reports, err = checker.CheckWorkloads(context.Background(), []Workload{
+		{SQL: "SELECT * FROM tenants WHERE user_ids LIKE '%U7%'", DBName: "plans"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reports[0].Has("multi-valued-attribute") {
+		t.Errorf("full run missed MVA: %v", ruleIDs(reports[0]))
+	}
+	m = checker.Metrics()
+	if m.Snapshots != 1 {
+		t.Errorf("full run snapshots = %d, want 1", m.Snapshots)
+	}
+
+	// Unknown rule IDs fail the batch with ErrUnknownRule.
+	_, err = checker.CheckWorkloads(context.Background(), []Workload{
+		{SQL: "SELECT 1", Rules: []string{"not-a-rule"}},
+	})
+	if !errors.Is(err, ErrUnknownRule) {
+		t.Errorf("unknown workload rule: err = %v", err)
+	}
+	if _, err := New(Options{Rules: []string{"nope"}}).CheckSQL("SELECT 1"); !errors.Is(err, ErrUnknownRule) {
+		t.Errorf("unknown Options.Rules: err = %v", err)
 	}
 }
 
@@ -323,6 +412,81 @@ func TestRegisterCustomRule(t *testing.T) {
 	report, _ = New().CheckSQL("SELECT a FROM t WHERE a = 1")
 	if report.Has("hinted-index") {
 		t.Error("custom rule false positive")
+	}
+}
+
+func TestQueryOnlySubsetTradesFixSpecificity(t *testing.T) {
+	// Demand planning is observable in fixes, not just phase counters:
+	// a subset that needs nothing from the database analyzes
+	// database-free (DESIGN §2d), so fixes that expand columns from a
+	// registered schema degrade from a concrete rewrite to guidance.
+	// This pins that trade-off as deliberate — if phase planning ever
+	// models fix-stage schema needs, update DESIGN §2d, Options.Rules,
+	// and Workload.Rules alongside this test.
+	db := NewDatabase("fixdb")
+	if _, err := db.Exec("CREATE TABLE t (a INT, b INT, c INT)"); err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	if err := c.RegisterDatabase("fixdb", db); err != nil {
+		t.Fatal(err)
+	}
+	const sql = "INSERT INTO t VALUES (1, 2, 3)"
+	ctx := context.Background()
+
+	full, err := c.CheckWorkloads(ctx, []Workload{{SQL: sql, DBName: "fixdb"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := full[0].ByRule("implicit-columns")
+	if len(fs) != 1 || len(fs[0].Fix.Rewrites) == 0 {
+		t.Fatalf("full catalog: want a schema-expanded rewrite, got %+v", fs)
+	}
+	if got := fs[0].Fix.Rewrites[0].Fixed; !strings.Contains(got, "(a, b, c)") {
+		t.Errorf("full-catalog rewrite = %q, want explicit column list", got)
+	}
+
+	sub, err := c.CheckWorkloads(ctx, []Workload{
+		{SQL: sql, DBName: "fixdb", Rules: []string{"implicit-columns"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs = sub[0].ByRule("implicit-columns")
+	if len(fs) != 1 {
+		t.Fatalf("subset findings = %+v", fs)
+	}
+	if len(fs[0].Fix.Rewrites) != 0 {
+		t.Errorf("need-free subset produced a schema rewrite %v — did phase planning start reflecting schema for fixes? update the docs pinned above", fs[0].Fix.Rewrites)
+	}
+	if fs[0].Fix.Guidance == "" {
+		t.Error("need-free subset lost the guidance fallback")
+	}
+}
+
+func TestLateRegisteredRuleRunsOnExistingChecker(t *testing.T) {
+	// RegisterRule promises that Checkers run subsequently-registered
+	// rules, and the engine paths must honor it even though the rule
+	// filter compiles at engine construction: an unfiltered engine
+	// tracks the live catalog, not the set it was built with.
+	c := New()
+	if _, err := c.CheckSQL("SELECT 1"); err != nil {
+		t.Fatal(err) // forces engine construction before registration
+	}
+	err := RegisterRule(CustomRule{
+		ID:          "late-probe",
+		Name:        "Late Probe",
+		Description: "registered after the checker's engine was built",
+		Pattern:     `ZZ_LATE_PROBE`,
+	})
+	if err != nil && !strings.Contains(err.Error(), "already registered") {
+		t.Fatal(err)
+	}
+	report, err := c.CheckSQL("SELECT zz_late_probe FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Has("late-probe") {
+		t.Errorf("rule registered after engine construction never ran; findings = %v", ruleIDs(report))
 	}
 }
 
