@@ -10,11 +10,19 @@ SHELL := /bin/bash -o pipefail
 
 # The benchmarks gating CI regressions (DESIGN.md §4). bench-baseline
 # regenerates the checked-in reference; bench-check compares a fresh
-# run against it and fails on >20% median regression.
-BENCH_GATE = BenchmarkCheckSQLParallel|BenchmarkRuleDispatch|BenchmarkProfileParallel|BenchmarkRegistryReuse|BenchmarkQueryOnlyWorkload
+# run against it and fails on >20% median ns/op regression or >25%
+# median B/op / allocs/op regression (the gated runs use -benchmem so
+# allocation regressions cannot hide behind wall-clock noise).
+BENCH_GATE = BenchmarkCheckSQLParallel|BenchmarkRuleDispatch|BenchmarkProfileParallel|BenchmarkProfileMemoized|BenchmarkRegistryReuse|BenchmarkQueryOnlyWorkload
 BENCH_COUNT ?= 5
 
-.PHONY: build test test-full bench bench-baseline bench-check lint ci
+.PHONY: build test test-full bench bench-baseline bench-check print-bench-gate profile-cpu lint ci
+
+# The single source of truth for the gated-benchmark pattern: CI's
+# base-ref step reads it from the PR's Makefile (before checking out
+# the base, whose Makefile may predate newer gate benchmarks).
+print-bench-gate:
+	@echo '$(BENCH_GATE)'
 
 build:
 	$(GO) build ./...
@@ -37,7 +45,7 @@ bench:
 # a quiet machine; commit bench/baseline.txt with the change that
 # legitimately moves the numbers.
 bench-baseline:
-	$(GO) test -bench '$(BENCH_GATE)' -count $(BENCH_COUNT) -benchtime 0.3s -run '^$$' . | tee bench/baseline.txt
+	$(GO) test -bench '$(BENCH_GATE)' -count $(BENCH_COUNT) -benchtime 0.3s -benchmem -run '^$$' . | tee bench/baseline.txt
 
 # Compare a fresh run of the gated benchmarks against a baseline;
 # fails on >20% median regression or a missing gated benchmark.
@@ -46,9 +54,19 @@ bench-baseline:
 # which removes hardware variance from the comparison.
 BENCH_BASELINE ?= bench/baseline.txt
 bench-check:
-	$(GO) test -bench '$(BENCH_GATE)' -count $(BENCH_COUNT) -benchtime 0.3s -run '^$$' . | tee bench-current.txt
+	$(GO) test -bench '$(BENCH_GATE)' -count $(BENCH_COUNT) -benchtime 0.3s -benchmem -run '^$$' . | tee bench-current.txt
 	$(GO) run ./cmd/benchcmp -baseline $(BENCH_BASELINE) -current bench-current.txt \
-		-max-regression 20 -require 'CheckSQLParallel,RuleDispatch,ProfileParallel,RegistryReuse,QueryOnlyWorkload'
+		-max-regression 20 -max-mem-regression 25 \
+		-require 'CheckSQLParallel,RuleDispatch,ProfileParallel,ProfileMemoized,RegistryReuse,QueryOnlyWorkload'
+
+# CPU profile of the data-analysis phase (the system's hot path):
+# runs BenchmarkProfileParallel under -cpuprofile and leaves
+# bench/cpu.pprof (plus the test binary pprof needs to symbolize it)
+# for `go tool pprof bench/profile-cpu.test bench/cpu.pprof`. CI
+# uploads both as an artifact next to the bench comparison.
+profile-cpu:
+	$(GO) test -bench BenchmarkProfileParallel -benchtime 1s -run '^$$' \
+		-cpuprofile bench/cpu.pprof -o bench/profile-cpu.test .
 
 lint:
 	$(GO) vet ./...

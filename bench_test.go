@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -270,32 +271,126 @@ func profileBenchDB(tables, rows int) *Database {
 // BenchmarkProfileParallel measures the data-analysis phase — per-
 // table profiling, the phase the paper says dominates on real
 // applications — serial versus fanned out on the worker pool
-// (DESIGN.md §4). Reports are identical either way; on an N-core
-// runner the parallel variant approaches min(N, tables)x. The
+// (DESIGN.md §4). Every iteration uses a fresh sampling seed, so each
+// pass misses the profile-memoization cache and the bench times the
+// cold profiling path (BenchmarkProfileMemoized covers the warm
+// path). Reports are identical either way at a given seed.
+//
+// The historical regression this bench diagnoses: with the old
+// clone-and-rescan profiler, per-table tasks allocated so heavily
+// (~60k allocs and ~2MB per table) that on multi-core runners the
+// fan-out serialized on the allocator and GC assists — parallel ≈
+// serial despite 16 independent tasks. The single-pass profiler cut
+// allocations >5x, which is what lets the fan-out scale; the parent
+// benchmark computes the realized speedup, logs it, and fails on
+// multi-core hardware if the parallel path stops winning. The
 // headline metric is table profiles per second.
 func BenchmarkProfileParallel(b *testing.B) {
 	const tables, rows = 16, 2000
 	db := profileBenchDB(tables, rows)
-	workloads := []Workload{{SQL: `SELECT city FROM bench_t00 WHERE id = 7`, DB: db}}
+	var serialNs, parallelNs float64
 	for _, cfg := range []struct {
 		name string
 		conc int
+		out  *float64
 	}{
-		{"serial", 1},
-		{"parallel", 0}, // GOMAXPROCS workers
+		{"serial", 1, &serialNs},
+		{"parallel", 0, &parallelNs}, // GOMAXPROCS workers
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			checker := New(Options{Concurrency: cfg.conc})
 			b.ResetTimer()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := checker.CheckWorkloads(context.Background(), workloads); err != nil {
+				// Fresh seed per iteration: a distinct cache key, so the
+				// memoization layer never short-circuits the measured work.
+				ws := []Workload{{SQL: `SELECT city FROM bench_t00 WHERE id = 7`,
+					DB: db, ProfileSeed: uint64(i) + 1}}
+				if _, err := checker.CheckWorkloads(context.Background(), ws); err != nil {
 					b.Fatal(err)
 				}
 			}
 			b.ReportMetric(float64(tables*b.N)/b.Elapsed().Seconds(), "profiles/s")
+			*cfg.out = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if cfg.conc == 0 && serialNs > 0 {
+				// The speedup note: serial-vs-parallel ratio, printed on
+				// the result line so every bench run (and the CI
+				// artifact) records whether the fan-out is winning.
+				speedup := serialNs / *cfg.out
+				procs := runtime.GOMAXPROCS(0)
+				b.ReportMetric(speedup, "speedup-x")
+				b.Logf("data-phase parallelism: parallel %.2fx vs serial over %d tables (GOMAXPROCS=%d, serial %.1fms, parallel %.1fms per check)",
+					speedup, tables, procs, serialNs/1e6, *cfg.out/1e6)
+				// Fail only on outright serialization (parity despite
+				// >=4 cores) — sub-linear scaling on a noisy shared
+				// runner is the benchcmp gate's job, not a hard error.
+				if procs >= 4 && speedup < 1.05 {
+					b.Errorf("parallel data phase shows no speedup (%.2fx) on a %d-way machine; per-table tasks are serializing again",
+						speedup, procs)
+				}
+			}
 		})
 	}
+}
+
+// BenchmarkProfileMemoized measures snapshot-versioned profile
+// memoization — the cache that turns repeated checks of a registered,
+// unchanged database from a sampling pass into an integer compare per
+// table (DESIGN.md §2e). "cold" builds a fresh Checker per iteration,
+// so every table profiles from scratch; "warm" reuses one Checker, so
+// after the first batch every table is a cache hit keyed on its
+// frozen (identity, version). Reports are byte-identical either way —
+// pinned by the golden corpus — and the parent benchmark logs the
+// realized speedup and fails if the warm path loses its >=10x edge.
+func BenchmarkProfileMemoized(b *testing.B) {
+	const tables, rows = 16, 2000
+	db := profileBenchDB(tables, rows)
+	workloads := []Workload{{SQL: `SELECT city FROM bench_t00 WHERE id = 7`, DBName: "bench"}}
+	var coldNs, warmNs float64
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			checker := New()
+			if err := checker.RegisterDatabase("bench", db); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := checker.CheckWorkloads(context.Background(), workloads); err != nil {
+				b.Fatal(err)
+			}
+		}
+		coldNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		checker := New()
+		if err := checker.RegisterDatabase("bench", db); err != nil {
+			b.Fatal(err)
+		}
+		// Prime the cache; the measured loop is pure warm path.
+		if _, err := checker.CheckWorkloads(context.Background(), workloads); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := checker.CheckWorkloads(context.Background(), workloads); err != nil {
+				b.Fatal(err)
+			}
+		}
+		warmNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		if coldNs > 0 {
+			// The speedup note, on the result line so every bench run
+			// records the memoization payoff alongside ns/op.
+			speedup := coldNs / warmNs
+			b.ReportMetric(speedup, "speedup-x")
+			b.Logf("profile memoization: warm check %.1fx faster than cold over %d tables (cold %.1fms, warm %.2fms per check)",
+				speedup, tables, coldNs/1e6, warmNs/1e6)
+			if speedup < 10 {
+				b.Errorf("warm registered-database check only %.1fx faster than cold; want >= 10x", speedup)
+			}
+		}
+	})
 }
 
 // BenchmarkRegistryReuse measures the daemon registry's reason to
@@ -352,10 +447,12 @@ func BenchmarkRegistryReuse(b *testing.B) {
 // the rule catalog's metadata turned into wall-clock time. Both
 // variants analyze the same SQL against the same registered
 // multi-table database; "full" runs the whole catalog (snapshot +
-// 16-table profiling every request), "query-only" restricts the
+// schema reflection + the data phase — profiles come from the
+// memoization cache after the first iteration, so the steady state
+// measured here is the warm full path), "query-only" restricts the
 // workload to need-free query rules, so the engine takes no snapshot
-// and profiles nothing. The gap is the per-request cost rule
-// selection now avoids instead of filtering after the fact.
+// and touches neither schema nor profiles. The gap is the per-request
+// cost rule selection avoids instead of filtering after the fact.
 func BenchmarkQueryOnlyWorkload(b *testing.B) {
 	db := profileBenchDB(16, 2000)
 	const workloadSQL = `SELECT * FROM bench_t00 ORDER BY RAND();

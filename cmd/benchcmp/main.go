@@ -4,16 +4,19 @@
 // it runs from a bare checkout.
 //
 //	go test -bench 'CheckSQLParallel|RuleDispatch|ProfileParallel' \
-//	    -count 5 -run '^$' . > bench/current.txt
+//	    -count 5 -benchmem -run '^$' . > bench/current.txt
 //	go run ./cmd/benchcmp -baseline bench/baseline.txt \
 //	    -current bench/current.txt -max-regression 20
 //
 // Each benchmark's samples (one line per -count repetition) are
-// reduced to their median ns/op, which is robust to the odd noisy
-// run. A benchmark regresses when its current median exceeds the
-// baseline median by more than -max-regression percent. Benchmarks
-// named by -require must be present in the current output, so a gate
-// cannot silently vanish by being renamed or skipped.
+// reduced to their per-metric medians, which is robust to the odd
+// noisy run. Three metrics gate: ns/op against -max-regression, and —
+// when -benchmem output is present — B/op and allocs/op against
+// -max-mem-regression, so an allocation regression fails CI even when
+// wall time hides it behind machine noise. Custom metrics
+// (profiles/s, speedup-x, …) are informational and never gated.
+// Benchmarks named by -require must be present in the current output,
+// so a gate cannot silently vanish by being renamed or skipped.
 package main
 
 import (
@@ -27,31 +30,49 @@ import (
 	"strings"
 )
 
-// benchLine matches one result line, e.g.
-// "BenchmarkProfileParallel/serial-8  10  1234567 ns/op  12 B/op".
+// gated maps each gated metric unit to the flag that bounds it; every
+// other unit is carried through uncompared.
+var gatedUnits = []string{"ns/op", "B/op", "allocs/op"}
+
+// benchHeader matches the name and iteration count of one result
+// line, e.g. "BenchmarkProfileParallel/serial-8  10  1234567 ns/op".
 // The -8 GOMAXPROCS suffix is stripped so runs from machines with
 // different core counts still line up by name.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+var benchHeader = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
 
-func parse(path string) (map[string][]float64, error) {
+// samples holds one benchmark's per-metric observations.
+type samples map[string][]float64
+
+// parse reads a bench output file into name -> unit -> sample values.
+// Metrics are tokenized pairwise ("<value> <unit>"), matching the
+// testing package's output format for built-in and custom metrics.
+func parse(path string) (map[string]samples, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := make(map[string][]float64)
+	out := make(map[string]samples)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
+		m := benchHeader.FindStringSubmatch(sc.Text())
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			continue
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			s := out[m[1]]
+			if s == nil {
+				s = make(samples)
+				out[m[1]] = s
+			}
+			s[fields[i+1]] = append(s[fields[i+1]], v)
 		}
-		out[m[1]] = append(out[m[1]], ns)
 	}
 	return out, sc.Err()
 }
@@ -71,6 +92,7 @@ func main() {
 		baselinePath = flag.String("baseline", "bench/baseline.txt", "checked-in baseline bench output")
 		currentPath  = flag.String("current", "", "bench output to compare (required)")
 		maxRegress   = flag.Float64("max-regression", 20, "fail when median ns/op regresses by more than this percent")
+		maxMem       = flag.Float64("max-mem-regression", 25, "fail when median B/op or allocs/op regresses by more than this percent")
 		require      = flag.String("require", "", "comma-separated substrings; each must match a current benchmark")
 	)
 	flag.Parse()
@@ -108,6 +130,13 @@ func main() {
 		}
 	}
 
+	threshold := func(unit string) float64 {
+		if unit == "ns/op" {
+			return *maxRegress
+		}
+		return *maxMem
+	}
+
 	names := make([]string, 0, len(base))
 	for name := range base {
 		names = append(names, name)
@@ -119,23 +148,40 @@ func main() {
 			fmt.Printf("SKIP     %-52s not in current output\n", name)
 			continue
 		}
-		b, c := median(base[name]), median(curSamples)
-		delta := 100 * (c - b) / b
-		status := "ok"
-		if delta > *maxRegress {
-			status = "REGRESS"
-			failed = true
+		for _, unit := range gatedUnits {
+			bs, cs := base[name][unit], curSamples[unit]
+			if len(bs) == 0 || len(cs) == 0 {
+				continue // metric absent on one side (e.g. baseline predates -benchmem)
+			}
+			b, c := median(bs), median(cs)
+			delta := 100 * (c - b) / b
+			if b == 0 {
+				delta = 0 // a zero-alloc baseline only "regresses" to itself
+				if c > 0 {
+					delta = 100
+				}
+			}
+			status := "ok"
+			if delta > threshold(unit) {
+				status = "REGRESS"
+				failed = true
+			}
+			fmt.Printf("%-8s %-52s %12.0f -> %12.0f %-9s %+6.1f%% (max %+.0f%%)\n",
+				status, name, b, c, unit, delta, threshold(unit))
 		}
-		fmt.Printf("%-8s %-52s %12.0f -> %12.0f ns/op  %+6.1f%%\n", status, name, b, c, delta)
 	}
 	for name := range cur {
 		if _, ok := base[name]; !ok {
-			fmt.Printf("NEW      %-52s %12.0f ns/op (no baseline)\n", name, median(cur[name]))
+			if ns := cur[name]["ns/op"]; len(ns) > 0 {
+				fmt.Printf("NEW      %-52s %12.0f ns/op (no baseline)\n", name, median(ns))
+			} else {
+				fmt.Printf("NEW      %-52s (no baseline)\n", name)
+			}
 		}
 	}
 	if failed {
-		fmt.Printf("\nbenchcmp: FAIL (threshold %+.0f%%)\n", *maxRegress)
+		fmt.Printf("\nbenchcmp: FAIL (ns/op threshold %+.0f%%, mem threshold %+.0f%%)\n", *maxRegress, *maxMem)
 		os.Exit(1)
 	}
-	fmt.Printf("\nbenchcmp: ok (threshold %+.0f%%)\n", *maxRegress)
+	fmt.Printf("\nbenchcmp: ok (ns/op threshold %+.0f%%, mem threshold %+.0f%%)\n", *maxRegress, *maxMem)
 }

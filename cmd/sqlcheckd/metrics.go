@@ -31,6 +31,15 @@ func writePrometheus(w io.Writer, m sqlcheck.Metrics) {
 	fmt.Fprintf(w, "# HELP sqlcheck_cache_hit_rate Hits over lookups since start.\n# TYPE sqlcheck_cache_hit_rate gauge\nsqlcheck_cache_hit_rate %g\n",
 		m.Cache.HitRate())
 
+	counter("sqlcheck_profile_cache_hits_total", "Table-profile cache hits (tables whose data phase skipped sampling entirely).", m.ProfileCache.Hits)
+	counter("sqlcheck_profile_cache_misses_total", "Table-profile cache misses (tables profiled from scratch).", m.ProfileCache.Misses)
+	counter("sqlcheck_profile_cache_evictions_total", "Table-profile cache LRU evictions.", m.ProfileCache.Evictions)
+	gauge("sqlcheck_profile_cache_bytes", "Estimated resident bytes of memoized table profiles.", m.ProfileCache.Bytes)
+	gauge("sqlcheck_profile_cache_max_bytes", "Profile cache byte budget.", m.ProfileCache.MaxBytes)
+	gauge("sqlcheck_profile_cache_entries", "Profiles resident in the cache.", int64(m.ProfileCache.Entries))
+	fmt.Fprintf(w, "# HELP sqlcheck_profile_cache_hit_rate Hits over lookups since start.\n# TYPE sqlcheck_profile_cache_hit_rate gauge\nsqlcheck_profile_cache_hit_rate %g\n",
+		m.ProfileCache.HitRate())
+
 	gauge("sqlcheck_registry_databases", "Databases registered in the daemon registry.", int64(m.Registry.Databases))
 	counter("sqlcheck_registry_hits_total", "Workloads resolved against a registered database (fixture reused, not re-executed).", m.Registry.Hits)
 	counter("sqlcheck_registry_misses_total", "Workload db lookups that found no registered database.", m.Registry.Misses)

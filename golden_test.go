@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"strings"
 	"testing"
 
@@ -110,6 +111,29 @@ func TestGoldenCorpus(t *testing.T) {
 			keys = append(keys, findingKey(f))
 		}
 		got[names[i]] = keys
+	}
+
+	// Warm-cache pass: the same batch again on the same checker. The
+	// second run serves table profiles from the memoization cache
+	// (profiling is deterministic, so a hit is exactly what a fresh
+	// pass computes) — the golden contract extends to it: warm reports
+	// must be byte-identical to cold ones, with real cache traffic.
+	warm, err := checker.CheckWorkloads(t.Context(), ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range warm {
+		keys := []string{}
+		for _, f := range rep.Findings {
+			keys = append(keys, findingKey(f))
+		}
+		if !slices.Equal(keys, got[names[i]]) {
+			t.Errorf("%s: warm-cache findings differ from cold run\nwarm: %v\ncold: %v",
+				names[i], keys, got[names[i]])
+		}
+	}
+	if pc := checker.Metrics().ProfileCache; pc.Hits == 0 {
+		t.Errorf("warm pass produced no profile-cache hits: %+v", pc)
 	}
 
 	if *updateGolden {

@@ -42,6 +42,13 @@ type Options struct {
 	// engines to share parsed ASTs process-wide. Ignored by the
 	// sequential Detect path, which does not cache.
 	SharedCache *ParseCache
+	// SharedProfileCache, when non-nil, is the table-profile
+	// memoization cache the Engine uses instead of building a private
+	// one — the data-phase analogue of SharedCache. Profiles are keyed
+	// by (table identity, table version, options), so registered
+	// databases reuse them across batches until DML bumps the version.
+	// Ignored by the sequential Detect path.
+	SharedProfileCache *ProfileCache
 }
 
 // DefaultOptions returns the standard configuration (full inter-query

@@ -141,6 +141,11 @@ type EngineMetrics struct {
 	// Cache describes the parse cache (shared across engines when
 	// injected via Options.SharedCache).
 	Cache CacheStats `json:"cache"`
+	// ProfileCache describes the table-profile memoization cache
+	// (shared across engines when injected via
+	// Options.SharedProfileCache). Every hit is a table whose data
+	// phase was an integer compare instead of a sampling pass.
+	ProfileCache CacheStats `json:"profile_cache"`
 	// Statements is the per-statement worker pool; Workloads bounds
 	// concurrently open batch workloads.
 	Statements PoolStats `json:"statements"`
@@ -180,11 +185,12 @@ type PhaseSkipStats struct {
 // phase histograms.
 func (e *Engine) Metrics() EngineMetrics {
 	return EngineMetrics{
-		Cache:      e.cache.Stats(),
-		Statements: e.stmts.Stats(),
-		Workloads:  e.workloads.Stats(),
-		Registry:   e.registry.Stats(),
-		Snapshots:  e.snapshots.Load(),
+		Cache:        e.cache.Stats(),
+		ProfileCache: e.profiles.Stats(),
+		Statements:   e.stmts.Stats(),
+		Workloads:    e.workloads.Stats(),
+		Registry:     e.registry.Stats(),
+		Snapshots:    e.snapshots.Load(),
 		Skips: PhaseSkipStats{
 			Profile:    e.skips.profile.Load(),
 			Snapshot:   e.skips.snapshot.Load(),

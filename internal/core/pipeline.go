@@ -157,8 +157,11 @@ type Engine struct {
 	stmts     *Pool
 	workloads *Pool
 	cache     *ParseCache
-	phases    *phaseSet
-	registry  *Registry
+	// profiles memoizes table profiles across batches, keyed by
+	// (table identity, version, options) — see ProfileCache.
+	profiles *ProfileCache
+	phases   *phaseSet
+	registry *Registry
 	// ruleSet is Options.Rules compiled once at construction — the
 	// admission-time form of the rule filter. rulesErr records unknown
 	// IDs and fails every batch until the options are fixed.
@@ -199,12 +202,17 @@ func NewEngine(opts Options, concurrency int) *Engine {
 	if cache == nil {
 		cache = NewParseCache(DefaultParseCacheBytes)
 	}
+	pcache := opts.SharedProfileCache
+	if pcache == nil {
+		pcache = NewProfileCache(DefaultProfileCacheBytes)
+	}
 	rs, rsErr := rules.NewRuleSet(opts.Rules)
 	return &Engine{
 		opts:      opts,
 		stmts:     NewPool(concurrency),
 		workloads: NewPool(concurrency),
 		cache:     cache,
+		profiles:  pcache,
 		phases:    newPhaseSet(),
 		registry:  NewRegistry(),
 		ruleSet:   rs,
@@ -453,9 +461,14 @@ func (e *Engine) detectWorkload(ctx context.Context, pw plannedWorkload) (*Resul
 // profileTables profiles every table of the workload's database as
 // independent tasks on the statement pool and merges the results in
 // the deterministic lower-cased-name keying the sequential
-// ProfileDatabase uses. A canceled ctx stops mid-profile and returns
-// the context error. Without a database (or in intra mode, which
-// skips data analysis) it returns nil.
+// ProfileDatabase uses. Each table consults the engine's profile
+// cache first: db is always an admission snapshot, so its tables'
+// (identity, version) pairs are frozen and a hit returns the profile
+// an identical fresh pass would compute — the warm path for a
+// registered database whose data has not changed does no sampling at
+// all. A canceled ctx stops mid-profile and returns the context
+// error. Without a database (or in intra mode, which skips data
+// analysis) it returns nil.
 func (e *Engine) profileTables(ctx context.Context, db *storage.Database, cfg appctx.Config) (map[string]*profile.TableProfile, error) {
 	if db == nil || cfg.Mode == appctx.ModeIntra {
 		return nil, nil
@@ -463,10 +476,15 @@ func (e *Engine) profileTables(ctx context.Context, db *storage.Database, cfg ap
 	tables := db.Tables()
 	tps := make([]*profile.TableProfile, len(tables))
 	if err := e.stmts.each(ctx, len(tables), func(i int) {
+		if tp, ok := e.profiles.Lookup(tables[i], cfg.Profile); ok {
+			tps[i] = tp
+			return
+		}
 		tp, err := profile.ProfileTableContext(ctx, tables[i], cfg.Profile)
 		if err != nil {
 			return // ctx canceled; each surfaces it
 		}
+		e.profiles.Add(tables[i], cfg.Profile, tp)
 		tps[i] = tp
 	}); err != nil {
 		return nil, err

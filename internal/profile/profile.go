@@ -5,13 +5,28 @@
 // data type), timestamps without time zones, derived and redundant
 // columns, functional dependencies (denormalization), and
 // plaintext-password heuristics.
+//
+// The profiler is the hottest analysis path in the system, so it is
+// built as a single streaming pass over Table.ScanReadOnly: sampled
+// rows are never cloned (stored Rows are immutable by construction),
+// every cell is rendered to its string/float forms exactly once into
+// pooled per-column scratch, and format classification runs through
+// the byte-level scanners in classify.go instead of regexps. The
+// cross-column passes (functional dependencies, derivations) then
+// reuse those renderings instead of re-stringifying every value per
+// column pair. Output is byte-identical to the straightforward
+// implementation — pinned by the reference-implementation equivalence
+// test and the repo's golden corpus — which is what makes profiles
+// safe to memoize across requests.
 package profile
 
 import (
 	"context"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"sqlcheck/internal/schema"
 	"sqlcheck/internal/storage"
@@ -57,6 +72,13 @@ func (o Options) withDefaults() Options {
 	}
 	return o
 }
+
+// Normalized returns the options with every zero field replaced by
+// its default — the canonical form under which two configurations
+// produce identical profiles. Options is comparable, so a normalized
+// value is directly usable as (part of) a memoization key: zero-valued
+// and explicitly-default options share cache entries.
+func (o Options) Normalized() Options { return o.withDefaults() }
 
 // ColumnProfile holds statistics for one column computed over the
 // sample.
@@ -111,7 +133,10 @@ func (c *ColumnProfile) FracOf(count int) float64 {
 }
 
 // TableProfile aggregates the column profiles of one table plus
-// cross-column findings.
+// cross-column findings. Profiles are immutable once built — every
+// consumer (data rules, ranking, fixes) only reads them — which is
+// what allows one profile to be shared by concurrent workloads and
+// memoized across requests.
 type TableProfile struct {
 	Table       string
 	RowsSampled int
@@ -156,6 +181,38 @@ func (tp *TableProfile) Column(name string) *ColumnProfile {
 // Options returns the options the profile was built with.
 func (tp *TableProfile) Options() Options { return tp.opts }
 
+// Per-entry size model for MemSize: struct footprints rounded up to
+// cover allocator and pointer overhead. Like the parse cache's cost
+// model, it only needs to be proportional — it decides how many
+// profiles fit a byte budget, not an allocator ledger.
+const (
+	tableProfileBase  = 160
+	columnProfileBase = 208
+	fdBase            = 56
+	derivationBase    = 72
+)
+
+// MemSize estimates the profile's resident bytes — the cost a
+// byte-bounded profile cache charges for keeping it.
+func (tp *TableProfile) MemSize() int64 {
+	n := int64(tableProfileBase + len(tp.Table))
+	for _, c := range tp.Columns {
+		n += columnProfileBase + int64(len(c.Name)+len(c.TopValue))
+	}
+	for _, fd := range tp.FDs {
+		n += fdBase + int64(len(fd.From)+len(fd.To))
+	}
+	for _, d := range tp.Derivations {
+		n += derivationBase + int64(len(d.From)+len(d.To)+len(d.Kind))
+	}
+	return n
+}
+
+// Reference format definitions. The hot path classifies through the
+// equivalent byte-level scanners in classify.go (verified against
+// these by TestClassifierEquivalence); rePath is still matched at
+// runtime behind a cheap necessary-condition pre-check, the rest are
+// retained as the executable specification.
 var (
 	reInt        = regexp.MustCompile(`^\s*-?\d+\s*$`)
 	reFloat      = regexp.MustCompile(`^\s*-?\d+\.\d+([eE][-+]?\d+)?\s*$`)
@@ -167,32 +224,6 @@ var (
 	reHexish     = regexp.MustCompile(`^[0-9a-fA-F$./=+]{20,}$`)
 )
 
-// delimListLike reports whether a string looks like a
-// delimiter-separated list of short tokens (the MVA signature).
-func delimListLike(s string) bool {
-	for _, d := range []string{",", ";", "|"} {
-		parts := strings.Split(s, d)
-		if len(parts) < 2 {
-			continue
-		}
-		ok := 0
-		for _, p := range parts {
-			p = strings.TrimSpace(p)
-			if p == "" {
-				continue
-			}
-			// Tokens should be short identifiers, not prose.
-			if len(p) <= 24 && !strings.Contains(p, " ") {
-				ok++
-			}
-		}
-		if ok >= 2 && float64(ok) >= 0.8*float64(len(parts)) {
-			return true
-		}
-	}
-	return false
-}
-
 // cancelCheckRows is how many scanned rows pass between context
 // checks during sampling; small enough that canceling a request stops
 // a large-table profile promptly, large enough that the check is
@@ -200,7 +231,7 @@ func delimListLike(s string) bool {
 const cancelCheckRows = 1024
 
 // Sample draws a deterministic reservoir sample of row values from a
-// table.
+// table. The returned rows are copies, safe to hold and mutate.
 func Sample(t *storage.Table, opts Options) []storage.Row {
 	rows, _ := sampleContext(context.Background(), t, opts)
 	return rows
@@ -208,7 +239,10 @@ func Sample(t *storage.Table, opts Options) []storage.Row {
 
 // sampleContext is Sample with cancellation: the full-table scan
 // behind the reservoir checks ctx every cancelCheckRows rows and
-// stops early with ctx.Err() when canceled.
+// stops early with ctx.Err() when canceled. The profiler does not run
+// through this (it streams renderings instead of materializing rows)
+// but follows the identical reservoir schedule, so for one seed both
+// observe the same sampled row set.
 func sampleContext(ctx context.Context, t *storage.Table, opts Options) ([]storage.Row, error) {
 	opts = opts.withDefaults()
 	r := xrand.New(opts.Seed)
@@ -237,6 +271,95 @@ func sampleContext(ctx context.Context, t *storage.Table, opts Options) ([]stora
 	return reservoir, nil
 }
 
+// cell is one sampled value rendered exactly once: the display string
+// (shared with the stored Value when it already is a string), the
+// numeric coercion, and the type tags the statistics and cross-column
+// passes consume. Rendering per cell instead of per use is the
+// profiler's main allocation win — the FD and derivation passes used
+// to re-stringify every value once per column pair.
+type cell struct {
+	s     string
+	f     float64
+	kind  storage.ValueKind
+	isNum bool // numeric coercion succeeded (Value.AsFloat semantics)
+	tz    bool // KindTime with a known zone
+}
+
+// renderCell converts a stored value into its profiled forms. For
+// strings, the float coercion is attempted only when a digit is
+// present: every finite decimal or hex rendering contains one, and
+// the digit-free strings AsFloat would accept ("Inf", "NaN") cannot
+// influence any profiled statistic — strings only count as numeric
+// when they match the int/float formats (which require digits), and
+// the derivation pass's year arithmetic is never satisfied by
+// non-finite values.
+func renderCell(v storage.Value) cell {
+	c := cell{kind: v.Kind, tz: v.TZKnown}
+	if v.Kind == storage.KindNull {
+		return c
+	}
+	c.s = v.String()
+	switch v.Kind {
+	case storage.KindInt:
+		c.f, c.isNum = float64(v.I), true
+	case storage.KindFloat:
+		c.f, c.isNum = v.F, true
+	case storage.KindBool:
+		if v.B {
+			c.f = 1
+		}
+		c.isNum = true
+	case storage.KindTime:
+		c.f, c.isNum = float64(v.I), true
+	case storage.KindString:
+		if hasDigit(c.s) {
+			if f, err := strconv.ParseFloat(strings.TrimSpace(c.s), 64); err == nil {
+				c.f, c.isNum = f, true
+			}
+		}
+	}
+	return c
+}
+
+// scratch is the reusable per-profile working state: one cell slice
+// per column (indexed by reservoir slot), a frequency map shared by
+// the sequential per-column stats passes, the FD pair map, and the
+// numeric sort buffer. Pooled so that profiling N tables — the
+// engine's per-table fan-out — allocates scratch O(pool) times, not
+// O(tables), and concurrent profiles never contend on shared state.
+type scratch struct {
+	cols [][]cell
+	freq map[string]int
+	fd   map[string]string
+	nums []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+// columns returns n empty cell slices, reusing grown capacity.
+func (sc *scratch) columns(n int) [][]cell {
+	for len(sc.cols) < n {
+		sc.cols = append(sc.cols, nil)
+	}
+	cols := sc.cols[:n]
+	for i := range cols {
+		cols[i] = cols[i][:0]
+	}
+	return cols
+}
+
+// release zeroes retained cells and map entries (they hold strings
+// referencing table data, which must not outlive the profile call in
+// the pool) and returns the scratch.
+func (sc *scratch) release() {
+	for i := range sc.cols {
+		clear(sc.cols[i])
+	}
+	clear(sc.freq)
+	clear(sc.fd)
+	scratchPool.Put(sc)
+}
+
 // ProfileTable profiles one storage table.
 func ProfileTable(t *storage.Table, opts Options) *TableProfile {
 	tp, _ := ProfileTableContext(context.Background(), t, opts)
@@ -247,97 +370,53 @@ func ProfileTable(t *storage.Table, opts Options) *TableProfile {
 // scan checks ctx periodically, and the function returns ctx.Err()
 // (and no profile) when the context is canceled mid-profile. With an
 // uncanceled context the result is identical to ProfileTable.
+//
+// The whole profile is one streaming pass over ScanReadOnly: the
+// reservoir holds rendered cells, not cloned rows (stored Rows are
+// immutable — DML always replaces whole rows — so nothing needs
+// copying), and every downstream statistic reads the renderings.
 func ProfileTableContext(ctx context.Context, t *storage.Table, opts Options) (*TableProfile, error) {
 	opts = opts.withDefaults()
-	rows, err := sampleContext(ctx, t, opts)
-	if err != nil {
+	ncols := len(t.Cols)
+	sc := scratchPool.Get().(*scratch)
+	defer sc.release()
+	cols := sc.columns(ncols)
+
+	// Reservoir sampling on the identical schedule as sampleContext
+	// (same seed ⇒ same sampled row set), rendering each admitted
+	// row's cells in place of cloning it. A replaced slot's renderings
+	// are simply overwritten.
+	r := xrand.New(opts.Seed)
+	sampled, n := 0, 0
+	t.ScanReadOnly(func(id int64, row storage.Row) bool {
+		n++
+		if n%cancelCheckRows == 0 && ctx.Err() != nil {
+			return false
+		}
+		if sampled < opts.SampleSize {
+			for i := range cols {
+				cols[i] = append(cols[i], renderCell(row[i]))
+			}
+			sampled++
+			return true
+		}
+		if j := r.Intn(n); j < opts.SampleSize {
+			for i := range cols {
+				cols[i][j] = renderCell(row[i])
+			}
+		}
+		return true
+	})
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	tp := &TableProfile{Table: t.Name, RowsSampled: len(rows), TotalRows: t.Len(), opts: opts}
 
-	type colState struct {
-		freq    map[string]int
-		nums    []float64
-		sumLen  int
-		strSeen int
-	}
-	states := make([]*colState, len(t.Cols))
+	tp := &TableProfile{Table: t.Name, RowsSampled: sampled, TotalRows: t.Len(), opts: opts}
+	tp.Columns = make([]*ColumnProfile, ncols)
 	for i, cd := range t.Cols {
-		states[i] = &colState{freq: map[string]int{}}
-		tp.Columns = append(tp.Columns, &ColumnProfile{Name: cd.Name, Class: cd.Class})
-	}
-
-	for _, row := range rows {
-		for i, v := range row {
-			cp := tp.Columns[i]
-			st := states[i]
-			cp.Rows++
-			if v.IsNull() {
-				cp.Nulls++
-				continue
-			}
-			s := v.String()
-			st.freq[s]++
-			if f, ok := v.AsFloat(); ok && (v.Kind == storage.KindInt || v.Kind == storage.KindFloat || v.Kind == storage.KindString && (reInt.MatchString(s) || reFloat.MatchString(s))) {
-				cp.NumericCount++
-				st.nums = append(st.nums, f)
-			}
-			if v.Kind == storage.KindString {
-				st.strSeen++
-				st.sumLen += len(s)
-				switch {
-				case reInt.MatchString(s):
-					cp.IntLike++
-				case reFloat.MatchString(s):
-					cp.FloatLike++
-				case reDateTimeTZ.MatchString(s):
-					cp.DateTimeTZ++
-				case reDateTime.MatchString(s):
-					cp.DateTimeNoTZ++
-				case reDate.MatchString(s):
-					cp.DateLike++
-				case reEmail.MatchString(s):
-					cp.EmailLike++
-				case rePath.MatchString(s):
-					cp.PathLike++
-				}
-				if delimListLike(s) {
-					cp.DelimList++
-				}
-				if len(s) > 0 && len(s) < 20 && !reHexish.MatchString(s) {
-					cp.PlainTextish++
-				}
-			}
-			if v.Kind == storage.KindTime && !v.TZKnown {
-				cp.DateTimeNoTZ++
-			}
-			if v.Kind == storage.KindTime && v.TZKnown {
-				cp.DateTimeTZ++
-			}
-		}
-	}
-
-	for i, cp := range tp.Columns {
-		st := states[i]
-		cp.Distinct = len(st.freq)
-		for v, n := range st.freq {
-			if n > cp.TopFreq || (n == cp.TopFreq && v < cp.TopValue) {
-				cp.TopValue, cp.TopFreq = v, n
-			}
-		}
-		if st.strSeen > 0 {
-			cp.AvgLen = float64(st.sumLen) / float64(st.strSeen)
-		}
-		if len(st.nums) > 0 {
-			sort.Float64s(st.nums)
-			cp.Min, cp.Max = st.nums[0], st.nums[len(st.nums)-1]
-			var sum float64
-			for _, f := range st.nums {
-				sum += f
-			}
-			cp.Mean = sum / float64(len(st.nums))
-			cp.Median = st.nums[len(st.nums)/2]
-		}
+		cp := &ColumnProfile{Name: cd.Name, Class: cd.Class}
+		tp.Columns[i] = cp
+		sc.columnStats(cp, cols[i])
 	}
 
 	// The cross-column passes below run over the bounded sample, but
@@ -346,12 +425,118 @@ func ProfileTableContext(ctx context.Context, t *storage.Table, opts Options) (*
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	tp.findFDs(t, rows)
+	tp.findFDs(cols, sc.fdMap())
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	tp.findDerivations(t, rows)
+	tp.findDerivations(cols)
 	return tp, nil
+}
+
+// freqMap returns the cleared shared frequency map.
+func (sc *scratch) freqMap() map[string]int {
+	if sc.freq == nil {
+		sc.freq = make(map[string]int)
+	} else {
+		clear(sc.freq)
+	}
+	return sc.freq
+}
+
+// fdMap returns the shared (cleared-per-pair) FD mapping.
+func (sc *scratch) fdMap() map[string]string {
+	if sc.fd == nil {
+		sc.fd = make(map[string]string)
+	}
+	return sc.fd
+}
+
+// columnStats computes one column's profile from its rendered cells.
+// Cells are visited in reservoir-slot order — the same order the row
+// loop observed them — so float accumulation order (and therefore
+// Mean, bit for bit) matches the reference implementation.
+func (sc *scratch) columnStats(cp *ColumnProfile, cells []cell) {
+	freq := sc.freqMap()
+	nums := sc.nums[:0]
+	sumLen, strSeen := 0, 0
+	for i := range cells {
+		c := &cells[i]
+		cp.Rows++
+		if c.kind == storage.KindNull {
+			cp.Nulls++
+			continue
+		}
+		freq[c.s]++
+		var isInt, isFloat bool
+		if c.kind == storage.KindString {
+			// The two formats are disjoint (one forbids '.', the other
+			// requires it), so each cell is scanned at most twice here
+			// and the results serve both the numeric-coercion test and
+			// the format cascade below.
+			isInt = intLike(c.s)
+			isFloat = !isInt && floatLike(c.s)
+		}
+		if c.isNum && (c.kind == storage.KindInt || c.kind == storage.KindFloat ||
+			c.kind == storage.KindString && (isInt || isFloat)) {
+			cp.NumericCount++
+			nums = append(nums, c.f)
+		}
+		if c.kind == storage.KindString {
+			strSeen++
+			sumLen += len(c.s)
+			switch {
+			case isInt:
+				cp.IntLike++
+			case isFloat:
+				cp.FloatLike++
+			case dateTimeTZLike(c.s):
+				cp.DateTimeTZ++
+			case dateTimeNoTZLike(c.s):
+				cp.DateTimeNoTZ++
+			case dateLike(c.s):
+				cp.DateLike++
+			case emailLike(c.s):
+				cp.EmailLike++
+			case pathLike(c.s):
+				cp.PathLike++
+			}
+			if delimListLike(c.s) {
+				cp.DelimList++
+			}
+			// "Short and unhashed-looking": the hashed-value format
+			// (reHexish) requires at least 20 characters, so under the
+			// 20-byte cap the length test alone decides.
+			if len(c.s) > 0 && len(c.s) < 20 {
+				cp.PlainTextish++
+			}
+		}
+		if c.kind == storage.KindTime && !c.tz {
+			cp.DateTimeNoTZ++
+		}
+		if c.kind == storage.KindTime && c.tz {
+			cp.DateTimeTZ++
+		}
+	}
+	cp.Distinct = len(freq)
+	for v, n := range freq {
+		if n > cp.TopFreq || (n == cp.TopFreq && v < cp.TopValue) {
+			cp.TopValue, cp.TopFreq = v, n
+		}
+	}
+	if strSeen > 0 {
+		cp.AvgLen = float64(sumLen) / float64(strSeen)
+	}
+	if len(nums) > 0 {
+		sort.Float64s(nums)
+		cp.Min, cp.Max = nums[0], nums[len(nums)-1]
+		var sum float64
+		for _, f := range nums {
+			sum += f
+		}
+		cp.Mean = sum / float64(len(nums))
+		cp.Median = nums[len(nums)/2]
+	}
+	sc.nums = nums[:0] // keep grown capacity for the next column
 }
 
 // ProfileDatabase profiles every table.
@@ -364,12 +549,13 @@ func ProfileDatabase(db *storage.Database, opts Options) map[string]*TableProfil
 }
 
 // findFDs detects non-trivial functional dependencies between
-// non-unique columns — the signature of a denormalized table.
-func (tp *TableProfile) findFDs(t *storage.Table, rows []storage.Row) {
-	if len(rows) < 10 {
+// non-unique columns — the signature of a denormalized table. mapping
+// is caller-provided scratch, cleared per pair.
+func (tp *TableProfile) findFDs(cols [][]cell, mapping map[string]string) {
+	if tp.RowsSampled < 10 {
 		return
 	}
-	n := len(t.Cols)
+	n := len(tp.Columns)
 	for a := 0; a < n; a++ {
 		ca := tp.Columns[a]
 		// From-column must repeat (not unique) and have a real domain.
@@ -384,21 +570,21 @@ func (tp *TableProfile) findFDs(t *storage.Table, rows []storage.Row) {
 			if cb.Distinct < 2 {
 				continue // constant columns are the redundant-column rule's business
 			}
-			mapping := map[string]string{}
+			clear(mapping)
 			fd := true
-			for _, row := range rows {
-				va, vb := row[a], row[b]
-				if va.IsNull() || vb.IsNull() {
+			colA, colB := cols[a], cols[b]
+			for r := range colA {
+				va, vb := &colA[r], &colB[r]
+				if va.kind == storage.KindNull || vb.kind == storage.KindNull {
 					continue
 				}
-				ka, kb := va.String(), vb.String()
-				if prev, ok := mapping[ka]; ok {
-					if prev != kb {
+				if prev, ok := mapping[va.s]; ok {
+					if prev != vb.s {
 						fd = false
 						break
 					}
 				} else {
-					mapping[ka] = kb
+					mapping[va.s] = vb.s
 				}
 			}
 			// Require the dependency to be non-trivial: B must vary
@@ -417,17 +603,17 @@ func (tp *TableProfile) findFDs(t *storage.Table, rows []storage.Row) {
 }
 
 // findDerivations detects derived columns (information duplication).
-func (tp *TableProfile) findDerivations(t *storage.Table, rows []storage.Row) {
-	if len(rows) < 5 {
+func (tp *TableProfile) findDerivations(cols [][]cell) {
+	if tp.RowsSampled < 5 {
 		return
 	}
-	n := len(t.Cols)
+	n := len(tp.Columns)
 	for a := 0; a < n; a++ {
 		for b := 0; b < n; b++ {
 			if a == b {
 				continue
 			}
-			kind := detectDerivation(rows, a, b)
+			kind := detectDerivation(cols[a], cols[b])
 			if kind != "" {
 				tp.Derivations = append(tp.Derivations, Derivation{
 					From: tp.Columns[a].Name, To: tp.Columns[b].Name, Kind: kind,
@@ -437,17 +623,17 @@ func (tp *TableProfile) findDerivations(t *storage.Table, rows []storage.Row) {
 	}
 }
 
-func detectDerivation(rows []storage.Row, a, b int) string {
+func detectDerivation(colA, colB []cell) string {
 	const currentYear = 2020 // the paper's evaluation year; only used for age-of heuristics
 	checked := 0
 	copies, caseCopies, years, ages := 0, 0, 0, 0
-	for _, row := range rows {
-		va, vb := row[a], row[b]
-		if va.IsNull() || vb.IsNull() {
+	for r := range colA {
+		va, vb := &colA[r], &colB[r]
+		if va.kind == storage.KindNull || vb.kind == storage.KindNull {
 			continue
 		}
 		checked++
-		sa, sb := va.String(), vb.String()
+		sa, sb := va.s, vb.s
 		if sa == sb {
 			copies++
 		}
@@ -457,15 +643,13 @@ func detectDerivation(rows []storage.Row, a, b int) string {
 			caseCopies++
 		}
 		// year extraction from a date: "1987-03-01" -> "1987".
-		if len(sa) >= 4 && (reDate.MatchString(sa) || reDateTime.MatchString(sa)) && sb == sa[:4] {
+		if len(sa) >= 4 && (dateLike(sa) || dateTimeNoTZLike(sa)) && sb == sa[:4] {
 			years++
 		}
 		// age from year of birth.
-		if fa, oka := va.AsFloat(); oka {
-			if fb, okb := vb.AsFloat(); okb {
-				if fa > 1900 && fa < float64(currentYear) && fb == float64(currentYear)-fa {
-					ages++
-				}
+		if va.isNum && vb.isNum {
+			if va.f > 1900 && va.f < float64(currentYear) && vb.f == float64(currentYear)-va.f {
+				ages++
 			}
 		}
 	}

@@ -5,9 +5,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"sqlcheck/internal/schema"
 )
+
+// databaseIDs hands every database created in the process a distinct
+// origin identity (see Database.ID).
+var databaseIDs atomic.Uint64
 
 // Database is a named collection of tables.
 type Database struct {
@@ -23,12 +28,29 @@ type Database struct {
 	// frozen marks snapshot views: the executor rejects DDL and DML
 	// against them (the tables carry their own frozen flags too).
 	frozen bool
+	// id is the database's origin identity, assigned in NewDatabase and
+	// inherited by snapshots; version counts catalog mutations
+	// (AddTable/DropTable), monotonically, under the same write
+	// discipline as Table.version. Together with the per-table
+	// counters they make "has anything I profiled changed?" an integer
+	// compare instead of a content diff.
+	id      uint64
+	version uint64
 }
 
 // NewDatabase creates an empty database.
 func NewDatabase(name string) *Database {
-	return &Database{Name: name, tables: make(map[string]*Table)}
+	return &Database{Name: name, tables: make(map[string]*Table), id: databaseIDs.Add(1)}
 }
+
+// ID returns the database's origin identity: process-unique per
+// created database and shared by every snapshot taken of it.
+func (db *Database) ID() uint64 { return db.id }
+
+// Version returns the monotonic catalog-mutation counter (table
+// creations and drops). Like Table.Version it is frozen on snapshots
+// and must be read under the writer lock on a live handle.
+func (db *Database) Version() uint64 { return db.version }
 
 // Lock acquires the database's single-writer mutex. The executor
 // wraps each statement in Lock/Unlock so concurrent Exec callers
@@ -50,6 +72,7 @@ func (db *Database) AddTable(t *Table) {
 	}
 	db.tables[key] = t
 	t.db = db
+	db.version++
 }
 
 // CreateTable creates and registers a table.
@@ -76,6 +99,7 @@ func (db *Database) DropTable(name string) bool {
 			break
 		}
 	}
+	db.version++
 	return true
 }
 

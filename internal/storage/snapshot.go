@@ -60,6 +60,12 @@ func (t *Table) snapshotLocked() *Table {
 		fks:     append([]ForeignKey(nil), t.fks...),
 		checks:  append([]CheckInList(nil), t.checks...),
 		pool:    newBufferPool(0),
+		// Identity and version transfer verbatim: the snapshot is the
+		// created table's row state at this exact version, which is what
+		// lets profile memoization key on (ID, Version) and treat a
+		// snapshot hit as a hit on the source table.
+		id:      t.id,
+		version: t.version,
 	}
 }
 
@@ -75,5 +81,9 @@ func (db *Database) Snapshot() *Database {
 		out.AddTable(db.tables[k].snapshotLocked())
 	}
 	out.frozen = true
+	// The view keeps the source's identity and catalog version
+	// (NewDatabase/AddTable assigned fresh ones while building it).
+	out.id = db.id
+	out.version = db.version
 	return out
 }

@@ -172,3 +172,95 @@ func TestSnapshotOfSnapshot(t *testing.T) {
 		t.Errorf("second-order snapshot rows = %d", s2.Len())
 	}
 }
+
+// TestVersionCountersAndIdentity pins the memoization contract: ids
+// are process-unique per created table/database, versions bump
+// monotonically on every row or catalog mutation, and snapshots
+// inherit both frozen — so (ID, Version) equality means identical row
+// content across a snapshot and its source.
+func TestVersionCountersAndIdentity(t *testing.T) {
+	tab := snapTable(t, 10)
+	other := snapTable(t, 10)
+	if tab.ID() == other.ID() {
+		t.Fatalf("distinct tables share id %d", tab.ID())
+	}
+	if tab.Version() != 10 {
+		t.Fatalf("version after 10 inserts = %d, want 10", tab.Version())
+	}
+
+	snap := tab.Snapshot()
+	if snap.ID() != tab.ID() || snap.Version() != tab.Version() {
+		t.Fatalf("snapshot identity (%d,%d) != source (%d,%d)",
+			snap.ID(), snap.Version(), tab.ID(), tab.Version())
+	}
+
+	// Each mutation kind bumps; the snapshot's counter stays frozen.
+	v := tab.Version()
+	tab.MustInsert(Int(100), Str("new"))
+	if tab.Version() != v+1 {
+		t.Fatalf("insert bump: %d -> %d", v, tab.Version())
+	}
+	if err := tab.Update(0, Row{Int(0), Str("renamed")}); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Version() != v+2 {
+		t.Fatalf("update bump: got %d, want %d", tab.Version(), v+2)
+	}
+	if err := tab.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Version() != v+3 {
+		t.Fatalf("delete bump: got %d, want %d", tab.Version(), v+3)
+	}
+	if snap.Version() != v {
+		t.Fatalf("snapshot version moved: %d, want %d", snap.Version(), v)
+	}
+
+	// Failed mutations must not bump (a version change promises a
+	// content change).
+	v = tab.Version()
+	if _, err := tab.Insert(Row{Int(100), Str("dup pk")}); err == nil {
+		t.Fatal("duplicate pk insert succeeded")
+	}
+	if err := tab.Delete(999999); err == nil {
+		t.Fatal("delete of missing row succeeded")
+	}
+	if tab.Version() != v {
+		t.Fatalf("failed mutations bumped version %d -> %d", v, tab.Version())
+	}
+}
+
+func TestDatabaseVersionAndSnapshotIdentity(t *testing.T) {
+	db := NewDatabase("app")
+	other := NewDatabase("app")
+	if db.ID() == other.ID() {
+		t.Fatalf("distinct databases share id %d", db.ID())
+	}
+	v := db.Version()
+	db.CreateTable("a", []ColumnDef{{Name: "x", Class: schema.ClassInteger}})
+	if db.Version() != v+1 {
+		t.Fatalf("create bump: got %d, want %d", db.Version(), v+1)
+	}
+	snap := db.Snapshot()
+	if snap.ID() != db.ID() || snap.Version() != db.Version() {
+		t.Fatalf("db snapshot identity (%d,%d) != source (%d,%d)",
+			snap.ID(), snap.Version(), db.ID(), db.Version())
+	}
+	if snap.Table("a").ID() != db.Table("a").ID() {
+		t.Fatal("snapshot table lost its origin id")
+	}
+	if !db.DropTable("a") {
+		t.Fatal("drop failed")
+	}
+	if db.Version() != v+2 {
+		t.Fatalf("drop bump: got %d, want %d", db.Version(), v+2)
+	}
+	// Recreating the name yields a fresh table identity, so stale
+	// memoized state keyed on the old id can never be confused with
+	// the new table's content.
+	oldID := snap.Table("a").ID()
+	db.CreateTable("a", []ColumnDef{{Name: "x", Class: schema.ClassInteger}})
+	if db.Table("a").ID() == oldID {
+		t.Fatal("recreated table reused origin id")
+	}
+}

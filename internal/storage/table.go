@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"sqlcheck/internal/btree"
 	"sqlcheck/internal/schema"
@@ -83,6 +84,10 @@ type rowPage struct {
 	rows   [PageRows]Row // slot = row id % PageRows; nil slot = deleted
 }
 
+// tableIDs hands every table created in the process a distinct origin
+// identity (see Table.ID).
+var tableIDs atomic.Uint64
+
 // Table is an in-memory table with page-cost-modeled access.
 type Table struct {
 	Name    string
@@ -99,6 +104,21 @@ type Table struct {
 	checks  []CheckInList
 	db      *Database
 	pool    *bufferPool
+	// id is the table's origin identity: assigned once in NewTable from
+	// a process-wide counter and inherited verbatim by snapshots, so a
+	// snapshot and its source answer "are you views of the same created
+	// table?" with an integer compare. A table rebuilt under the same
+	// name (ALTER's drop-and-recreate path) gets a fresh id.
+	id uint64
+	// version counts row-state mutations (Insert/Update/Delete),
+	// monotonically. Writes happen under the database single-writer
+	// lock (every statement executed through internal/exec holds it) or
+	// in single-threaded generator code; snapshots freeze the value, so
+	// (id, version) identifies immutable row content — the profile
+	// memoization key. Column layout never changes in place (ALTER
+	// rebuilds the table), so a version covers everything a profile
+	// reads.
+	version uint64
 }
 
 // rowAt returns the row in the given slot (nil when deleted). The
@@ -127,12 +147,28 @@ func (t *Table) setRow(id int64, r Row) {
 
 // NewTable creates a table with the given columns.
 func NewTable(name string, cols []ColumnDef) *Table {
-	t := &Table{Name: name, Cols: cols, colIdx: make(map[string]int), pool: newBufferPool(0)}
+	t := &Table{
+		Name: name, Cols: cols, colIdx: make(map[string]int),
+		pool: newBufferPool(0), id: tableIDs.Add(1),
+	}
 	for i, c := range cols {
 		t.colIdx[strings.ToLower(c.Name)] = i
 	}
 	return t
 }
+
+// ID returns the table's origin identity: process-unique per created
+// table and shared by every snapshot taken of it.
+func (t *Table) ID() uint64 { return t.id }
+
+// Version returns the monotonic row-mutation counter. Two tables (or
+// snapshots) with equal ID and Version hold byte-identical row
+// content, which is what makes (ID, Version) a sound memoization key
+// for anything derived purely from the rows — "has this table changed
+// since I last profiled it" is an integer compare. Reading the version
+// of a live table races with writers; read it from a snapshot (whose
+// value is frozen) or under the database writer lock.
+func (t *Table) Version() uint64 { return t.version }
 
 // ColIndex returns the ordinal of the named column, or -1.
 func (t *Table) ColIndex(name string) int {
@@ -478,6 +514,7 @@ func (t *Table) Insert(r Row) (int64, error) {
 	t.setRow(id, r.Clone())
 	t.slots++
 	t.live++
+	t.version++
 	t.touchRowPage(id)
 	if t.pk != nil {
 		t.pk.tree.Insert(t.pk.keyFor(r), id)
@@ -598,6 +635,7 @@ func (t *Table) Update(id int64, newRow Row) error {
 		}
 	}
 	t.setRow(id, newRow.Clone())
+	t.version++
 	return nil
 }
 
@@ -629,6 +667,7 @@ func (t *Table) Delete(id int64) error {
 	}
 	t.setRow(id, nil)
 	t.live--
+	t.version++
 	return nil
 }
 

@@ -1,0 +1,149 @@
+package sqlcheck
+
+// The profile-memoization invalidation suite (run under -race by
+// `make test`): writers hammer a registered database with concurrent
+// INSERT/DELETE statements — every statement bumps the mutated
+// table's version under the single-writer lock — while readers
+// repeatedly analyze snapshots through a warm profile cache. The
+// invariant: a report served (partly or wholly) from memoized
+// profiles is byte-identical to the report a completely cold checker
+// computes over the same visible rows materialized into a fresh
+// database. If a stale profile were ever served across a version
+// bump, or a cache entry raced a writer, the byte comparison fails.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestProfileCacheInvalidationUnderConcurrentDML(t *testing.T) {
+	db := raceFixtureDB(t)
+	checker := New(Options{Concurrency: 4})
+	if err := checker.RegisterDatabase("app", db); err != nil {
+		t.Fatal(err)
+	}
+	workload := Workload{SQL: raceWorkloadSQL, DBName: "app"}
+
+	// Warm the cache before the churn starts.
+	baseline := reportJSON(t, checker, workload)
+
+	const (
+		writers      = 4
+		opsPerWriter = 80
+		readers      = 4
+		checksPerR   = 6
+	)
+
+	type observed struct {
+		snap   *Database
+		report []byte
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		seen []observed
+		errc = make(chan error, writers*opsPerWriter+readers)
+	)
+
+	// Writers: unbalanced churn — inserts and deletes of disjoint id
+	// ranges — so reader batches observe genuinely different versions
+	// (and therefore different cache keys) throughout the run.
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWriter; i++ {
+				id := 200000 + g*1000 + i
+				if _, err := db.Exec(fmt.Sprintf(
+					`INSERT INTO users VALUES (%d, 'churn-%d', 'user', 'transient row')`, id, id)); err != nil {
+					errc <- err
+					return
+				}
+				if i%2 == 0 {
+					if _, err := db.Exec(fmt.Sprintf(`DELETE FROM users WHERE id = %d`, id)); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	// Readers: snapshot mid-churn and analyze the snapshot through
+	// the shared (warm, constantly invalidated) checker. The snapshot
+	// freezes (table id, version), so whatever mix of cached and
+	// fresh profiles the engine uses must equal a cold profile of the
+	// same rows.
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < checksPerR; i++ {
+				snap := db.Snapshot()
+				reports, err := checker.CheckWorkloads(context.Background(),
+					[]Workload{{SQL: raceWorkloadSQL, DB: snap}})
+				if err != nil {
+					errc <- err
+					return
+				}
+				raw, err := json.Marshal(reports[0])
+				if err != nil {
+					errc <- err
+					return
+				}
+				mu.Lock()
+				seen = append(seen, observed{snap: snap, report: raw})
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Cold-baseline equality: every mid-churn, cache-assisted report
+	// must match a completely cold checker (fresh caches, nothing
+	// memoized) analyzing the same visible rows.
+	if len(seen) != readers*checksPerR {
+		t.Fatalf("observed %d snapshots, want %d", len(seen), readers*checksPerR)
+	}
+	for i, obs := range seen {
+		cold := New(Options{Concurrency: 4})
+		quiesced := reportJSON(t, cold, Workload{SQL: raceWorkloadSQL, DB: materialize(t, obs.snap)})
+		if string(obs.report) != string(quiesced) {
+			t.Fatalf("snapshot %d: cache-assisted report differs from cold-profiled baseline\nwarm: %s\ncold: %s",
+				i, obs.report, quiesced)
+		}
+	}
+
+	// The cache did real work: versions churned (misses) and repeat
+	// content was served from memory (hits).
+	pc := checker.Metrics().ProfileCache
+	if pc.Hits == 0 || pc.Misses == 0 {
+		t.Errorf("expected both hits and misses under churn, got %+v", pc)
+	}
+
+	// Quiesced warm check: one more registry-resolved analysis now
+	// that writers stopped must serve from the cache on the second
+	// run and still match its own cold baseline byte for byte.
+	preHits := checker.Metrics().ProfileCache.Hits
+	first := reportJSON(t, checker, workload)
+	second := reportJSON(t, checker, workload)
+	if string(first) != string(second) {
+		t.Fatal("quiesced repeat reports differ")
+	}
+	if checker.Metrics().ProfileCache.Hits == preHits {
+		t.Error("quiesced repeat did not hit the profile cache")
+	}
+	cold := New(Options{Concurrency: 4})
+	coldFinal := reportJSON(t, cold, Workload{SQL: raceWorkloadSQL, DB: materialize(t, db.Snapshot())})
+	if string(second) != string(coldFinal) {
+		t.Fatalf("quiesced warm report differs from cold checker\nwarm: %s\ncold: %s", second, coldFinal)
+	}
+	_ = baseline // warmed the cache; correctness is pinned against cold baselines above
+}

@@ -103,6 +103,18 @@ type Options struct {
 	// its batch callers) at one NewCache so repeated statements parse
 	// once per process, not once per Checker.
 	SharedCache *Cache
+	// ProfileCache, when non-nil, replaces the Checker's private
+	// table-profile memoization cache — the data-phase analogue of
+	// SharedCache. Profiles are keyed by (table identity, table
+	// version, sampling options); versions bump on every DML
+	// statement, so a registered database whose data has not changed
+	// re-checks without re-profiling (the warm path is a cache hit per
+	// table), and any write invalidates by moving the key. Point
+	// several Checkers at one NewProfileCache to share profiles
+	// process-wide. Reports are identical warm or cold: profiling is
+	// deterministic, so a hit returns exactly what a fresh pass would
+	// compute.
+	ProfileCache *ProfileCache
 }
 
 // Cache is a process-shareable parsed-statement cache, bounded by
@@ -127,6 +139,24 @@ func (c *Cache) Stats() CacheStats { return c.inner.Stats() }
 // counters, eviction count, and estimated resident bytes against the
 // configured bound.
 type CacheStats = core.CacheStats
+
+// ProfileCache is a process-shareable table-profile memoization
+// cache, bounded by estimated resident bytes with LRU eviction and an
+// admission filter (so bursts of one-off inline databases cannot
+// flush registered fixtures' profiles). A ProfileCache is safe for
+// concurrent use by any number of Checkers.
+type ProfileCache struct {
+	inner *core.ProfileCache
+}
+
+// NewProfileCache builds a profile cache bounded by maxBytes of
+// estimated profile residency; <= 0 selects the default (16 MiB).
+func NewProfileCache(maxBytes int64) *ProfileCache {
+	return &ProfileCache{inner: core.NewProfileCache(maxBytes)}
+}
+
+// Stats snapshots the profile cache's counters.
+func (c *ProfileCache) Stats() CacheStats { return c.inner.Stats() }
 
 // Checker runs the detect → rank → fix pipeline. A Checker is safe
 // for concurrent use: all checks share one bounded worker pool and
@@ -459,6 +489,9 @@ func (c *Checker) coreOptions() core.Options {
 	opts.Rules = c.opts.Rules
 	if c.opts.SharedCache != nil {
 		opts.SharedCache = c.opts.SharedCache.inner
+	}
+	if c.opts.ProfileCache != nil {
+		opts.SharedProfileCache = c.opts.ProfileCache.inner
 	}
 	return opts
 }
