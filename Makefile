@@ -13,10 +13,10 @@ SHELL := /bin/bash -o pipefail
 # run against it and fails on >20% median ns/op regression or >25%
 # median B/op / allocs/op regression (the gated runs use -benchmem so
 # allocation regressions cannot hide behind wall-clock noise).
-BENCH_GATE = BenchmarkCheckSQLParallel|BenchmarkRuleDispatch|BenchmarkProfileParallel|BenchmarkProfileMemoized|BenchmarkRegistryReuse|BenchmarkQueryOnlyWorkload
+BENCH_GATE = BenchmarkCheckSQLParallel|BenchmarkRuleDispatch|BenchmarkProfileParallel|BenchmarkProfileMemoized|BenchmarkFingerprintMemoized|BenchmarkRegistryReuse|BenchmarkQueryOnlyWorkload
 BENCH_COUNT ?= 5
 
-.PHONY: build test test-full bench bench-baseline bench-check print-bench-gate profile-cpu lint ci
+.PHONY: build test test-full bench bench-baseline bench-check print-bench-gate profile-cpu docs-check lint ci
 
 # The single source of truth for the gated-benchmark pattern: CI's
 # base-ref step reads it from the PR's Makefile (before checking out
@@ -57,7 +57,7 @@ bench-check:
 	$(GO) test -bench '$(BENCH_GATE)' -count $(BENCH_COUNT) -benchtime 0.3s -benchmem -run '^$$' . | tee bench-current.txt
 	$(GO) run ./cmd/benchcmp -baseline $(BENCH_BASELINE) -current bench-current.txt \
 		-max-regression 20 -max-mem-regression 25 \
-		-require 'CheckSQLParallel,RuleDispatch,ProfileParallel,ProfileMemoized,RegistryReuse,QueryOnlyWorkload'
+		-require 'CheckSQLParallel,RuleDispatch,ProfileParallel,ProfileMemoized,FingerprintMemoized/cold,FingerprintMemoized/warm,RegistryReuse,QueryOnlyWorkload'
 
 # CPU profile of the data-analysis phase (the system's hot path):
 # runs BenchmarkProfileParallel under -cpuprofile and leaves
@@ -68,9 +68,15 @@ profile-cpu:
 	$(GO) test -bench BenchmarkProfileParallel -benchtime 1s -run '^$$' \
 		-cpuprofile bench/cpu.pprof -o bench/profile-cpu.test .
 
+# Fail if README.md or DESIGN.md reference exported identifiers or
+# Prometheus metric names that no longer exist in the source — docs
+# examples rot silently otherwise (see cmd/docscheck).
+docs-check:
+	$(GO) run ./cmd/docscheck README.md DESIGN.md
+
 lint:
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-ci: build lint test
+ci: build lint docs-check test

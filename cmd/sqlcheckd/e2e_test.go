@@ -133,17 +133,22 @@ func TestRegistryLifecycleEndToEnd(t *testing.T) {
 		}
 	}
 
-	// DDL/DML ran exactly once: 50 registry hits, zero misses, one
-	// snapshot per request, and the table still holds exactly the 20
-	// rows the single fixture execution inserted (a re-execution would
-	// have failed the request on duplicate primary keys and a partial
-	// one would have changed the count).
+	// DDL/DML ran exactly once: 50 registry hits, zero misses, and the
+	// table still holds exactly the 20 rows the single fixture
+	// execution inserted (a re-execution would have failed the request
+	// on duplicate primary keys and a partial one would have changed
+	// the count). Only the first batch snapshots and runs the pipeline;
+	// the other 49 are report-cache hits served without touching the
+	// database at all — the serving fast path.
 	m := daemonMetrics(t, srv)
 	if m.Registry.Hits != 50 || m.Registry.Misses != 0 || m.Registry.Databases != 1 {
 		t.Errorf("registry counters = %+v", m.Registry)
 	}
-	if m.Snapshots != 50 {
-		t.Errorf("snapshots = %d, want 50", m.Snapshots)
+	if m.Snapshots != 1 {
+		t.Errorf("snapshots = %d, want 1 (repeats should serve from the report cache)", m.Snapshots)
+	}
+	if m.ReportCache.Hits != 49 || m.ReportCache.Misses != 1 || m.ReportCache.Fingerprints != 1 {
+		t.Errorf("report cache counters = %+v, want 49 hits / 1 miss / 1 fingerprint", m.ReportCache)
 	}
 	_, raw = do(t, "GET", srv.URL+"/api/databases/app", "")
 	var after DatabaseInfo
@@ -163,7 +168,12 @@ func TestRegistryLifecycleEndToEnd(t *testing.T) {
 		"sqlcheck_registry_databases 1",
 		"sqlcheck_registry_hits_total 50",
 		"sqlcheck_registry_misses_total 0",
-		"sqlcheck_snapshots_total 50",
+		"sqlcheck_snapshots_total 1",
+		"sqlcheck_report_cache_hits_total 49",
+		"sqlcheck_report_cache_misses_total 1",
+		"sqlcheck_report_cache_variant_misses_total 0",
+		"sqlcheck_report_cache_fingerprints 1",
+		"sqlcheck_report_cache_hit_rate 0.98",
 	} {
 		if !strings.Contains(string(raw), want) {
 			t.Errorf("prometheus output missing %q", want)

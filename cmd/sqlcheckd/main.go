@@ -65,12 +65,14 @@ func main() {
 		weights     = flag.String("weights", "c1", "ranking weights: c1 or c2")
 		concurrency = flag.Int("concurrency", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 		cacheBytes  = flag.Int64("cache-bytes", 64<<20, "parsed-statement cache budget in estimated resident bytes")
+		reportBytes = flag.Int64("report-cache-bytes", 32<<20, "memoized-report cache budget in estimated resident bytes (the serving fast path)")
 	)
 	flag.Parse()
 
 	opts := sqlcheck.Options{
 		Concurrency: *concurrency,
 		SharedCache: sqlcheck.NewCache(*cacheBytes),
+		ReportCache: sqlcheck.NewReportCache(*reportBytes),
 	}
 	if *mode == "intra" {
 		opts.Mode = sqlcheck.IntraQuery

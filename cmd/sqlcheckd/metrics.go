@@ -40,6 +40,17 @@ func writePrometheus(w io.Writer, m sqlcheck.Metrics) {
 	fmt.Fprintf(w, "# HELP sqlcheck_profile_cache_hit_rate Hits over lookups since start.\n# TYPE sqlcheck_profile_cache_hit_rate gauge\nsqlcheck_profile_cache_hit_rate %g\n",
 		m.ProfileCache.HitRate())
 
+	counter("sqlcheck_report_cache_hits_total", "Report cache hits (workloads served a memoized report with no pipeline work).", m.ReportCache.Hits)
+	counter("sqlcheck_report_cache_misses_total", "Report cache misses (workloads that ran the full pipeline).", m.ReportCache.Misses)
+	counter("sqlcheck_report_cache_variant_misses_total", "Misses whose script fingerprint matched a resident entry but whose statement texts did not (literal/case variants).", m.ReportCache.VariantMisses)
+	counter("sqlcheck_report_cache_evictions_total", "Report cache LRU evictions.", m.ReportCache.Evictions)
+	gauge("sqlcheck_report_cache_bytes", "Estimated resident bytes of memoized reports.", m.ReportCache.Bytes)
+	gauge("sqlcheck_report_cache_max_bytes", "Report cache byte budget.", m.ReportCache.MaxBytes)
+	gauge("sqlcheck_report_cache_entries", "Reports resident in the cache.", int64(m.ReportCache.Entries))
+	gauge("sqlcheck_report_cache_fingerprints", "Distinct script fingerprints with a resident report (entries minus fingerprints = literal-variant overhead).", int64(m.ReportCache.Fingerprints))
+	fmt.Fprintf(w, "# HELP sqlcheck_report_cache_hit_rate Hits over lookups since start.\n# TYPE sqlcheck_report_cache_hit_rate gauge\nsqlcheck_report_cache_hit_rate %g\n",
+		m.ReportCache.HitRate())
+
 	gauge("sqlcheck_registry_databases", "Databases registered in the daemon registry.", int64(m.Registry.Databases))
 	counter("sqlcheck_registry_hits_total", "Workloads resolved against a registered database (fixture reused, not re-executed).", m.Registry.Hits)
 	counter("sqlcheck_registry_misses_total", "Workload db lookups that found no registered database.", m.Registry.Misses)

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"regexp"
+	"strings"
 
 	"sqlcheck/internal/appctx"
 	"sqlcheck/internal/qanalyze"
 	"sqlcheck/internal/rules"
+	"sqlcheck/internal/sqlast"
 )
 
 // CustomRule defines a user-supplied anti-pattern detector, the public
@@ -39,6 +41,25 @@ type CustomRule struct {
 	// Impact configures the ranking metrics (zero values are fine; the
 	// finding then ranks at the bottom).
 	Impact Impact
+	// Kinds restricts the rule to the named statement kinds, exactly as
+	// built-in rules declare dispatch metadata: the engine's prefilter
+	// then skips the rule entirely on other statements instead of
+	// calling Match. Names are the catalog's kind spellings ("SELECT",
+	// "INSERT", "CREATE TABLE", ...; see Rules()[i].Kinds), matched
+	// case-insensitively. Empty admits every statement kind. An unknown
+	// name fails RegisterRule.
+	Kinds []string
+	// NeedsSchema declares that the rule's findings depend on schema
+	// reflection being available (the refinement context built from DDL
+	// and registered databases). Declaring it keeps the engine from
+	// planning the schema phase away when this rule is the only one
+	// selected.
+	NeedsSchema bool
+	// NeedsProfile likewise declares a dependency on table data
+	// profiles; it implies the profiling phase (and its snapshot) runs
+	// for database-attached workloads even when no built-in data rule
+	// is selected.
+	NeedsProfile bool
 }
 
 // Impact is the public mirror of the ranking metric vector (§5.1).
@@ -89,9 +110,25 @@ func RegisterRule(cr CustomRule) error {
 	if description == "" {
 		description = cr.Name
 	}
+	var kinds []sqlast.StatementKind
+	for _, k := range cr.Kinds {
+		kind, ok := kindByName(k)
+		if !ok {
+			return fmt.Errorf("sqlcheck: unknown statement kind %q", k)
+		}
+		kinds = append(kinds, kind)
+	}
+	var needs rules.Need
+	if cr.NeedsSchema {
+		needs |= rules.NeedSchema
+	}
+	if cr.NeedsProfile {
+		needs |= rules.NeedSchema | rules.NeedProfile
+	}
 	id, name := cr.ID, cr.Name
 	guidance := cr.Guidance
 	rules.Register(&rules.Rule{
+		Meta:        rules.Meta{Kinds: kinds, Needs: needs},
 		ID:          id,
 		Name:        name,
 		Category:    category,
@@ -149,4 +186,15 @@ func minF(a, b float64) float64 {
 		return a
 	}
 	return b
+}
+
+// kindByName resolves a statement-kind spelling ("SELECT", "CREATE
+// TABLE", ...) case-insensitively against the catalog's kind names.
+func kindByName(name string) (sqlast.StatementKind, bool) {
+	for k := sqlast.KindOther; k.Valid(); k++ {
+		if strings.EqualFold(name, k.String()) {
+			return k, true
+		}
+	}
+	return 0, false
 }

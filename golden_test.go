@@ -113,27 +113,47 @@ func TestGoldenCorpus(t *testing.T) {
 		got[names[i]] = keys
 	}
 
-	// Warm-cache pass: the same batch again on the same checker. The
-	// second run serves table profiles from the memoization cache
-	// (profiling is deterministic, so a hit is exactly what a fresh
-	// pass computes) — the golden contract extends to it: warm reports
-	// must be byte-identical to cold ones, with real cache traffic.
-	warm, err := checker.CheckWorkloads(t.Context(), ws)
+	// Warm-cache passes: the same batch again on the same checker,
+	// twice. The first repeat opts out of report memoization, so the
+	// pipeline runs and serves table profiles from the memoization
+	// cache (profiling is deterministic — a hit is exactly what a
+	// fresh pass computes). The second repeat takes the serving fast
+	// path: every workload is a report-cache hit and no phase runs.
+	// The golden contract extends to both: warm reports must be
+	// byte-identical to cold ones, with real cache traffic.
+	warmWS := make([]Workload, len(ws))
+	copy(warmWS, ws)
+	for i := range warmWS {
+		warmWS[i].NoReportCache = true
+	}
+	assertWarmEqual := func(label string, reports []*Report) {
+		t.Helper()
+		for i, rep := range reports {
+			keys := []string{}
+			for _, f := range rep.Findings {
+				keys = append(keys, findingKey(f))
+			}
+			if !slices.Equal(keys, got[names[i]]) {
+				t.Errorf("%s: %s findings differ from cold run\nwarm: %v\ncold: %v",
+					names[i], label, keys, got[names[i]])
+			}
+		}
+	}
+	warm, err := checker.CheckWorkloads(t.Context(), warmWS)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, rep := range warm {
-		keys := []string{}
-		for _, f := range rep.Findings {
-			keys = append(keys, findingKey(f))
-		}
-		if !slices.Equal(keys, got[names[i]]) {
-			t.Errorf("%s: warm-cache findings differ from cold run\nwarm: %v\ncold: %v",
-				names[i], keys, got[names[i]])
-		}
-	}
+	assertWarmEqual("profile-warm", warm)
 	if pc := checker.Metrics().ProfileCache; pc.Hits == 0 {
 		t.Errorf("warm pass produced no profile-cache hits: %+v", pc)
+	}
+	memo, err := checker.CheckWorkloads(t.Context(), ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWarmEqual("report-memoized", memo)
+	if rc := checker.Metrics().ReportCache; rc.Hits == 0 {
+		t.Errorf("memoized pass produced no report-cache hits: %+v", rc)
 	}
 
 	if *updateGolden {

@@ -15,6 +15,7 @@ import (
 	"sqlcheck/internal/qanalyze"
 	"sqlcheck/internal/rules"
 	"sqlcheck/internal/sqlast"
+	"sqlcheck/internal/sqltoken"
 	"sqlcheck/internal/storage"
 )
 
@@ -49,6 +50,22 @@ type Options struct {
 	// databases reuse them across batches until DML bumps the version.
 	// Ignored by the sequential Detect path.
 	SharedProfileCache *ProfileCache
+	// SharedReportCache, when non-nil, is the report memoization cache
+	// the Engine uses instead of building a private one — the serving
+	// fast path. Reports are keyed by (script fingerprint, database
+	// origin ID + state version, normalized ruleset, configuration)
+	// with byte-identical statement texts as the hit condition, so a
+	// repeated workload against an unchanged database returns its
+	// memoized report before any pipeline phase runs, and any DML on
+	// the database moves the key. Ignored by the sequential Detect
+	// path.
+	SharedReportCache *ReportCache
+	// ReportScope is an opaque discriminator mixed into report-cache
+	// keys. Owners whose final reports depend on state the engine
+	// cannot see (the public Checker's ranking weights, for example)
+	// set it so engines sharing one ReportCache under different such
+	// state never serve each other's reports.
+	ReportScope string
 }
 
 // DefaultOptions returns the standard configuration (full inter-query
@@ -61,6 +78,21 @@ func DefaultOptions() Options {
 type Result struct {
 	Context  *appctx.Context
 	Findings []rules.Finding
+	// Script carries the workload's fingerprint, statement texts, and
+	// byte offsets (engine paths only; nil on the sequential path).
+	// Consumers use it to attach statement spans to findings — and, on
+	// a memoized result, to rebind cached spans to the submitted text.
+	Script *sqltoken.ScriptPrint
+	// Memo, when non-nil, is a report-cache hit: the payload a prior
+	// Store call saved for this exact workload. Context and Findings
+	// are nil — no pipeline phase ran.
+	Memo any
+	// Store, when non-nil, memoizes the finished report built from
+	// this result: the owning layer calls it once with the payload it
+	// would serve on a future hit and the payload's estimated resident
+	// bytes. Nil when the workload opted out (Workload.NoMemo), hit
+	// the cache, or ran on the sequential path.
+	Store func(payload any, cost int64)
 }
 
 // Detect runs the full pipeline over parsed statements and an optional

@@ -146,6 +146,11 @@ type EngineMetrics struct {
 	// Options.SharedProfileCache). Every hit is a table whose data
 	// phase was an integer compare instead of a sampling pass.
 	ProfileCache CacheStats `json:"profile_cache"`
+	// ReportCache describes the report memoization cache (shared
+	// across engines when injected via Options.SharedReportCache).
+	// Every hit is a workload served without running any pipeline
+	// phase at all; Fingerprints is the resident-cardinality gauge.
+	ReportCache ReportCacheStats `json:"report_cache"`
 	// Statements is the per-statement worker pool; Workloads bounds
 	// concurrently open batch workloads.
 	Statements PoolStats `json:"statements"`
@@ -187,6 +192,7 @@ func (e *Engine) Metrics() EngineMetrics {
 	return EngineMetrics{
 		Cache:        e.cache.Stats(),
 		ProfileCache: e.profiles.Stats(),
+		ReportCache:  e.reports.Stats(),
 		Statements:   e.stmts.Stats(),
 		Workloads:    e.workloads.Stats(),
 		Registry:     e.registry.Stats(),

@@ -140,6 +140,11 @@ type Workload struct {
 	// database-needing rules means no admission snapshot, and no
 	// schema-scoped rules skips the inter-query phase.
 	Rules []string
+	// NoMemo opts this workload out of the report memoization cache:
+	// the admission probe is skipped and the result carries no Store
+	// hook, so the workload neither serves from nor populates the
+	// cache.
+	NoMemo bool
 }
 
 // Engine is a reusable concurrent detection pipeline: a bounded
@@ -160,6 +165,11 @@ type Engine struct {
 	// profiles memoizes table profiles across batches, keyed by
 	// (table identity, version, options) — see ProfileCache.
 	profiles *ProfileCache
+	// reports memoizes finished workload reports across batches, keyed
+	// by (script fingerprint, database state, ruleset, configuration)
+	// — see ReportCache. The engine probes and invalidates; the owning
+	// layer supplies the payloads through Result.Store.
+	reports  *ReportCache
 	phases   *phaseSet
 	registry *Registry
 	// ruleSet is Options.Rules compiled once at construction — the
@@ -206,6 +216,10 @@ func NewEngine(opts Options, concurrency int) *Engine {
 	if pcache == nil {
 		pcache = NewProfileCache(DefaultProfileCacheBytes)
 	}
+	rcache := opts.SharedReportCache
+	if rcache == nil {
+		rcache = NewReportCache(DefaultReportCacheBytes)
+	}
 	rs, rsErr := rules.NewRuleSet(opts.Rules)
 	return &Engine{
 		opts:      opts,
@@ -213,6 +227,7 @@ func NewEngine(opts Options, concurrency int) *Engine {
 		workloads: NewPool(concurrency),
 		cache:     cache,
 		profiles:  pcache,
+		reports:   rcache,
 		phases:    newPhaseSet(),
 		registry:  NewRegistry(),
 		ruleSet:   rs,
@@ -267,10 +282,23 @@ func (e *Engine) DetectWorkloads(ctx context.Context, ws []Workload) ([]*Result,
 
 // plannedWorkload is a workload after admission: database resolved
 // and snapshotted (or dropped), rule filter compiled into the set the
-// detection stages dispatch from.
+// detection stages dispatch from, script fingerprinted and the report
+// cache probed.
 type plannedWorkload struct {
 	Workload
 	rs *rules.RuleSet
+	// script is the workload SQL's fingerprint plus statement texts
+	// and literal/offset metadata — computed once at admission and
+	// reused by the parse stage in place of a second split.
+	script *sqltoken.ScriptPrint
+	// memo, when non-nil, is the cache hit: the memoized payload to
+	// return without running any pipeline phase.
+	memo any
+	// key and texts identify where a freshly computed report should be
+	// stored; valid only when canStore is set (a probed miss).
+	key      reportKey
+	texts    string
+	canStore bool
 }
 
 // resolveWorkloads admits a batch: it compiles each workload's
@@ -329,39 +357,89 @@ func (e *Engine) resolveWorkloads(ws []Workload) ([]plannedWorkload, error) {
 		}
 		out[i] = plannedWorkload{Workload: w, rs: rs}
 	}
-	// Pass 2 — the batch is admitted: apply the phase plan, snapshot
-	// the databases still needed, and count the planning decisions.
+	// Pass 2 — the batch is admitted: fingerprint each script, apply
+	// the phase plan, probe the report cache (a hit returns the
+	// memoized report before any snapshot is taken or phase runs),
+	// snapshot the databases still needed, and count the planning
+	// decisions.
 	snaps := make(map[*storage.Database]*storage.Database)
 	inter := e.opts.Config.Mode != appctx.ModeIntra
 	for i := range out {
-		w, rs := &out[i].Workload, out[i].rs
-		if w.DB == nil {
-			continue
-		}
-		switch {
-		case !inter, !rs.NeedsDatabase():
+		pw := &out[i]
+		w, rs := &pw.Workload, pw.rs
+		// The fingerprint is memoized by exact script text inside the
+		// report cache, so a repeated workload's probe skips the lex.
+		var texts string
+		pw.script, texts = e.reports.script(w.SQL)
+		useDB := w.DB != nil
+		if useDB && (!inter || !rs.NeedsDatabase()) {
 			// Nothing will read schema or data — either the rule set
 			// needs neither, or intra mode never builds them: analyze
 			// database-free. No snapshot, no reflection, no profiling.
 			w.DB = nil
+			useDB = false
 			e.skips.snapshot.Add(1)
 			if inter {
 				e.skips.profile.Add(1)
 			}
-		default:
-			snap, ok := snaps[w.DB]
-			if !ok {
-				snap = w.DB.Snapshot()
-				snaps[w.DB] = snap
-				e.snapshots.Add(1)
+		}
+		if !w.NoMemo {
+			key := reportKey{
+				fp:        pw.script.Fingerprint,
+				rules:     rs.Key(),
+				cfg:       e.memoConfig(w.Profile),
+				minConf:   e.opts.MinConfidence,
+				noPrefilt: e.opts.NoPrefilter,
+				scope:     e.opts.ReportScope,
 			}
-			w.DB = snap
-			if inter && !rs.NeedsProfile() {
-				e.skips.profile.Add(1)
+			if useDB {
+				// The live database's state version, read under the
+				// single-writer lock so the probe does not race DML.
+				w.DB.Lock()
+				key.dbID, key.dbVersion = w.DB.ID(), w.DB.Version()
+				w.DB.Unlock()
 			}
+			if payload, ok := e.reports.lookup(key, texts); ok {
+				pw.memo = payload
+				continue
+			}
+			pw.key, pw.texts, pw.canStore = key, texts, true
+		}
+		if !useDB {
+			continue
+		}
+		snap, ok := snaps[w.DB]
+		if !ok {
+			snap = w.DB.Snapshot()
+			snaps[w.DB] = snap
+			e.snapshots.Add(1)
+		}
+		w.DB = snap
+		if pw.canStore {
+			// Store under the state the analysis actually reads: the
+			// snapshot's frozen version (ahead of the probed one when
+			// a writer slipped in between).
+			pw.key.dbVersion = snap.Version()
+		}
+		if inter && !rs.NeedsProfile() {
+			e.skips.profile.Add(1)
 		}
 	}
 	return out, nil
+}
+
+// memoConfig returns the effective analysis configuration for a
+// workload as it enters the report-cache key: the engine config with
+// any per-workload profile override applied and the profile options
+// normalized (so zero-valued and explicitly-default options share
+// entries).
+func (e *Engine) memoConfig(override *profile.Options) appctx.Config {
+	cfg := e.opts.Config
+	if override != nil {
+		cfg.Profile = *override
+	}
+	cfg.Profile = cfg.Profile.Normalized()
+	return cfg
 }
 
 // detectWorkload runs the staged pipeline over one admitted workload.
@@ -369,13 +447,19 @@ func (e *Engine) resolveWorkloads(ws []Workload) ([]plannedWorkload, error) {
 // stages the workload's rule set does not demand are skipped (zero
 // observations) rather than run empty.
 func (e *Engine) detectWorkload(ctx context.Context, pw plannedWorkload) (*Result, error) {
+	if pw.memo != nil {
+		// Admission hit: the finished report was memoized under this
+		// exact (fingerprint, db state, ruleset, texts) key. No phase
+		// runs; the caller rebinds spans through Script.
+		return &Result{Memo: pw.memo, Script: pw.script}, nil
+	}
 	w := pw.Workload
 	cfg := e.opts.Config
 	if w.Profile != nil {
 		cfg.Profile = *w.Profile
 	}
 
-	texts := sqltoken.SplitStatements(w.SQL)
+	texts := pw.script.Texts()
 	stmts := make([]sqlast.Statement, len(texts))
 	facts := make([]*qanalyze.Facts, len(texts))
 
@@ -444,7 +528,7 @@ func (e *Engine) detectWorkload(ctx context.Context, pw plannedWorkload) (*Resul
 		e.skips.interQuery.Add(1)
 	}
 	start = time.Now()
-	res := &Result{Context: actx}
+	res := &Result{Context: actx, Script: pw.script}
 	if err := e.stmts.run(ctx, func() {
 		for _, fs := range perStmt {
 			res.Findings = append(res.Findings, fs...)
@@ -455,6 +539,12 @@ func (e *Engine) detectWorkload(ctx context.Context, pw plannedWorkload) (*Resul
 		return nil, err
 	}
 	e.phases.observe(PhaseGlobal, time.Since(start))
+	if pw.canStore {
+		key, texts := pw.key, pw.texts
+		res.Store = func(payload any, cost int64) {
+			e.reports.add(key, texts, payload, cost)
+		}
+	}
 	return res, nil
 }
 

@@ -1,0 +1,331 @@
+package core
+
+// Shared, byte-bounded report memoization cache — the serving fast
+// path. Production query streams are dominated by repeats: the same
+// scripts, or the same scripts modulo literal values. After the parse
+// and profile caches, a repeated workload still paid fact extraction,
+// gate dispatch, rule evaluation, ranking, and fix synthesis per
+// batch. This cache memoizes the finished per-workload report keyed by
+//
+//	(script fingerprint, db origin ID + version, normalized ruleset,
+//	 engine configuration, statement texts)
+//
+// The fingerprint (sqltoken.FingerprintScript) collapses literal,
+// whitespace, and case variants onto one value and is the cache's
+// index; the statement texts are the equality witness. A lookup is a
+// HIT only when the candidate's per-statement texts are byte-identical
+// to a resident entry's: detectors and their messages read literal
+// values (leading-wildcard LIKE patterns, delimiter lists, password
+// literals), so serving one literal-variant's report for another would
+// fabricate findings — and the text compare also disarms fingerprint
+// collisions outright. Equal-fingerprint lookups that fail the text
+// compare are counted separately (VariantMisses) and stored as sibling
+// variants, bounded per fingerprint bucket so an unbounded literal
+// stream cannot monopolize the budget.
+//
+// Invalidation is the PR 5 version-counter scheme extended to whole
+// databases: storage.Database.Version now advances on every DML
+// statement of any member table (see storage.Table.bumpVersion), so
+// the key's (dbID, dbVersion) pair moves on any observable change and
+// stale reports age out of the LRU — busting exactly the mutated
+// database's entries, never another tenant's. Whitespace and comments
+// *between* statements may differ on a hit; the consumer rebinds
+// finding spans to the submitted text via the ScriptPrint offsets.
+//
+// Eviction mirrors the parse and profile caches: LRU bounded by
+// estimated resident bytes with a frequency doorkeeper on admission. A
+// ReportCache is safe for concurrent use and designed to be shared
+// process-wide through Options.SharedReportCache.
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"sqlcheck/internal/appctx"
+	"sqlcheck/internal/sqltoken"
+)
+
+const (
+	// DefaultReportCacheBytes bounds an engine-private report cache
+	// when no shared cache is injected (32 MiB of estimated residency;
+	// a typical report costs a few KiB, so the default holds thousands
+	// of distinct workloads).
+	DefaultReportCacheBytes = 32 << 20
+
+	// reportDoorkeeperMax bounds the admission filter's memory, as in
+	// the parse and profile caches.
+	reportDoorkeeperMax = 1 << 14
+
+	// reportMaxVariants bounds resident text-variants per fingerprint
+	// key: a stream of same-shape queries with unique literals (each a
+	// distinct variant that will never repeat) can occupy at most this
+	// many slots per fingerprint, so it cannot crowd out other keys.
+	reportMaxVariants = 4
+
+	// scriptCacheDivisor sizes the script-print side cache relative to
+	// the report budget (see ReportCache.script).
+	scriptCacheDivisor = 4
+)
+
+// reportKey identifies everything besides the statement texts that a
+// memoized report depends on. All fields are comparable scalars or
+// strings; profile options inside cfg enter normalized.
+type reportKey struct {
+	fp        sqltoken.Fingerprint
+	dbID      uint64
+	dbVersion uint64
+	rules     string // rules.RuleSet.Key(): the normalized ruleset
+	cfg       appctx.Config
+	minConf   float64
+	noPrefilt bool
+	scope     string // owner-supplied discriminator (ranking options)
+}
+
+// reportVariantKey is the exact-lookup key: the fingerprint-keyed
+// tuple plus the byte-equality witness (statement texts joined with a
+// NUL separator, which cannot occur inside a statement).
+type reportVariantKey struct {
+	key   reportKey
+	texts string
+}
+
+// reportEntry is one resident memoized report. The payload is opaque
+// to core — the owning layer stores whatever it serves (the public
+// Checker stores a *sqlcheck.Report clone) — and is shared read-only.
+type reportEntry struct {
+	key     reportVariantKey
+	payload any
+	cost    int64
+}
+
+// ReportCache memoizes finished workload reports keyed by script
+// fingerprint, database state, and analysis configuration. Safe for
+// concurrent use by any number of engines.
+type ReportCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List                         // front = most recently used
+	entries  map[reportVariantKey]*list.Element // Value is *reportEntry
+	variants map[reportKey]int                  // resident variants per key
+	prints   map[sqltoken.Fingerprint]int       // resident entries per fingerprint
+	seen     map[reportVariantKey]struct{}      // doorkeeper: keys missed once while full
+
+	// Script-print side cache: fingerprinting memoized by exact input
+	// text, so the per-check probe of a repeated workload is two map
+	// lookups instead of a lex of the whole script.
+	scriptMax   int64
+	scriptBytes int64
+	sll         *list.List               // front = most recently used
+	scripts     map[string]*list.Element // Value is *scriptEntry
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	variantMisses atomic.Int64
+	evictions     atomic.Int64
+}
+
+// scriptEntry is one memoized fingerprint: the immutable ScriptPrint
+// plus the NUL-joined statement texts used as the hit witness.
+type scriptEntry struct {
+	sql   string
+	sp    *sqltoken.ScriptPrint
+	texts string
+	cost  int64
+}
+
+// NewReportCache builds a cache bounded by maxBytes of estimated
+// report residency (<= 0 means DefaultReportCacheBytes).
+func NewReportCache(maxBytes int64) *ReportCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultReportCacheBytes
+	}
+	return &ReportCache{
+		maxBytes:  maxBytes,
+		ll:        list.New(),
+		entries:   make(map[reportVariantKey]*list.Element),
+		variants:  make(map[reportKey]int),
+		prints:    make(map[sqltoken.Fingerprint]int),
+		seen:      make(map[reportVariantKey]struct{}),
+		scriptMax: maxBytes / scriptCacheDivisor,
+		sll:       list.New(),
+		scripts:   make(map[string]*list.Element),
+	}
+}
+
+// script returns the fingerprinted script for the exact input text,
+// memoized: the serving fast path probes the cache on every check
+// admission, and re-lexing a repeated multi-statement script would
+// dominate its microsecond budget. ScriptPrints are immutable after
+// construction and shared across callers; the returned texts string is
+// the NUL-joined statement list (the lookup's byte-equality witness).
+// The side cache is LRU-bounded to a fraction of the report budget;
+// entries retain the input string, so the cost estimate is dominated
+// by the script bytes themselves.
+func (c *ReportCache) script(sql string) (*sqltoken.ScriptPrint, string) {
+	c.mu.Lock()
+	if el, ok := c.scripts[sql]; ok {
+		c.sll.MoveToFront(el)
+		se := el.Value.(*scriptEntry)
+		c.mu.Unlock()
+		return se.sp, se.texts
+	}
+	c.mu.Unlock()
+
+	// Fingerprint outside the lock: it is the expensive part.
+	sp := sqltoken.FingerprintScript(sql)
+	texts := strings.Join(sp.Texts(), "\x00")
+	cost := int64(2*len(sql)) + 160
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.scripts[sql]; !ok && cost <= c.scriptMax {
+		for c.scriptBytes+cost > c.scriptMax {
+			back := c.sll.Back()
+			if back == nil {
+				break
+			}
+			victim := back.Value.(*scriptEntry)
+			c.sll.Remove(back)
+			delete(c.scripts, victim.sql)
+			c.scriptBytes -= victim.cost
+		}
+		c.scripts[sql] = c.sll.PushFront(&scriptEntry{sql: sql, sp: sp, texts: texts, cost: cost})
+		c.scriptBytes += cost
+	}
+	return sp, texts
+}
+
+// lookup returns the memoized payload for the key and exact statement
+// texts, counting a hit or miss. A miss whose fingerprint tuple has
+// resident entries under different texts (a literal/collision variant)
+// additionally counts a variant miss.
+func (c *ReportCache) lookup(key reportKey, texts string) (any, bool) {
+	vk := reportVariantKey{key: key, texts: texts}
+	c.mu.Lock()
+	if el, ok := c.entries[vk]; ok {
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return el.Value.(*reportEntry).payload, true
+	}
+	siblings := c.variants[key]
+	c.mu.Unlock()
+	c.misses.Add(1)
+	if siblings > 0 {
+		c.variantMisses.Add(1)
+	}
+	return nil, false
+}
+
+// add memoizes a report under the key and texts, applying the variant
+// bound and the admission and eviction policy.
+func (c *ReportCache) add(key reportKey, texts string, payload any, cost int64) {
+	if cost > c.maxBytes {
+		return // larger than the whole budget; never cacheable
+	}
+	vk := reportVariantKey{key: key, texts: texts}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[vk]; ok {
+		return // raced with another checker of the same workload
+	}
+	if c.variants[key] >= reportMaxVariants {
+		// Bucket full of sibling variants; LRU pressure will free
+		// slots when the resident ones stop being used.
+		return
+	}
+	if c.bytes+cost > c.maxBytes {
+		// Full: admit only repeated misses, so an unrepeated scan of
+		// one-off workloads cannot flush the hot working set.
+		if _, repeated := c.seen[vk]; !repeated {
+			if len(c.seen) >= reportDoorkeeperMax {
+				clear(c.seen)
+			}
+			c.seen[vk] = struct{}{}
+			return
+		}
+		delete(c.seen, vk)
+		for c.bytes+cost > c.maxBytes {
+			back := c.ll.Back()
+			if back == nil {
+				break
+			}
+			c.evict(back)
+		}
+	}
+	c.entries[vk] = c.ll.PushFront(&reportEntry{key: vk, payload: payload, cost: cost})
+	c.bytes += cost
+	c.variants[key]++
+	c.prints[key.fp]++
+}
+
+// evict removes one resident entry (caller holds c.mu).
+func (c *ReportCache) evict(el *list.Element) {
+	victim := el.Value.(*reportEntry)
+	c.ll.Remove(el)
+	delete(c.entries, victim.key)
+	c.bytes -= victim.cost
+	if n := c.variants[victim.key.key]; n <= 1 {
+		delete(c.variants, victim.key.key)
+	} else {
+		c.variants[victim.key.key] = n - 1
+	}
+	fp := victim.key.key.fp
+	if n := c.prints[fp]; n <= 1 {
+		delete(c.prints, fp)
+	} else {
+		c.prints[fp] = n - 1
+	}
+	c.evictions.Add(1)
+}
+
+// ReportCacheStats is a point-in-time snapshot of a report cache:
+// lookup counters, eviction count, estimated resident bytes against
+// the configured bound, and the fingerprint cardinality gauge.
+type ReportCacheStats struct {
+	// Hits served a finished report with no pipeline work; Misses ran
+	// the full pipeline. VariantMisses is the subset of Misses whose
+	// fingerprint matched a resident entry but whose statement texts
+	// did not (a literal/case variant — bucketed together, served
+	// separately, because detectors read literal values).
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	VariantMisses int64 `json:"variant_misses"`
+	Evictions     int64 `json:"evictions"`
+	Bytes         int64 `json:"bytes"`
+	MaxBytes      int64 `json:"max_bytes"`
+	Entries       int   `json:"entries"`
+	// Fingerprints is the cardinality gauge: distinct script
+	// fingerprints with at least one resident report. Entries minus
+	// Fingerprints is the resident literal-variant overhead.
+	Fingerprints int `json:"fingerprints"`
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s ReportCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the cache counters.
+func (c *ReportCache) Stats() ReportCacheStats {
+	c.mu.Lock()
+	bytes, entries, prints := c.bytes, c.ll.Len(), len(c.prints)
+	c.mu.Unlock()
+	return ReportCacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		VariantMisses: c.variantMisses.Load(),
+		Evictions:     c.evictions.Load(),
+		Bytes:         bytes,
+		MaxBytes:      c.maxBytes,
+		Entries:       entries,
+		Fingerprints:  prints,
+	}
+}

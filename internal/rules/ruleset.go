@@ -150,6 +150,21 @@ func (rs *RuleSet) IDs() []string {
 // Has reports whether the set selects the rule ID.
 func (rs *RuleSet) Has(id string) bool { return rs.byID[id] != nil }
 
+// Key returns the set's canonical identity string — the "normalized
+// ruleset" component of memoization keys. Subset keys join the
+// selected IDs in registration order (which NewRuleSet guarantees
+// regardless of input order, so any spelling of the same selection
+// shares a key). The full-catalog key encodes the catalog size
+// instead: registering a new rule (the public extension path) grows
+// the catalog and therefore moves every unfiltered key, so reports
+// memoized before the rule existed are never served after it.
+func (rs *RuleSet) Key() string {
+	if rs.all {
+		return fmt.Sprintf("*@%d", len(rs.rules))
+	}
+	return strings.Join(rs.IDs(), ",")
+}
+
 // Rules returns the selected rules in registration order.
 func (rs *RuleSet) Rules() []*Rule { return rs.rules }
 

@@ -1,0 +1,220 @@
+package sqltoken
+
+// Query fingerprinting over the token stream — the pg_stat_statements
+// idea applied to whole scripts. A fingerprint is a 128-bit hash of
+// the statements' significant tokens with literals, whitespace,
+// comments, and keyword/identifier case normalized away, so the
+// near-identical requests that dominate production SQL traffic (same
+// query shape, different literals) collapse onto one value. The walk
+// shares SplitStatements' statement-boundary semantics exactly (top
+// level semicolons split; strings, comments, and parenthesized
+// semicolons do not) and additionally records, per statement, the
+// exact text SplitStatements would return, its byte range in the
+// submitted input, and the positions of the normalized literals — so
+// a consumer that memoizes per-fingerprint results can still report
+// spans into the text actually submitted.
+//
+// What normalizes (equal fingerprints):
+//   - number, string, and placeholder literal values (each kind keeps
+//     a distinct marker, so `WHERE x = 1` ≠ `WHERE x = '1'`)
+//   - whitespace and comments, inside and between statements
+//   - keyword and unquoted-identifier case (SQL is case-insensitive
+//     there); quoted identifiers stay case-sensitive
+//
+// What does not (distinct fingerprints): any structural difference —
+// token order, operators, punctuation, identifier spelling, statement
+// count, literal kind.
+//
+// Collision stance: the two 64-bit FNV-1a lanes are seeded
+// differently, giving 128 bits against accidental collision — vastly
+// more than any realistic fingerprint cardinality — but the hash is
+// not cryptographic and fingerprints are only stable within one
+// process (they are not persisted). Consumers that cannot tolerate
+// even a freak collision must compare the statement texts on a
+// fingerprint match; the report cache does exactly that (and needs to
+// anyway, because detectors and their messages read literal values).
+
+// Fingerprint is a 128-bit normalized script hash. The zero value is
+// the fingerprint of the empty script.
+type Fingerprint struct {
+	Hi, Lo uint64
+}
+
+// LitSpan is the byte range of one normalized literal (number or
+// string token) within its statement's text.
+type LitSpan struct {
+	Start, End int
+}
+
+// StmtPrint describes one statement of a fingerprinted script.
+type StmtPrint struct {
+	// Text is the statement exactly as SplitStatements returns it.
+	Text string
+	// Start and End delimit Text within the fingerprinted input:
+	// input[Start:End] == Text.
+	Start, End int
+	// Line is the 1-based line number of the statement's first token.
+	Line int
+	// Literals locates the literal tokens whose values the fingerprint
+	// normalized away, as ranges into Text.
+	Literals []LitSpan
+}
+
+// ScriptPrint is the result of fingerprinting a script: the combined
+// fingerprint plus per-statement texts and literal positions.
+type ScriptPrint struct {
+	Fingerprint Fingerprint
+	Stmts       []StmtPrint
+}
+
+// Texts returns the statement texts, equal to SplitStatements of the
+// fingerprinted input.
+func (sp *ScriptPrint) Texts() []string {
+	out := make([]string, len(sp.Stmts))
+	for i := range sp.Stmts {
+		out[i] = sp.Stmts[i].Text
+	}
+	return out
+}
+
+// 64-bit FNV-1a parameters; the second lane starts from a decorrelated
+// seed so the two lanes act as independent hashes of the same stream.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+	fnvSeed2    = fnvOffset64 ^ 0x9e3779b97f4a7c15 // golden-ratio tweak
+)
+
+// fpHasher feeds one byte stream through both FNV lanes.
+type fpHasher struct {
+	h1, h2 uint64
+}
+
+func newFPHasher() fpHasher { return fpHasher{h1: fnvOffset64, h2: fnvSeed2} }
+
+func (h *fpHasher) byte(b byte) {
+	h.h1 = (h.h1 ^ uint64(b)) * fnvPrime64
+	h.h2 = (h.h2 ^ uint64(b)) * fnvPrime64
+}
+
+func (h *fpHasher) str(s string) {
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+}
+
+// upperStr hashes s with ASCII letters upper-cased, without
+// allocating — the case normalization for keywords and unquoted
+// identifiers.
+func (h *fpHasher) upperStr(s string) {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		h.byte(c)
+	}
+}
+
+// Stream marker bytes. Token kinds use small values; the separators
+// sit far away so a token text ending in a marker-valued byte cannot
+// alias a boundary.
+const (
+	fpMarkNumber      = 0x01 // literal value dropped
+	fpMarkString      = 0x02 // literal value dropped
+	fpMarkPlaceholder = 0x03 // placeholder spelling dropped (?, $1, :x)
+	fpMarkSepToken    = 0xFF // between tokens
+	fpMarkSepStmt     = 0xFE // between statements
+)
+
+// FingerprintScript lexes input once and returns its normalized
+// fingerprint together with the statement texts SplitStatements would
+// produce and the literal positions inside each. FingerprintScript
+// never fails; unparseable bytes hash as their raw text, so every
+// input has a stable fingerprint.
+func FingerprintScript(input string) *ScriptPrint {
+	sp := &ScriptPrint{}
+	h := newFPHasher()
+	var (
+		depth    int
+		begin    = -1
+		line     int
+		literals []LitSpan // absolute offsets until flush
+	)
+	flush := func(end int) {
+		if begin < 0 {
+			return
+		}
+		start := begin
+		begin = -1
+		text := trimLexSpace(input[start:end])
+		if text == "" {
+			literals = nil
+			return
+		}
+		// start is a significant token's start, so there is nothing to
+		// trim on the left and Start == start; only trailing whitespace
+		// before the semicolon (or EOF) is dropped.
+		st := StmtPrint{Text: text, Start: start, End: start + len(text), Line: line}
+		for _, l := range literals {
+			// An unterminated string literal runs to EOF and can swallow
+			// the trailing whitespace the trim just dropped — clamp so
+			// spans always index Text.
+			s, e := l.Start-start, l.End-start
+			if e > len(text) {
+				e = len(text)
+			}
+			if s >= e {
+				continue
+			}
+			st.Literals = append(st.Literals, LitSpan{Start: s, End: e})
+		}
+		literals = nil
+		sp.Stmts = append(sp.Stmts, st)
+		h.byte(fpMarkSepStmt)
+	}
+	// Stream tokens straight off the lexer: fingerprinting is the hot
+	// probe of the report cache's serving path, and materializing the
+	// token slice Lex returns would dominate it.
+	l := &lexer{src: input, line: 1}
+	for {
+		t := l.next()
+		switch {
+		case t.Kind == TokenEOF:
+			flush(t.Pos)
+			sp.Fingerprint = Fingerprint{Hi: h.h1, Lo: h.h2}
+			return sp
+		case t.Kind == TokenWhitespace || t.Kind == TokenComment:
+			// normalized away; does not begin a statement
+		case t.IsPunct(";") && depth == 0:
+			flush(t.Pos)
+		default:
+			if begin < 0 {
+				begin = t.Pos
+				line = t.Line
+			}
+			if t.IsPunct("(") {
+				depth++
+			} else if t.IsPunct(")") && depth > 0 {
+				depth--
+			}
+			switch t.Kind {
+			case TokenNumber:
+				h.byte(fpMarkNumber)
+				literals = append(literals, LitSpan{Start: t.Pos, End: t.Pos + len(t.Text)})
+			case TokenString:
+				h.byte(fpMarkString)
+				literals = append(literals, LitSpan{Start: t.Pos, End: t.Pos + len(t.Text)})
+			case TokenPlaceholder:
+				h.byte(fpMarkPlaceholder)
+			case TokenKeyword, TokenIdent:
+				h.upperStr(t.Text)
+			default:
+				// Quoted identifiers (case-sensitive), operators,
+				// punctuation, and unclassified bytes hash verbatim.
+				h.str(t.Text)
+			}
+			h.byte(fpMarkSepToken)
+		}
+	}
+}

@@ -248,6 +248,22 @@ func looksLikeBracketIdent(s string) bool {
 }
 
 func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+// trimLexSpace trims exactly the lexer's whitespace class from both
+// ends of s. strings.TrimSpace would additionally trim bytes the lexer
+// treats as significant (form feed, vertical tab, unicode spaces), and
+// the statement splitter and fingerprinter must agree with the token
+// stream on which bytes a statement contains.
+func trimLexSpace(s string) string {
+	i, j := 0, len(s)
+	for i < j && isSpace(s[i]) {
+		i++
+	}
+	for j > i && isSpace(s[j-1]) {
+		j--
+	}
+	return s[i:j]
+}
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 
 func isIdentStart(c byte) bool {
@@ -274,7 +290,7 @@ func SplitStatements(input string) []string {
 		if begin < 0 {
 			return
 		}
-		s := strings.TrimSpace(input[begin:end])
+		s := trimLexSpace(input[begin:end])
 		if s != "" {
 			stmts = append(stmts, s)
 		}

@@ -29,11 +29,12 @@ type Database struct {
 	// against them (the tables carry their own frozen flags too).
 	frozen bool
 	// id is the database's origin identity, assigned in NewDatabase and
-	// inherited by snapshots; version counts catalog mutations
-	// (AddTable/DropTable), monotonically, under the same write
-	// discipline as Table.version. Together with the per-table
-	// counters they make "has anything I profiled changed?" an integer
-	// compare instead of a content diff.
+	// inherited by snapshots; version counts database-state mutations
+	// — catalog changes (AddTable/DropTable) and, via Table.bumpVersion,
+	// every row mutation of a member table — monotonically, under the
+	// same write discipline as Table.version. Together with the
+	// per-table counters they make "has anything I analyzed changed?"
+	// an integer compare instead of a content diff.
 	id      uint64
 	version uint64
 }
@@ -47,9 +48,13 @@ func NewDatabase(name string) *Database {
 // created database and shared by every snapshot taken of it.
 func (db *Database) ID() uint64 { return db.id }
 
-// Version returns the monotonic catalog-mutation counter (table
-// creations and drops). Like Table.Version it is frozen on snapshots
-// and must be read under the writer lock on a live handle.
+// Version returns the monotonic database-state counter: it advances
+// on catalog mutations (table creations and drops) and on every row
+// mutation of any registered table, so equal (ID, Version) pairs mean
+// "nothing observable about this database has changed" — the integer
+// compare the report memoization cache invalidates by. Like
+// Table.Version it is frozen on snapshots and must be read under the
+// writer lock on a live handle.
 func (db *Database) Version() uint64 { return db.version }
 
 // Lock acquires the database's single-writer mutex. The executor

@@ -170,6 +170,19 @@ func (t *Table) ID() uint64 { return t.id }
 // value is frozen) or under the database writer lock.
 func (t *Table) Version() uint64 { return t.version }
 
+// bumpVersion advances the table's row-mutation counter and, when the
+// table belongs to a database, the database's state version with it —
+// so Database.Version moves on every DML statement as well as on DDL,
+// making (Database.ID, Database.Version) a sound whole-database
+// memoization key (the report cache's invalidation input). Runs under
+// the same write discipline as every other mutation.
+func (t *Table) bumpVersion() {
+	t.version++
+	if t.db != nil {
+		t.db.version++
+	}
+}
+
 // ColIndex returns the ordinal of the named column, or -1.
 func (t *Table) ColIndex(name string) int {
 	if i, ok := t.colIdx[strings.ToLower(name)]; ok {
@@ -514,7 +527,7 @@ func (t *Table) Insert(r Row) (int64, error) {
 	t.setRow(id, r.Clone())
 	t.slots++
 	t.live++
-	t.version++
+	t.bumpVersion()
 	t.touchRowPage(id)
 	if t.pk != nil {
 		t.pk.tree.Insert(t.pk.keyFor(r), id)
@@ -635,7 +648,7 @@ func (t *Table) Update(id int64, newRow Row) error {
 		}
 	}
 	t.setRow(id, newRow.Clone())
-	t.version++
+	t.bumpVersion()
 	return nil
 }
 
@@ -667,7 +680,7 @@ func (t *Table) Delete(id int64) error {
 	}
 	t.setRow(id, nil)
 	t.live--
-	t.version++
+	t.bumpVersion()
 	return nil
 }
 

@@ -25,7 +25,10 @@ func TestProfileCacheInvalidationUnderConcurrentDML(t *testing.T) {
 	if err := checker.RegisterDatabase("app", db); err != nil {
 		t.Fatal(err)
 	}
-	workload := Workload{SQL: raceWorkloadSQL, DBName: "app"}
+	// Opt out of report memoization throughout: this suite pins the
+	// profile cache specifically, and a report-cache hit would skip
+	// profiling entirely (reportcache_race_test.go covers that path).
+	workload := Workload{SQL: raceWorkloadSQL, DBName: "app", NoReportCache: true}
 
 	// Warm the cache before the churn starts.
 	baseline := reportJSON(t, checker, workload)
@@ -84,7 +87,7 @@ func TestProfileCacheInvalidationUnderConcurrentDML(t *testing.T) {
 			for i := 0; i < checksPerR; i++ {
 				snap := db.Snapshot()
 				reports, err := checker.CheckWorkloads(context.Background(),
-					[]Workload{{SQL: raceWorkloadSQL, DB: snap}})
+					[]Workload{{SQL: raceWorkloadSQL, DB: snap, NoReportCache: true}})
 				if err != nil {
 					errc <- err
 					return

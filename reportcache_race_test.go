@@ -1,0 +1,165 @@
+package sqlcheck
+
+// The report-memoization invalidation suite (run under -race by
+// `make test`): writers hammer a registered database with concurrent
+// DML — every statement bumps the database-state version under the
+// single-writer lock — while readers repeatedly analyze snapshots
+// through a warm report cache. The invariant: a report served from
+// the memoized fast path is byte-identical to the report a completely
+// cold checker computes over the same visible rows. Reports are keyed
+// by (database origin ID, state version), and versions advance
+// monotonically, so a hit at any point in the churn proves the stored
+// report was computed over exactly the rows the reader's snapshot
+// froze — if invalidation ever lagged a write, the byte comparison
+// fails.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestReportCacheInvalidationUnderConcurrentDML(t *testing.T) {
+	db := raceFixtureDB(t)
+	checker := New(Options{Concurrency: 4})
+	if err := checker.RegisterDatabase("app", db); err != nil {
+		t.Fatal(err)
+	}
+	workload := Workload{SQL: raceWorkloadSQL, DBName: "app"}
+
+	// Cold store, then a quiet byte-identical repeat through the fast
+	// path before the churn starts.
+	baseline := reportJSON(t, checker, workload)
+	preHits := checker.Metrics().ReportCache.Hits
+	if repeat := reportJSON(t, checker, workload); string(repeat) != string(baseline) {
+		t.Fatalf("pre-churn repeat differs from its own baseline\nfirst:  %s\nsecond: %s", baseline, repeat)
+	}
+	if checker.Metrics().ReportCache.Hits == preHits {
+		t.Fatal("pre-churn repeat did not hit the report cache")
+	}
+
+	const (
+		writers      = 4
+		opsPerWriter = 80
+		readers      = 4
+		checksPerR   = 6
+	)
+
+	type observed struct {
+		snap   *Database
+		report []byte
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		seen []observed
+		errc = make(chan error, writers*opsPerWriter+readers)
+	)
+
+	// Writers: every INSERT/DELETE bumps the database version, moving
+	// the report-cache key, so reader batches span many distinct keys.
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWriter; i++ {
+				id := 300000 + g*1000 + i
+				if _, err := db.Exec(fmt.Sprintf(
+					`INSERT INTO users VALUES (%d, 'churn-%d', 'user', 'transient row')`, id, id)); err != nil {
+					errc <- err
+					return
+				}
+				if i%2 == 0 {
+					if _, err := db.Exec(fmt.Sprintf(`DELETE FROM users WHERE id = %d`, id)); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	// Readers: snapshot mid-churn and analyze the snapshot through the
+	// shared checker. Snapshots keep the origin's (ID, version), so two
+	// readers landing on the same version may serve each other's stored
+	// reports — the byte comparison below proves any such hit was
+	// sound.
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < checksPerR; i++ {
+				snap := db.Snapshot()
+				reports, err := checker.CheckWorkloads(context.Background(),
+					[]Workload{{SQL: raceWorkloadSQL, DB: snap}})
+				if err != nil {
+					errc <- err
+					return
+				}
+				raw, err := json.Marshal(reports[0])
+				if err != nil {
+					errc <- err
+					return
+				}
+				mu.Lock()
+				seen = append(seen, observed{snap: snap, report: raw})
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Cold-baseline equality: every mid-churn report — memoized or not
+	// — must match a completely cold checker analyzing the same visible
+	// rows materialized into a fresh database.
+	if len(seen) != readers*checksPerR {
+		t.Fatalf("observed %d snapshots, want %d", len(seen), readers*checksPerR)
+	}
+	for i, obs := range seen {
+		cold := New(Options{Concurrency: 4})
+		quiesced := reportJSON(t, cold, Workload{SQL: raceWorkloadSQL, DB: materialize(t, obs.snap)})
+		if string(obs.report) != string(quiesced) {
+			t.Fatalf("snapshot %d: memoization-eligible report differs from cold baseline\nwarm: %s\ncold: %s",
+				i, obs.report, quiesced)
+		}
+	}
+
+	// The cache saw real traffic: version churn produced misses, and
+	// repeats (pre-churn at minimum) produced hits.
+	rc := checker.Metrics().ReportCache
+	if rc.Hits == 0 || rc.Misses == 0 {
+		t.Errorf("expected both hits and misses under churn, got %+v", rc)
+	}
+
+	// Quiesced: a repeat serves from the report cache byte-identically;
+	// then a single DML moves the version and must bust it — the next
+	// check misses and still matches a cold checker over the new state.
+	first := reportJSON(t, checker, workload)
+	preHits = checker.Metrics().ReportCache.Hits
+	second := reportJSON(t, checker, workload)
+	if string(first) != string(second) {
+		t.Fatal("quiesced repeat reports differ")
+	}
+	if checker.Metrics().ReportCache.Hits == preHits {
+		t.Error("quiesced repeat did not hit the report cache")
+	}
+	if _, err := db.Exec(`INSERT INTO users VALUES (999999, 'bust', 'user', 'version bump')`); err != nil {
+		t.Fatal(err)
+	}
+	preMisses := checker.Metrics().ReportCache.Misses
+	busted := reportJSON(t, checker, workload)
+	if checker.Metrics().ReportCache.Misses == preMisses {
+		t.Error("post-DML check did not miss the report cache (stale serve)")
+	}
+	cold := New(Options{Concurrency: 4})
+	coldFinal := reportJSON(t, cold, Workload{SQL: raceWorkloadSQL, DB: materialize(t, db.Snapshot())})
+	if string(busted) != string(coldFinal) {
+		t.Fatalf("post-DML report differs from cold checker\nwarm: %s\ncold: %s", busted, coldFinal)
+	}
+}

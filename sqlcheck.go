@@ -26,6 +26,7 @@ package sqlcheck
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -35,6 +36,7 @@ import (
 	"sqlcheck/internal/fix"
 	"sqlcheck/internal/rank"
 	"sqlcheck/internal/rules"
+	"sqlcheck/internal/sqltoken"
 )
 
 // Mode selects intra-query-only or full inter-query analysis.
@@ -115,6 +117,23 @@ type Options struct {
 	// deterministic, so a hit returns exactly what a fresh pass would
 	// compute.
 	ProfileCache *ProfileCache
+	// ReportCache, when non-nil, replaces the Checker's private
+	// finished-report memoization cache — the serving fast path above
+	// both other caches. Reports are keyed by the workload's normalized
+	// script fingerprint (literals, whitespace, and keyword case hashed
+	// away) together with the database identity and state version, the
+	// compiled rule selection, and the analysis configuration; a hit
+	// additionally requires the statement texts to match the memoized
+	// workload byte for byte, because detector messages and several
+	// rules read literal values. A repeated workload against an
+	// unchanged database is then served in microseconds without
+	// parsing, profiling, or rule evaluation — and any DML on the
+	// database moves its version, so stale reports are structurally
+	// unreachable rather than expired. Served reports are deep copies:
+	// mutating one never corrupts the cache. Point several Checkers at
+	// one NewReportCache to share the fast path process-wide; workloads
+	// opt out per request with Workload.NoReportCache.
+	ReportCache *ReportCache
 }
 
 // Cache is a process-shareable parsed-statement cache, bounded by
@@ -157,6 +176,34 @@ func NewProfileCache(maxBytes int64) *ProfileCache {
 
 // Stats snapshots the profile cache's counters.
 func (c *ProfileCache) Stats() CacheStats { return c.inner.Stats() }
+
+// ReportCache is a process-shareable finished-report memoization
+// cache, bounded by estimated resident bytes with LRU eviction and an
+// admission filter. It is the top of the cache hierarchy: where the
+// parse cache saves re-parsing and the profile cache saves
+// re-profiling, a report-cache hit skips the analysis pipeline
+// entirely and serves the memoized report. A ReportCache is safe for
+// concurrent use by any number of Checkers.
+type ReportCache struct {
+	inner *core.ReportCache
+}
+
+// NewReportCache builds a report cache bounded by maxBytes of
+// estimated report residency; <= 0 selects the default (32 MiB).
+func NewReportCache(maxBytes int64) *ReportCache {
+	return &ReportCache{inner: core.NewReportCache(maxBytes)}
+}
+
+// Stats snapshots the report cache's counters.
+func (c *ReportCache) Stats() ReportCacheStats { return c.inner.Stats() }
+
+// ReportCacheStats is a point-in-time snapshot of a report cache:
+// hit/miss/eviction counters, the variant-miss count (fingerprint
+// matched but statement texts differed — same query shape, different
+// literals), resident bytes against the bound, and the
+// fingerprint-cardinality gauge (distinct normalized query shapes
+// resident).
+type ReportCacheStats = core.ReportCacheStats
 
 // Checker runs the detect → rank → fix pipeline. A Checker is safe
 // for concurrent use: all checks share one bounded worker pool and
@@ -201,8 +248,24 @@ type Finding struct {
 	// Score is the ranking model's impact score; findings are sorted
 	// by it, highest first.
 	Score float64 `json:"score"`
+	// Span locates the finding's statement in the submitted SQL, when
+	// the finding refers to one (nil for schema/data findings and on
+	// the sequential paths). On a report served from the ReportCache
+	// the span is rebound to the text actually submitted, so offsets
+	// stay correct even when statement layout differs from the run
+	// that populated the cache.
+	Span *Span `json:"span,omitempty"`
 	// Fix is the suggested repair.
 	Fix Fix `json:"fix"`
+}
+
+// Span is a byte range in the submitted SQL script: input[Start:End]
+// is the statement text, and Line is the 1-based line of its first
+// token.
+type Span struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+	Line  int `json:"line"`
 }
 
 // Fix is a suggested repair (paper §6): statement rewrites, new
@@ -336,6 +399,12 @@ type Workload struct {
 	// expand columns from the schema degrade to textual guidance for
 	// such workloads (see Options.Rules).
 	Rules []string
+	// NoReportCache opts this workload out of report memoization: it
+	// is analyzed from scratch even on a byte-identical repeat, and its
+	// report is not stored. Use it for one-off scripts that would churn
+	// the cache, or to force a fresh analysis while diagnosing. The
+	// parse and profile caches still apply.
+	NoReportCache bool
 }
 
 // Registry lookup and registration errors, matched with errors.Is.
@@ -407,7 +476,7 @@ func (c *Checker) CheckWorkloads(ctx context.Context, workloads []Workload) ([]*
 	}
 	cws := make([]core.Workload, len(workloads))
 	for i, w := range workloads {
-		cw := core.Workload{SQL: w.SQL, DB: innerDB(w.DB), DBName: w.DBName, Rules: w.Rules}
+		cw := core.Workload{SQL: w.SQL, DB: innerDB(w.DB), DBName: w.DBName, Rules: w.Rules, NoMemo: w.NoReportCache}
 		if w.SampleSize > 0 || w.ProfileSeed != 0 {
 			p := c.engine().ProfileOptions()
 			if w.SampleSize > 0 {
@@ -426,9 +495,81 @@ func (c *Checker) CheckWorkloads(ctx context.Context, workloads []Workload) ([]*
 	}
 	reports := make([]*Report, len(results))
 	for i, res := range results {
-		reports[i] = c.buildReport(res)
+		if res.Memo != nil {
+			// Report-cache hit: no pipeline phase ran. Serve a deep copy
+			// of the memoized report with spans rebound to the submitted
+			// text (statement texts are byte-identical on a hit, but the
+			// layout around them may differ).
+			rep := cloneReport(res.Memo.(*Report))
+			setSpans(rep, res.Script)
+			reports[i] = rep
+			continue
+		}
+		rep := c.buildReport(res)
+		if res.Store != nil {
+			// Memoize a span-free deep copy: spans are rebound per serve,
+			// and the caller's mutations must never reach the cache.
+			res.Store(cloneReport(rep), reportMemCost(rep))
+		}
+		setSpans(rep, res.Script)
+		reports[i] = rep
 	}
 	return reports, nil
+}
+
+// cloneReport deep-copies a report so cached masters and served
+// copies never share mutable state.
+func cloneReport(r *Report) *Report {
+	out := &Report{Statements: r.Statements}
+	out.Findings = append([]Finding(nil), r.Findings...)
+	for i := range out.Findings {
+		f := &out.Findings[i]
+		if f.Span != nil {
+			s := *f.Span
+			f.Span = &s
+		}
+		f.Fix.Rewrites = append([]Rewrite(nil), f.Fix.Rewrites...)
+		f.Fix.NewStatements = append([]string(nil), f.Fix.NewStatements...)
+		f.Fix.ImpactedQueries = append([]int(nil), f.Fix.ImpactedQueries...)
+	}
+	out.Queries = append([]QueryReport(nil), r.Queries...)
+	return out
+}
+
+// setSpans attaches statement spans from the workload's fingerprinted
+// script to every finding that refers to a statement.
+func setSpans(r *Report, script *sqltoken.ScriptPrint) {
+	if script == nil {
+		return
+	}
+	for i := range r.Findings {
+		f := &r.Findings[i]
+		if f.Query >= 0 && f.Query < len(script.Stmts) {
+			st := script.Stmts[f.Query]
+			f.Span = &Span{Start: st.Start, End: st.End, Line: st.Line}
+		}
+	}
+}
+
+// reportMemCost estimates a report's resident bytes for the report
+// cache's byte budget: struct overheads plus string payloads.
+func reportMemCost(r *Report) int64 {
+	cost := int64(256)
+	for i := range r.Findings {
+		f := &r.Findings[i]
+		cost += 192 + int64(len(f.Rule)+len(f.Name)+len(f.Category)+len(f.Table)+len(f.Column)+len(f.Message)+len(f.Fix.Guidance))
+		for _, rw := range f.Fix.Rewrites {
+			cost += 56 + int64(len(rw.Original)+len(rw.Fixed))
+		}
+		for _, s := range f.Fix.NewStatements {
+			cost += 16 + int64(len(s))
+		}
+		cost += int64(8 * len(f.Fix.ImpactedQueries))
+	}
+	for _, q := range r.Queries {
+		cost += 48 + int64(len(q.SQL))
+	}
+	return cost
 }
 
 // CheckBatch analyzes independent SQL-only workloads concurrently; it
@@ -493,6 +634,15 @@ func (c *Checker) coreOptions() core.Options {
 	if c.opts.ProfileCache != nil {
 		opts.SharedProfileCache = c.opts.ProfileCache.inner
 	}
+	if c.opts.ReportCache != nil {
+		opts.SharedReportCache = c.opts.ReportCache.inner
+	}
+	// The ranking configuration shapes scores and query ordering inside
+	// finished reports but is invisible to the engine, so it rides in
+	// the report-cache key as an opaque scope: Checkers with different
+	// ranking settings sharing one ReportCache never serve each other's
+	// reports.
+	opts.ReportScope = fmt.Sprintf("w%d,c%t", c.opts.Weights, c.opts.RankQueriesByCount)
 	return opts
 }
 
