@@ -13,16 +13,23 @@ SHELL := /bin/bash -o pipefail
 # run against it and fails on >20% median ns/op regression or >25%
 # median B/op / allocs/op regression (the gated runs use -benchmem so
 # allocation regressions cannot hide behind wall-clock noise).
-BENCH_GATE = BenchmarkCheckSQLParallel|BenchmarkRuleDispatch|BenchmarkProfileParallel|BenchmarkProfileMemoized|BenchmarkFingerprintMemoized|BenchmarkRegistryReuse|BenchmarkQueryOnlyWorkload
+BENCH_GATE = BenchmarkCheckSQLParallel|BenchmarkRuleDispatch|BenchmarkProfileParallel|BenchmarkProfileMemoized|BenchmarkFingerprintMemoized|BenchmarkRegistryReuse|BenchmarkQueryOnlyWorkload|BenchmarkColdParse|BenchmarkBatchCoalesced|BenchmarkDaemonServe
 BENCH_COUNT ?= 5
 
-.PHONY: build test test-full bench bench-baseline bench-check print-bench-gate profile-cpu docs-check lint ci
+# Packages holding gated benchmarks: the root pipeline benchmarks plus
+# the daemon's end-to-end serving benchmark.
+BENCH_PKGS = . ./cmd/sqlcheckd
+
+.PHONY: build test test-full bench bench-baseline bench-check print-bench-gate print-bench-pkgs profile-cpu profile-heap docs-check lint ci
 
 # The single source of truth for the gated-benchmark pattern: CI's
 # base-ref step reads it from the PR's Makefile (before checking out
 # the base, whose Makefile may predate newer gate benchmarks).
 print-bench-gate:
 	@echo '$(BENCH_GATE)'
+
+print-bench-pkgs:
+	@echo '$(BENCH_PKGS)'
 
 build:
 	$(GO) build ./...
@@ -45,7 +52,7 @@ bench:
 # a quiet machine; commit bench/baseline.txt with the change that
 # legitimately moves the numbers.
 bench-baseline:
-	$(GO) test -bench '$(BENCH_GATE)' -count $(BENCH_COUNT) -benchtime 0.3s -benchmem -run '^$$' . | tee bench/baseline.txt
+	$(GO) test -bench '$(BENCH_GATE)' -count $(BENCH_COUNT) -benchtime 0.3s -benchmem -run '^$$' $(BENCH_PKGS) | tee bench/baseline.txt
 
 # Compare a fresh run of the gated benchmarks against a baseline;
 # fails on >20% median regression or a missing gated benchmark.
@@ -54,10 +61,10 @@ bench-baseline:
 # which removes hardware variance from the comparison.
 BENCH_BASELINE ?= bench/baseline.txt
 bench-check:
-	$(GO) test -bench '$(BENCH_GATE)' -count $(BENCH_COUNT) -benchtime 0.3s -benchmem -run '^$$' . | tee bench-current.txt
+	$(GO) test -bench '$(BENCH_GATE)' -count $(BENCH_COUNT) -benchtime 0.3s -benchmem -run '^$$' $(BENCH_PKGS) | tee bench-current.txt
 	$(GO) run ./cmd/benchcmp -baseline $(BENCH_BASELINE) -current bench-current.txt \
 		-max-regression 20 -max-mem-regression 25 \
-		-require 'CheckSQLParallel,RuleDispatch,ProfileParallel,ProfileMemoized,FingerprintMemoized/cold,FingerprintMemoized/warm,RegistryReuse,QueryOnlyWorkload'
+		-require 'CheckSQLParallel,RuleDispatch,ProfileParallel,ProfileMemoized,FingerprintMemoized/cold,FingerprintMemoized/warm,RegistryReuse,QueryOnlyWorkload,ColdParse,BatchCoalesced/coalesced,BatchCoalesced/uncoalesced,DaemonServe'
 
 # CPU profile of the data-analysis phase (the system's hot path):
 # runs BenchmarkProfileParallel under -cpuprofile and leaves
@@ -67,6 +74,15 @@ bench-check:
 profile-cpu:
 	$(GO) test -bench BenchmarkProfileParallel -benchtime 1s -run '^$$' \
 		-cpuprofile bench/cpu.pprof -o bench/profile-cpu.test .
+
+# Heap profile of the cold single-statement path (the allocation
+# budget the zero-alloc lexing work defends): runs BenchmarkColdParse
+# under -memprofile and leaves bench/heap.pprof for
+# `go tool pprof -sample_index=alloc_objects bench/profile-heap.test
+# bench/heap.pprof`. CI uploads both as an artifact.
+profile-heap:
+	$(GO) test -bench BenchmarkColdParse -benchtime 1s -run '^$$' \
+		-memprofile bench/heap.pprof -o bench/profile-heap.test .
 
 # Fail if README.md or DESIGN.md reference exported identifiers or
 # Prometheus metric names that no longer exist in the source — docs

@@ -1,0 +1,328 @@
+// Command loadgen replays corpus workloads against a running
+// sqlcheckd and reports serving latency. It is the measurement
+// harness for the daemon's fast paths: traffic is a configurable mix
+// of warm repeats (report-cache hits served in microseconds),
+// duplicate-heavy batches (one script repeated within a batch, so
+// in-batch coalescing runs the pipeline once per batch), and cold
+// misses (a unique literal per request defeats every cache, so each
+// request pays the full parse + analysis).
+//
+// Usage:
+//
+//	loadgen -addr http://localhost:8686 -duration 10s -concurrency 8 \
+//	  -cold 0.2 -dup 0.2 -out latency.json
+//
+// Scripts come from the deterministic internal corpus generator (the
+// same GitHub-style workloads the accuracy harness checks), so two
+// runs with one seed replay identical traffic. The run prints request
+// counts per class, p50/p90/p99 latency, and sustained QPS, and can
+// write the same numbers as a JSON artifact for CI trend lines.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sqlcheck/internal/corpus"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://localhost:8686", "sqlcheckd base URL")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to drive traffic")
+		concurrency = flag.Int("concurrency", 8, "concurrent client workers")
+		coldFrac    = flag.Float64("cold", 0.2, "fraction of requests that are cold misses (unique literal per request)")
+		dupFrac     = flag.Float64("dup", 0.2, "fraction of requests that are duplicate-heavy batches (one script repeated 8x)")
+		repos       = flag.Int("repos", 16, "corpus repos to draw scripts from")
+		seed        = flag.Uint64("seed", 1, "corpus + traffic seed")
+		outPath     = flag.String("out", "", "write the summary as JSON to this file")
+	)
+	flag.Parse()
+
+	scripts := corpusScripts(*repos, *seed)
+	sum, err := run(context.Background(), config{
+		baseURL:     strings.TrimRight(*addr, "/"),
+		duration:    *duration,
+		concurrency: *concurrency,
+		coldFrac:    *coldFrac,
+		dupFrac:     *dupFrac,
+		seed:        *seed,
+		scripts:     scripts,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(sum.String())
+	if *outPath != "" {
+		raw, _ := json.MarshalIndent(sum, "", "  ")
+		if err := os.WriteFile(*outPath, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: writing %s: %v\n", *outPath, err)
+			os.Exit(1)
+		}
+	}
+	if sum.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// corpusScripts renders deterministic workload scripts: each repo's
+// statements joined into one script, statement count capped so a
+// single request stays a realistic API payload rather than a bulk
+// import.
+func corpusScripts(repos int, seed uint64) []string {
+	c := corpus.GitHub(corpus.GitHubOptions{Repos: repos, Seed: seed})
+	out := make([]string, 0, len(c.Repos))
+	for _, r := range c.Repos {
+		stmts := r.Statements
+		if len(stmts) > 12 {
+			stmts = stmts[:12]
+		}
+		out = append(out, strings.Join(stmts, ";\n"))
+	}
+	return out
+}
+
+// Traffic classes.
+const (
+	classWarm = "warm"
+	classDup  = "dup"
+	classCold = "cold"
+)
+
+// dupRepeat is how many times a duplicate-heavy batch repeats its
+// script — enough that coalescing (one pipeline run fanned out) is
+// clearly distinguishable from running each copy.
+const dupRepeat = 8
+
+type config struct {
+	baseURL     string
+	duration    time.Duration
+	concurrency int
+	coldFrac    float64
+	dupFrac     float64
+	seed        uint64
+	scripts     []string
+}
+
+// ClassStats aggregates one traffic class.
+type ClassStats struct {
+	Requests int     `json:"requests"`
+	P50ms    float64 `json:"p50_ms"`
+	P90ms    float64 `json:"p90_ms"`
+	P99ms    float64 `json:"p99_ms"`
+}
+
+// Summary is the run result, printed and optionally written as JSON.
+type Summary struct {
+	DurationSeconds float64               `json:"duration_seconds"`
+	Concurrency     int                   `json:"concurrency"`
+	Requests        int                   `json:"requests"`
+	Errors          int                   `json:"errors"`
+	QPS             float64               `json:"qps"`
+	P50ms           float64               `json:"p50_ms"`
+	P90ms           float64               `json:"p90_ms"`
+	P99ms           float64               `json:"p99_ms"`
+	Classes         map[string]ClassStats `json:"classes"`
+}
+
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %d requests in %.1fs (%d workers), %d errors\n",
+		s.Requests, s.DurationSeconds, s.Concurrency, s.Errors)
+	fmt.Fprintf(&b, "overall  qps %8.1f   p50 %8.3fms  p90 %8.3fms  p99 %8.3fms\n",
+		s.QPS, s.P50ms, s.P90ms, s.P99ms)
+	for _, class := range []string{classWarm, classDup, classCold} {
+		cs, ok := s.Classes[class]
+		if !ok || cs.Requests == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s reqs %8d   p50 %8.3fms  p90 %8.3fms  p99 %8.3fms\n",
+			class, cs.Requests, cs.P50ms, cs.P90ms, cs.P99ms)
+	}
+	return b.String()
+}
+
+// sample is one completed request.
+type sample struct {
+	class   string
+	latency time.Duration
+	failed  bool
+}
+
+// run drives the traffic mix until the deadline and aggregates.
+func run(ctx context.Context, cfg config) (Summary, error) {
+	if len(cfg.scripts) == 0 {
+		return Summary{}, fmt.Errorf("no corpus scripts")
+	}
+	if cfg.concurrency < 1 {
+		cfg.concurrency = 1
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	if err := waitHealthy(ctx, client, cfg.baseURL); err != nil {
+		return Summary{}, err
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.duration)
+	defer cancel()
+
+	var coldSalt atomic.Int64
+	var mu sync.Mutex
+	var samples []sample
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(cfg.seed) + int64(worker)*7919))
+			var local []sample
+			for ctx.Err() == nil {
+				class, body := nextRequest(rng, cfg, &coldSalt)
+				t0 := time.Now()
+				failed := post(ctx, client, cfg.baseURL+"/api/check", body) != nil
+				if ctx.Err() != nil && failed {
+					break // deadline mid-request, not a server error
+				}
+				local = append(local, sample{class: class, latency: time.Since(t0), failed: failed})
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return summarize(samples, time.Since(start), cfg.concurrency), nil
+}
+
+// nextRequest picks a traffic class and renders its request body.
+func nextRequest(rng *rand.Rand, cfg config, coldSalt *atomic.Int64) (string, []byte) {
+	script := cfg.scripts[rng.Intn(len(cfg.scripts))]
+	roll := rng.Float64()
+	switch {
+	case roll < cfg.coldFrac:
+		// A unique literal defeats the report cache's byte-identity
+		// check, so the daemon pays the full pipeline.
+		salted := fmt.Sprintf("%s;\nSELECT 'cold-%d' FROM generated", script, coldSalt.Add(1))
+		return classCold, checkBody([]string{salted})
+	case roll < cfg.coldFrac+cfg.dupFrac:
+		// Duplicate-heavy AND fresh: identical within the batch (so
+		// in-batch coalescing runs the pipeline once and fans out) but
+		// salted per request, or the report cache would absorb every
+		// batch after the first and coalescing would never be exercised.
+		salted := fmt.Sprintf("%s;\nSELECT 'dup-%d' FROM generated", script, coldSalt.Add(1))
+		batch := make([]string, dupRepeat)
+		for i := range batch {
+			batch[i] = salted
+		}
+		return classDup, checkBody(batch)
+	default:
+		return classWarm, checkBody([]string{script})
+	}
+}
+
+func checkBody(queries []string) []byte {
+	raw, _ := json.Marshal(struct {
+		Queries []string `json:"queries"`
+	}{Queries: queries})
+	return raw
+}
+
+func post(ctx context.Context, client *http.Client, url string, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	// Drain so the connection is reused; the report content is the
+	// daemon's problem, loadgen only times it.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// waitHealthy polls /healthz briefly so loadgen can race daemon
+// startup in CI without a sleep.
+func waitHealthy(ctx context.Context, client *http.Client, baseURL string) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon at %s not healthy: %v", baseURL, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func summarize(samples []sample, elapsed time.Duration, concurrency int) Summary {
+	sum := Summary{
+		DurationSeconds: elapsed.Seconds(),
+		Concurrency:     concurrency,
+		Classes:         map[string]ClassStats{},
+	}
+	var all []time.Duration
+	byClass := map[string][]time.Duration{}
+	for _, s := range samples {
+		sum.Requests++
+		if s.failed {
+			sum.Errors++
+			continue
+		}
+		all = append(all, s.latency)
+		byClass[s.class] = append(byClass[s.class], s.latency)
+	}
+	if elapsed > 0 {
+		sum.QPS = float64(sum.Requests) / elapsed.Seconds()
+	}
+	sum.P50ms, sum.P90ms, sum.P99ms = percentilesMS(all)
+	for class, ds := range byClass {
+		cs := ClassStats{Requests: len(ds)}
+		cs.P50ms, cs.P90ms, cs.P99ms = percentilesMS(ds)
+		sum.Classes[class] = cs
+	}
+	return sum
+}
+
+// percentilesMS returns p50/p90/p99 in milliseconds (nearest-rank).
+func percentilesMS(ds []time.Duration) (p50, p90, p99 float64) {
+	if len(ds) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) float64 {
+		i := int(q*float64(len(sorted)-1) + 0.5)
+		return float64(sorted[i]) / float64(time.Millisecond)
+	}
+	return at(0.50), at(0.90), at(0.99)
+}

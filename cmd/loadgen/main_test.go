@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPercentilesMS(t *testing.T) {
+	var ds []time.Duration
+	for i := 1; i <= 100; i++ {
+		ds = append(ds, time.Duration(i)*time.Millisecond)
+	}
+	p50, p90, p99 := percentilesMS(ds)
+	if p50 < 49 || p50 > 52 {
+		t.Errorf("p50 = %v, want ~50", p50)
+	}
+	if p90 < 89 || p90 > 92 {
+		t.Errorf("p90 = %v, want ~90", p90)
+	}
+	if p99 < 98 || p99 > 100 {
+		t.Errorf("p99 = %v, want ~99", p99)
+	}
+	if a, b, c := percentilesMS(nil); a != 0 || b != 0 || c != 0 {
+		t.Errorf("empty percentiles = %v %v %v, want zeros", a, b, c)
+	}
+}
+
+func TestCorpusScriptsDeterministic(t *testing.T) {
+	a := corpusScripts(4, 7)
+	b := corpusScripts(4, 7)
+	if len(a) != 4 {
+		t.Fatalf("got %d scripts, want 4", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("script %d differs between identically-seeded runs", i)
+		}
+	}
+}
+
+// TestNextRequestMix checks the three traffic classes are produced in
+// roughly the configured proportions and shaped correctly: duplicate
+// batches repeat one script, cold requests are unique per call.
+func TestNextRequestMix(t *testing.T) {
+	cfg := config{coldFrac: 0.25, dupFrac: 0.25, scripts: []string{"SELECT * FROM t"}}
+	rng := rand.New(rand.NewSource(1))
+	var salt atomic.Int64
+	counts := map[string]int{}
+	seenCold := map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		class, body := nextRequest(rng, cfg, &salt)
+		counts[class]++
+		var req struct {
+			Queries []string `json:"queries"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			t.Fatalf("%s body is not JSON: %v", class, err)
+		}
+		switch class {
+		case classDup:
+			if len(req.Queries) != dupRepeat {
+				t.Fatalf("dup batch has %d queries, want %d", len(req.Queries), dupRepeat)
+			}
+			if req.Queries[0] != req.Queries[dupRepeat-1] {
+				t.Fatal("dup batch queries differ")
+			}
+		case classCold:
+			if seenCold[req.Queries[0]] {
+				t.Fatal("cold request repeated a prior cold script")
+			}
+			seenCold[req.Queries[0]] = true
+		case classWarm:
+			if len(req.Queries) != 1 || req.Queries[0] != cfg.scripts[0] {
+				t.Fatalf("warm request = %v", req.Queries)
+			}
+		}
+	}
+	for class, want := range map[string]int{classWarm: 1000, classDup: 500, classCold: 500} {
+		if got := counts[class]; got < want*7/10 || got > want*13/10 {
+			t.Errorf("%s count = %d, want ~%d", class, got, want)
+		}
+	}
+}
+
+// TestRunAgainstStub drives the full worker loop against a stub
+// daemon and checks the summary adds up.
+func TestRunAgainstStub(t *testing.T) {
+	var served atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/healthz") {
+			w.Write([]byte("ok\n"))
+			return
+		}
+		served.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"reports":[]}`))
+	}))
+	defer stub.Close()
+
+	sum, err := run(context.Background(), config{
+		baseURL:     stub.URL,
+		duration:    300 * time.Millisecond,
+		concurrency: 4,
+		coldFrac:    0.2,
+		dupFrac:     0.2,
+		seed:        1,
+		scripts:     corpusScripts(2, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Requests == 0 {
+		t.Fatal("no requests recorded")
+	}
+	if sum.Errors != 0 {
+		t.Errorf("errors = %d, want 0", sum.Errors)
+	}
+	if sum.QPS <= 0 {
+		t.Errorf("qps = %v, want > 0", sum.QPS)
+	}
+	total := 0
+	for _, cs := range sum.Classes {
+		total += cs.Requests
+	}
+	if total != sum.Requests-sum.Errors {
+		t.Errorf("class requests sum %d != %d", total, sum.Requests-sum.Errors)
+	}
+	if !strings.Contains(sum.String(), "qps") {
+		t.Errorf("summary rendering missing qps: %q", sum.String())
+	}
+}

@@ -327,13 +327,3 @@ func databaseInfo(name string, db *sqlcheck.Database) DatabaseInfo {
 	}
 	return info
 }
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		log.Printf("sqlcheckd: encoding response: %v", err)
-	}
-}

@@ -350,12 +350,16 @@ func TestCheckEndpointWorkloadErrors(t *testing.T) {
 
 // TestMetricsEndpoint drives a repeated batch through the daemon and
 // asserts /metrics reports a non-zero cache hit rate, in both the
-// Prometheus text and JSON renderings.
+// Prometheus text and JSON renderings. The batch is shaped to exercise
+// both sharing layers: workloads 1 and 2 are byte-identical, so the
+// second coalesces onto the first instead of touching any cache, while
+// workload 3 shares only its CREATE statement — a parse-cache hit.
 func TestMetricsEndpoint(t *testing.T) {
 	srv := server(t)
 	body := `{"queries": [
 		"CREATE TABLE t (id INT PRIMARY KEY, v FLOAT); SELECT * FROM t ORDER BY RAND()",
-		"CREATE TABLE t (id INT PRIMARY KEY, v FLOAT); SELECT * FROM t ORDER BY RAND()"
+		"CREATE TABLE t (id INT PRIMARY KEY, v FLOAT); SELECT * FROM t ORDER BY RAND()",
+		"CREATE TABLE t (id INT PRIMARY KEY, v FLOAT); SELECT v FROM t WHERE id = 3"
 	]}`
 	for i := 0; i < 2; i++ {
 		resp, err := http.Post(srv.URL+"/api/check", "application/json", strings.NewReader(body))
@@ -398,6 +402,9 @@ func TestMetricsEndpoint(t *testing.T) {
 	if m.Statements.Tasks == 0 || m.Workloads.Tasks == 0 {
 		t.Errorf("pool tasks not counted: %+v / %+v", m.Statements, m.Workloads)
 	}
+	if m.Coalesce.InBatch == 0 {
+		t.Errorf("duplicate in-batch workload did not coalesce: %+v", m.Coalesce)
+	}
 
 	text, err := http.Get(srv.URL + "/metrics")
 	if err != nil {
@@ -418,6 +425,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		`sqlcheck_pool_in_use{pool="statements"}`,
 		`sqlcheck_phase_seconds_bucket{phase="parse",le="+Inf"}`,
 		`sqlcheck_phase_seconds_count{phase="global"}`,
+		"sqlcheck_coalesce_in_batch_total",
+		"sqlcheck_coalesce_singleflight_total",
+		"sqlcheck_http_responses_total",
+		"sqlcheck_http_buffers_reused_total",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("prometheus output missing %q", want)

@@ -56,6 +56,15 @@ func writePrometheus(w io.Writer, m sqlcheck.Metrics) {
 	counter("sqlcheck_registry_misses_total", "Workload db lookups that found no registered database.", m.Registry.Misses)
 	counter("sqlcheck_snapshots_total", "Copy-on-write database snapshots taken for profiling isolation.", m.Snapshots)
 
+	counter("sqlcheck_coalesce_in_batch_total", "Workloads served by a same-batch leader instead of running the pipeline (duplicate statements in one batch).", m.Coalesce.InBatch)
+	counter("sqlcheck_coalesce_singleflight_total", "Workloads merged onto a concurrent identical in-flight analysis (cold-miss stampedes absorbed).", m.Coalesce.Singleflight)
+
+	counter("sqlcheck_http_responses_total", "JSON responses served through the pooled encoder.", httpStats.responses.Load())
+	counter("sqlcheck_http_response_bytes_total", "Response body bytes written.", httpStats.responseBytes.Load())
+	counter("sqlcheck_http_buffers_reused_total", "Responses served from a recycled pool buffer (no encoder or buffer allocation).", httpStats.bufferGets.Load()-httpStats.bufferAllocs.Load())
+	counter("sqlcheck_http_buffers_allocated_total", "Fresh response buffers allocated (pool misses; flatlines once the pool is warm).", httpStats.bufferAllocs.Load())
+	counter("sqlcheck_http_buffers_dropped_total", "Oversized response buffers not returned to the pool.", httpStats.bufferDrops.Load())
+
 	fmt.Fprint(w, "# HELP sqlcheck_phase_skipped_total Workloads whose rule set let the engine elide a pipeline phase.\n# TYPE sqlcheck_phase_skipped_total counter\n")
 	fmt.Fprintf(w, "sqlcheck_phase_skipped_total{phase=%q} %d\n", "profile", m.Skips.Profile)
 	fmt.Fprintf(w, "sqlcheck_phase_skipped_total{phase=%q} %d\n", "snapshot", m.Skips.Snapshot)

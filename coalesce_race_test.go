@@ -1,0 +1,223 @@
+package sqlcheck
+
+// The coalescing transparency suite (run under -race by `make test`):
+// batch statement coalescing and the cold-miss singleflight must be
+// invisible in output — a workload served by a same-batch leader or
+// merged onto a concurrent identical analysis returns a report
+// byte-identical to the one a completely cold, uncoalesced checker
+// computes. The golden test pins that over corpus-shaped batches
+// (including the duplicate-heavy shape coalescing exists for); the
+// concurrent test hammers one cold key from many goroutines so the
+// race detector sees the flight registry's locking and the shared
+// result fan-out.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"sqlcheck/internal/corpus"
+)
+
+// coalesceGoldenBatch builds a duplicate-heavy corpus batch: `unique`
+// distinct repo scripts, each repeated `repeat` times consecutively,
+// salted so repeated test runs against one checker never hit the
+// report cache instead of coalescing.
+func coalesceGoldenBatch(unique, repeat, salt int) []Workload {
+	c := corpus.GitHub(corpus.GitHubOptions{Repos: unique, Seed: 7})
+	ws := make([]Workload, 0, unique*repeat)
+	for u, r := range c.Repos {
+		stmts := r.Statements
+		if len(stmts) > 10 {
+			stmts = stmts[:10]
+		}
+		sql := fmt.Sprintf("%s;\nSELECT 'salt-%d-%d' FROM generated",
+			strings.Join(stmts, ";\n"), u, salt)
+		for i := 0; i < repeat; i++ {
+			ws = append(ws, Workload{SQL: sql})
+		}
+	}
+	return ws
+}
+
+// TestCoalesceGolden: a duplicate-heavy corpus batch produces
+// byte-identical reports coalesced and uncoalesced, for SQL-only and
+// database-attached workloads, and the coalesced run actually
+// coalesced (the duplicates never ran the pipeline).
+func TestCoalesceGolden(t *testing.T) {
+	const unique, repeat = 6, 8
+
+	warm := New(Options{Concurrency: 4})
+	cold := New(Options{Concurrency: 4, NoCoalesce: true})
+
+	batch := coalesceGoldenBatch(unique, repeat, 1)
+	// The cold side also defeats report memoization per workload, so
+	// every duplicate pays the full pipeline — the from-scratch
+	// baseline the coalesced reports must match.
+	coldBatch := make([]Workload, len(batch))
+	for i, w := range batch {
+		w.NoReportCache = true
+		coldBatch[i] = w
+	}
+
+	warmReports, err := warm.CheckWorkloads(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldReports, err := cold.CheckWorkloads(context.Background(), coldBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warmReports) != len(coldReports) {
+		t.Fatalf("report counts differ: %d vs %d", len(warmReports), len(coldReports))
+	}
+	for i := range warmReports {
+		w, err := json.Marshal(warmReports[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := json.Marshal(coldReports[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(w) != string(c) {
+			t.Fatalf("workload %d: coalesced report differs from cold uncoalesced baseline\ncoalesced: %s\ncold:      %s", i, w, c)
+		}
+	}
+
+	// Accounting: each of the `unique` scripts ran once; the other
+	// repeat-1 copies were in-batch coalesces.
+	if got, want := warm.Metrics().Coalesce.InBatch, int64(unique*(repeat-1)); got != want {
+		t.Errorf("InBatch = %d, want %d", got, want)
+	}
+	if got := cold.Metrics().Coalesce; got.InBatch != 0 || got.Singleflight != 0 {
+		t.Errorf("NoCoalesce checker coalesced anyway: %+v", got)
+	}
+
+	// Database-attached duplicates coalesce too: same invariant against
+	// a registered fixture database.
+	db := raceFixtureDB(t)
+	for _, c := range []*Checker{warm, cold} {
+		if err := c.RegisterDatabase("app", db); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dbBatch := make([]Workload, repeat)
+	for i := range dbBatch {
+		dbBatch[i] = Workload{SQL: raceWorkloadSQL, DBName: "app"}
+	}
+	warmDB, err := warm.CheckWorkloads(context.Background(), dbBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldDBBatch := make([]Workload, repeat)
+	for i := range coldDBBatch {
+		coldDBBatch[i] = Workload{SQL: raceWorkloadSQL, DBName: "app", NoReportCache: true}
+	}
+	coldDB, err := cold.CheckWorkloads(context.Background(), coldDBBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range warmDB {
+		w, _ := json.Marshal(warmDB[i])
+		c, _ := json.Marshal(coldDB[i])
+		if string(w) != string(c) {
+			t.Fatalf("db workload %d: coalesced report differs from cold baseline\ncoalesced: %s\ncold:      %s", i, w, c)
+		}
+	}
+
+	// NoReportCache workloads must never coalesce — their contract is a
+	// from-scratch run even for byte-identical repeats in one batch.
+	pre := warm.Metrics().Coalesce.InBatch
+	optOut := []Workload{
+		{SQL: "SELECT * FROM t ORDER BY RAND()", NoReportCache: true},
+		{SQL: "SELECT * FROM t ORDER BY RAND()", NoReportCache: true},
+	}
+	if _, err := warm.CheckWorkloads(context.Background(), optOut); err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.Metrics().Coalesce.InBatch; got != pre {
+		t.Errorf("NoReportCache duplicates coalesced (InBatch %d -> %d)", pre, got)
+	}
+}
+
+// TestCoalesceSingleflightConcurrent hammers one cold report identity
+// from many goroutines in separate batches: the flight registry must
+// merge the stampede onto one pipeline run without a data race, and
+// every merged caller must receive a report byte-identical to the
+// leader's.
+func TestCoalesceSingleflightConcurrent(t *testing.T) {
+	const rounds, callers = 12, 8
+	checker := New(Options{Concurrency: 4})
+	merged := int64(0)
+
+	for round := 0; round < rounds; round++ {
+		// Rounds differ structurally (distinct table identifiers), not
+		// just by literal: fingerprinting collapses literal variants
+		// onto one bucket bounded by the cache's variant policy, and a
+		// declined store would legitimately let a late caller re-run —
+		// the exact accounting below is only a valid invariant when
+		// every round's store is admitted.
+		sql := fmt.Sprintf(
+			"SELECT * FROM orders_%d WHERE batch = 'round-%d' ORDER BY RAND();\nSELECT name FROM users_%d u JOIN teams t ON u.team_id = t.id WHERE t.tag = 'r%d'",
+			round, round, round, round)
+		var (
+			wg      sync.WaitGroup
+			start   = make(chan struct{})
+			reports [callers][]byte
+			errs    [callers]error
+		)
+		for g := 0; g < callers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				rs, err := checker.CheckWorkloads(context.Background(),
+					[]Workload{{SQL: sql}})
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				reports[g], errs[g] = json.Marshal(rs[0])
+			}(g)
+		}
+		close(start) // release the stampede
+		wg.Wait()
+		for g := 0; g < callers; g++ {
+			if errs[g] != nil {
+				t.Fatal(errs[g])
+			}
+			if string(reports[g]) != string(reports[0]) {
+				t.Fatalf("round %d: caller %d report differs from caller 0\n0: %s\n%d: %s",
+					round, g, reports[0], g, reports[g])
+			}
+		}
+		// Cold-baseline equality for the round's shared report.
+		coldRep, err := New(Options{NoCoalesce: true}).CheckWorkloads(context.Background(),
+			[]Workload{{SQL: sql, NoReportCache: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldRaw, _ := json.Marshal(coldRep[0])
+		if string(reports[0]) != string(coldRaw) {
+			t.Fatalf("round %d: stampede report differs from cold baseline\nwarm: %s\ncold: %s",
+				round, reports[0], coldRaw)
+		}
+	}
+
+	m := checker.Metrics()
+	merged = m.Coalesce.Singleflight + m.ReportCache.Hits
+	// Every round ran callers batches over one identity: exactly one
+	// leader per identity, everyone else merged in flight or was served
+	// the stored report after the leader finished.
+	if want := int64(rounds * (callers - 1)); merged != want {
+		t.Errorf("singleflight (%d) + cache hits (%d) = %d, want %d — some callers re-ran a concurrent identical analysis",
+			m.Coalesce.Singleflight, m.ReportCache.Hits, merged, want)
+	}
+	t.Logf("stampede absorption: %d singleflight merges, %d report-cache hits over %d rounds x %d callers (GOMAXPROCS=%d)",
+		m.Coalesce.Singleflight, m.ReportCache.Hits, rounds, callers, runtime.GOMAXPROCS(0))
+}

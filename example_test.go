@@ -112,6 +112,33 @@ func ExampleNewReportCache() {
 	// variant misses: 1
 }
 
+// Duplicate-heavy batches coalesce: one pipeline run per distinct
+// report identity, fanned out to every duplicate with byte-identical
+// results. Options.NoCoalesce opts out — the same reports, but one
+// pipeline run per workload.
+func ExampleOptions_noCoalesce() {
+	batch := make([]sqlcheck.Workload, 4)
+	for i := range batch {
+		batch[i] = sqlcheck.Workload{SQL: "SELECT * FROM t ORDER BY RAND()"}
+	}
+	ctx := context.Background()
+
+	coalescing := sqlcheck.New()
+	if _, err := coalescing.CheckWorkloads(ctx, batch); err != nil {
+		panic(err)
+	}
+	fmt.Println("duplicates coalesced:", coalescing.Metrics().Coalesce.InBatch)
+
+	cold := sqlcheck.New(sqlcheck.Options{NoCoalesce: true})
+	if _, err := cold.CheckWorkloads(ctx, batch); err != nil {
+		panic(err)
+	}
+	fmt.Println("with NoCoalesce:", cold.Metrics().Coalesce.InBatch)
+	// Output:
+	// duplicates coalesced: 3
+	// with NoCoalesce: 0
+}
+
 // Batched workloads: findings carry spans into the submitted script.
 func ExampleChecker_CheckWorkloads() {
 	checker := sqlcheck.New()

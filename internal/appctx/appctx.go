@@ -80,8 +80,8 @@ type Context struct {
 	DB *storage.Database
 
 	joinEdges      []JoinEdge
-	predicateCount map[string]int // "table\x00col" -> count of queries predicating on it
-	columnRefs     map[string]int // "table\x00col" -> reference count (any role)
+	predicateCount map[colKey]int // lower(table).lower(col) -> count of queries predicating on it
+	columnRefs     map[colKey]int // lower(table).lower(col) -> reference count (any role)
 	tableQueries   map[string][]int
 }
 
@@ -114,8 +114,8 @@ func BuildWithProfiles(stmts []sqlast.Statement, facts []*qanalyze.Facts, db *st
 		Schema:         schema.NewSchema(),
 		Profiles:       map[string]*profile.TableProfile{},
 		DB:             db,
-		predicateCount: map[string]int{},
-		columnRefs:     map[string]int{},
+		predicateCount: map[colKey]int{},
+		columnRefs:     map[colKey]int{},
 		tableQueries:   map[string][]int{},
 	}
 	ctx.Facts = facts
@@ -145,8 +145,15 @@ func BuildFromSQL(sqlText string, db *storage.Database, cfg Config) *Context {
 	return Build(parseAll(sqlText), db, cfg)
 }
 
-func key(table, col string) string {
-	return strings.ToLower(table) + "\x00" + strings.ToLower(col)
+// colKey is the comparable (table, column) aggregate-map key. A struct
+// key instead of a concatenated string: strings.ToLower returns its
+// input unchanged for already-lower names (the overwhelming case), so
+// building the key usually allocates nothing, where the former
+// "table\x00col" concatenation allocated on every probe.
+type colKey struct{ table, col string }
+
+func key(table, col string) colKey {
+	return colKey{strings.ToLower(table), strings.ToLower(col)}
 }
 
 // index derives the aggregate maps from facts.

@@ -66,6 +66,19 @@ type Options struct {
 	// set it so engines sharing one ReportCache under different such
 	// state never serve each other's reports.
 	ReportScope string
+	// NoCoalesce disables batch statement coalescing and the cold-miss
+	// singleflight. By default, workloads in one batch that share a
+	// report-cache identity (same fingerprint, byte-identical statement
+	// texts, same database state and configuration) run the pipeline
+	// once and share the result, and concurrent identical cold misses
+	// across batches merge onto one in-flight analysis. Both
+	// optimizations are output-transparent — reports stay
+	// byte-identical to the uncoalesced path — so the knob exists for
+	// benchmarking the raw pipeline and for debugging. Workloads opted
+	// out of memoization (Workload.NoMemo) never coalesce: their
+	// contract is a from-scratch analysis even for a byte-identical
+	// repeat.
+	NoCoalesce bool
 }
 
 // DefaultOptions returns the standard configuration (full inter-query

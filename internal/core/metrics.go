@@ -164,8 +164,27 @@ type EngineMetrics struct {
 	// Skips counts pipeline work elided by demand planning: stages
 	// that did not run because no enabled rule needed them.
 	Skips PhaseSkipStats `json:"skips"`
+	// Coalesce counts workloads served without a pipeline run because
+	// an identical workload ran in the same batch or was in flight
+	// concurrently. Zero when Options.NoCoalesce is set.
+	Coalesce CoalesceStats `json:"coalesce"`
 	// Phases holds per-phase latency histograms in pipeline order.
 	Phases []PhaseStats `json:"phases"`
+}
+
+// CoalesceStats counts pipeline runs avoided by statement coalescing.
+// Both counters are per avoided workload: a batch of eight identical
+// statements adds seven to InBatch.
+type CoalesceStats struct {
+	// InBatch counts workloads served by a same-batch leader: the
+	// batch contained another workload with the same report identity
+	// (fingerprint, byte-identical texts, database state,
+	// configuration), so the pipeline ran once for the group.
+	InBatch int64 `json:"in_batch"`
+	// Singleflight counts workloads that merged onto a concurrent
+	// identical analysis from another batch instead of running their
+	// own — the cold-miss stampede case.
+	Singleflight int64 `json:"singleflight"`
 }
 
 // PhaseSkipStats counts workloads whose compiled rule set let the
@@ -201,6 +220,10 @@ func (e *Engine) Metrics() EngineMetrics {
 			Profile:    e.skips.profile.Load(),
 			Snapshot:   e.skips.snapshot.Load(),
 			InterQuery: e.skips.interQuery.Load(),
+		},
+		Coalesce: CoalesceStats{
+			InBatch:      e.coalesce.inBatch.Load(),
+			Singleflight: e.coalesce.singleflight.Load(),
 		},
 		Phases: e.phases.snapshot(),
 	}

@@ -184,6 +184,34 @@ type Engine struct {
 	// skips counts demand-planning decisions: pipeline work not done
 	// because no enabled rule needed it.
 	skips phaseSkipCounters
+	// flights tracks in-flight cold analyses by report identity for
+	// the cross-batch singleflight: a stampede of concurrent identical
+	// cold misses analyzes once and fans the result out. Guarded by
+	// flightMu; entries live only while their leader runs.
+	flightMu sync.Mutex
+	flights  map[reportVariantKey]*flight
+	// coalesce counts the workloads served without running the
+	// pipeline because an identical workload was already running or
+	// ran in the same batch.
+	coalesce coalesceCounters
+}
+
+// flight is one in-flight cold analysis. done closes when the leader
+// finishes; res is the leader's result, nil when the leader failed
+// (context canceled) — waiters then retry for leadership.
+type flight struct {
+	done chan struct{}
+	res  *Result
+}
+
+// coalesceCounters tallies pipeline runs avoided by coalescing.
+type coalesceCounters struct {
+	// inBatch counts batch workloads served by a same-batch leader's
+	// result (the duplicate-heavy batch case).
+	inBatch atomic.Int64
+	// singleflight counts workloads that waited on — and were served
+	// by — a concurrent identical analysis from another batch.
+	singleflight atomic.Int64
 }
 
 // phaseSkipCounters tallies skipped work per planning decision.
@@ -232,6 +260,7 @@ func NewEngine(opts Options, concurrency int) *Engine {
 		registry:  NewRegistry(),
 		ruleSet:   rs,
 		rulesErr:  rsErr,
+		flights:   make(map[reportVariantKey]*flight),
 	}
 }
 
@@ -267,7 +296,45 @@ func (e *Engine) DetectWorkloads(ctx context.Context, ws []Workload) ([]*Result,
 		return nil, err
 	}
 	out := make([]*Result, len(planned))
-	err = e.workloads.each(ctx, len(planned), func(i int) {
+
+	// In-batch coalescing: workloads sharing a report identity (same
+	// fingerprint, byte-identical statement texts, same database state
+	// and configuration — exactly the report cache's hit condition)
+	// run the pipeline once. The first of each group leads; the rest
+	// share the leader's context and findings after the batch, each
+	// under its own script so finding spans rebind to its exact
+	// submitted text. Only memo-eligible cold misses group: a NoMemo
+	// workload's contract is a from-scratch analysis, and a memo hit
+	// has no pipeline run to share.
+	run := make([]int, 0, len(planned))
+	var followers map[int]int // follower index -> leader index
+	if e.opts.NoCoalesce {
+		for i := range planned {
+			run = append(run, i)
+		}
+	} else {
+		leaders := make(map[reportVariantKey]int, len(planned))
+		for i := range planned {
+			pw := &planned[i]
+			if !pw.canStore {
+				run = append(run, i)
+				continue
+			}
+			vk := reportVariantKey{key: pw.key, texts: pw.texts}
+			if li, ok := leaders[vk]; ok {
+				if followers == nil {
+					followers = make(map[int]int)
+				}
+				followers[i] = li
+				continue
+			}
+			leaders[vk] = i
+			run = append(run, i)
+		}
+	}
+
+	err = e.workloads.each(ctx, len(run), func(ri int) {
+		i := run[ri]
 		r, err := e.detectWorkload(ctx, planned[i])
 		if err != nil {
 			return // ctx canceled; surfaced below
@@ -276,6 +343,14 @@ func (e *Engine) DetectWorkloads(ctx context.Context, ws []Workload) ([]*Result,
 	})
 	if err != nil {
 		return nil, err
+	}
+	for fi, li := range followers {
+		lead := out[li]
+		if lead == nil {
+			continue // leader failed; only possible when ctx canceled
+		}
+		out[fi] = &Result{Context: lead.Context, Findings: lead.Findings, Script: planned[fi].script}
+		e.coalesce.inBatch.Add(1)
 	}
 	return out, nil
 }
@@ -442,10 +517,16 @@ func (e *Engine) memoConfig(override *profile.Options) appctx.Config {
 	return cfg
 }
 
-// detectWorkload runs the staged pipeline over one admitted workload.
-// Stages observe their wall time into the engine's phase histograms;
-// stages the workload's rule set does not demand are skipped (zero
-// observations) rather than run empty.
+// detectWorkload runs one admitted workload, merging concurrent
+// identical cold misses onto a single pipeline run (the cross-batch
+// singleflight): when another goroutine is already analyzing the same
+// report identity, this workload waits and shares that result instead
+// of parsing and evaluating the same statements again. Leaders hold
+// only a workload-pool slot while waiting is impossible (they run),
+// and waiters hold only a workload-pool slot while leaders consume
+// statement-pool slots — the pools are disjoint, so the wait cannot
+// deadlock. A waiter whose leader fails (context canceled) retries
+// for leadership rather than inheriting the failure.
 func (e *Engine) detectWorkload(ctx context.Context, pw plannedWorkload) (*Result, error) {
 	if pw.memo != nil {
 		// Admission hit: the finished report was memoized under this
@@ -453,6 +534,76 @@ func (e *Engine) detectWorkload(ctx context.Context, pw plannedWorkload) (*Resul
 		// runs; the caller rebinds spans through Script.
 		return &Result{Memo: pw.memo, Script: pw.script}, nil
 	}
+	if e.opts.NoCoalesce || !pw.canStore {
+		return e.runWorkload(ctx, pw)
+	}
+	vk := reportVariantKey{key: pw.key, texts: pw.texts}
+	for {
+		e.flightMu.Lock()
+		if other, ok := e.flights[vk]; ok {
+			e.flightMu.Unlock()
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-other.done:
+			}
+			if other.res != nil {
+				e.coalesce.singleflight.Add(1)
+				return &Result{Context: other.res.Context, Findings: other.res.Findings, Script: pw.script}, nil
+			}
+			continue // leader failed; retry for leadership
+		}
+		// No flight. The admission probe ran before this goroutine was
+		// scheduled, so a leader may have finished and stored in the
+		// gap — re-probe under the flight lock before re-running the
+		// whole pipeline. Flights are deregistered only after their
+		// report lands in the cache, so flight-then-cache misses both
+		// only when no identical analysis happened.
+		if payload, ok := e.reports.recheck(pw.key, pw.texts); ok {
+			e.flightMu.Unlock()
+			return &Result{Memo: payload, Script: pw.script}, nil
+		}
+		fl := &flight{done: make(chan struct{})}
+		e.flights[vk] = fl
+		e.flightMu.Unlock()
+
+		res, err := e.runWorkload(ctx, pw)
+		fl.res = res // written before done closes; nil on error
+		if res != nil && res.Store != nil {
+			// Keep the flight registered until the owner's Store call
+			// actually lands the report in the cache: between done
+			// closing and that store, new arrivals merge on the
+			// flight's result instead of finding neither a cache entry
+			// nor a flight and re-running the analysis. If the owner
+			// abandons the result (batch canceled mid-collection), the
+			// flight stays — serving the identical frozen-state report
+			// it holds, which is exactly what the cache entry would
+			// have served. The flight never outlives the store attempt:
+			// if the cache declines admission (variant bound, doorkeeper
+			// under memory pressure), later arrivals re-run rather than
+			// pinning an unbounded flight per declined literal variant.
+			store := res.Store
+			res.Store = func(payload any, cost int64) {
+				store(payload, cost)
+				e.flightMu.Lock()
+				delete(e.flights, vk)
+				e.flightMu.Unlock()
+			}
+		} else {
+			e.flightMu.Lock()
+			delete(e.flights, vk)
+			e.flightMu.Unlock()
+		}
+		close(fl.done)
+		return res, err
+	}
+}
+
+// runWorkload runs the staged pipeline over one admitted workload.
+// Stages observe their wall time into the engine's phase histograms;
+// stages the workload's rule set does not demand are skipped (zero
+// observations) rather than run empty.
+func (e *Engine) runWorkload(ctx context.Context, pw plannedWorkload) (*Result, error) {
 	w := pw.Workload
 	cfg := e.opts.Config
 	if w.Profile != nil {

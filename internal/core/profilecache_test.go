@@ -112,7 +112,13 @@ func TestProfileCacheEvictionAndDoorkeeper(t *testing.T) {
 // mutated table.
 func TestEngineProfileMemoization(t *testing.T) {
 	db := workloadDB(0)
-	eng := NewEngine(DefaultOptions(), 2)
+	// This test never calls res.Store, so without NoCoalesce the cold
+	// run's report-level flight would persist and serve the warm run
+	// whole — identical output, but the pipeline (and the profile
+	// cache under test) would never run again.
+	opts := DefaultOptions()
+	opts.NoCoalesce = true
+	eng := NewEngine(opts, 2)
 	if err := eng.Registry().Register("app", db); err != nil {
 		t.Fatal(err)
 	}

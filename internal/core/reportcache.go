@@ -220,6 +220,22 @@ func (c *ReportCache) lookup(key reportKey, texts string) (any, bool) {
 	return nil, false
 }
 
+// recheck is lookup without miss accounting: the singleflight re-probe
+// runs after the caller's admission probe already counted its miss, so
+// a second miss here would double-count one pipeline run. A hit still
+// counts — the caller really is served from the cache.
+func (c *ReportCache) recheck(key reportKey, texts string) (any, bool) {
+	vk := reportVariantKey{key: key, texts: texts}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[vk]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*reportEntry).payload, true
+	}
+	return nil, false
+}
+
 // add memoizes a report under the key and texts, applying the variant
 // bound and the admission and eviction policy.
 func (c *ReportCache) add(key reportKey, texts string, payload any, cost int64) {

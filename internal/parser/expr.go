@@ -269,7 +269,7 @@ func (p *parser) parsePrimary() sqlast.Expr {
 }
 
 func (p *parser) parseFuncCall() sqlast.Expr {
-	name := strings.ToUpper(p.identValue())
+	name := sqltoken.CanonUpper(p.identValue())
 	fc := &sqlast.FuncCall{Name: name}
 	p.acceptPunct("(")
 	if p.accept("DISTINCT") {
@@ -332,7 +332,7 @@ func stripString(s string) string {
 // rule code that needs to build predicates from text fragments.
 func ParseExpr(sql string) sqlast.Expr {
 	toks := sqltoken.LexSignificant(sql)
-	p := &parser{toks: toks, text: sql}
+	p := parser{toks: toks, text: sql}
 	return p.parseExpr()
 }
 

@@ -18,7 +18,7 @@ import (
 // Parse parses a single SQL statement.
 func Parse(sql string) sqlast.Statement {
 	toks := sqltoken.LexSignificant(sql)
-	p := &parser{toks: toks, text: sql}
+	p := parser{toks: toks, text: sql}
 	return p.parseStatement()
 }
 
@@ -122,7 +122,7 @@ func (p *parser) parseStatement() sqlast.Statement {
 	case t.Is("DROP"):
 		return p.parseDrop()
 	default:
-		verb := strings.ToUpper(t.Text)
+		verb := t.Upper() // interned for keyword verbs
 		return &sqlast.OtherStatement{Base: p.base(), Verb: verb}
 	}
 }
@@ -357,16 +357,22 @@ func (p *parser) parseTableRef() sqlast.TableRef {
 	return t
 }
 
-// nextClauseKeyword reports identifiers that actually begin the next
-// clause and therefore must not be eaten as aliases.
+// clauseKeywords are identifiers that actually begin the next clause
+// and therefore must not be eaten as aliases.
+var clauseKeywords = map[string]bool{
+	"WHERE": true, "GROUP": true, "ORDER": true, "HAVING": true,
+	"LIMIT": true, "OFFSET": true, "JOIN": true, "INNER": true,
+	"LEFT": true, "RIGHT": true, "FULL": true, "CROSS": true,
+	"ON": true, "UNION": true, "SET": true, "VALUES": true,
+	"RETURNING": true, "USING": true, "INTERSECT": true,
+	"EXCEPT": true, "AND": true, "OR": true,
+}
+
+// nextClauseKeyword reports whether the token begins the next clause.
+// Probed once per candidate alias, so the lookup folds in place
+// instead of upper-casing the token text.
 func nextClauseKeyword(t sqltoken.Token) bool {
-	switch t.Upper() {
-	case "WHERE", "GROUP", "ORDER", "HAVING", "LIMIT", "OFFSET", "JOIN",
-		"INNER", "LEFT", "RIGHT", "FULL", "CROSS", "ON", "UNION", "SET",
-		"VALUES", "RETURNING", "USING", "INTERSECT", "EXCEPT", "AND", "OR":
-		return true
-	}
-	return false
+	return sqltoken.LookupFold(clauseKeywords, t.Text)
 }
 
 // qualifiedName parses ident(.ident)* and returns the dotted form.
@@ -545,8 +551,8 @@ func (p *parser) parseCreateTable(temp bool) sqlast.Statement {
 // parseTableElement parses one column definition or table constraint.
 func (p *parser) parseTableElement(ct *sqlast.CreateTableStatement) bool {
 	t := p.cur()
-	switch t.Upper() {
-	case "PRIMARY", "FOREIGN", "UNIQUE", "CHECK", "CONSTRAINT":
+	if t.Is("PRIMARY") || t.Is("FOREIGN") || t.Is("UNIQUE") ||
+		t.Is("CHECK") || t.Is("CONSTRAINT") {
 		tc := p.parseTableConstraint()
 		if tc != nil {
 			ct.Constraints = append(ct.Constraints, *tc)
@@ -569,7 +575,7 @@ func (p *parser) parseTableElement(ct *sqlast.CreateTableStatement) bool {
 		ct.Columns = append(ct.Columns, col)
 		return true
 	}
-	col.Type = strings.ToUpper(typeName)
+	col.Type = sqltoken.CanonUpper(typeName)
 	switch col.Type {
 	case "DOUBLE":
 		if p.accept("PRECISION") {
@@ -729,12 +735,12 @@ func (p *parser) parseFKRef() *sqlast.ForeignKeyRef {
 	}
 	for p.cur().Is("ON") {
 		p.advance()
-		verb := strings.ToUpper(p.advance().Text) // DELETE or UPDATE
-		action := strings.ToUpper(p.advance().Text)
+		verb := p.advance().Upper() // DELETE or UPDATE
+		action := p.advance().Upper()
 		if action == "SET" {
-			action += " " + strings.ToUpper(p.advance().Text)
+			action += " " + p.advance().Upper()
 		} else if action == "NO" {
-			action += " " + strings.ToUpper(p.advance().Text)
+			action += " " + p.advance().Upper()
 		}
 		if verb == "DELETE" {
 			ref.OnDelete = action

@@ -127,71 +127,82 @@ const (
 	fpMarkSepStmt     = 0xFE // between statements
 )
 
+// fpScan is the fingerprint walk's state. A struct with methods
+// instead of a closure over locals: the flush closure boxed every
+// captured variable onto the heap, and fingerprinting is the hot probe
+// of the report cache's serving path. The struct lives on
+// FingerprintScript's stack; only the returned ScriptPrint escapes.
+type fpScan struct {
+	input    string
+	sp       ScriptPrint
+	h        fpHasher
+	begin    int
+	line     int
+	literals []LitSpan // absolute offsets until flush
+}
+
+// flush closes the statement begun at s.begin, if any, ending at end.
+func (s *fpScan) flush(end int) {
+	if s.begin < 0 {
+		return
+	}
+	start := s.begin
+	s.begin = -1
+	text := trimLexSpace(s.input[start:end])
+	if text == "" {
+		s.literals = s.literals[:0]
+		return
+	}
+	// start is a significant token's start, so there is nothing to
+	// trim on the left and Start == start; only trailing whitespace
+	// before the semicolon (or EOF) is dropped.
+	st := StmtPrint{Text: text, Start: start, End: start + len(text), Line: s.line}
+	for _, l := range s.literals {
+		// An unterminated string literal runs to EOF and can swallow
+		// the trailing whitespace the trim just dropped — clamp so
+		// spans always index Text.
+		ls, le := l.Start-start, l.End-start
+		if le > len(text) {
+			le = len(text)
+		}
+		if ls >= le {
+			continue
+		}
+		st.Literals = append(st.Literals, LitSpan{Start: ls, End: le})
+	}
+	s.literals = s.literals[:0]
+	s.sp.Stmts = append(s.sp.Stmts, st)
+	s.h.byte(fpMarkSepStmt)
+}
+
 // FingerprintScript lexes input once and returns its normalized
 // fingerprint together with the statement texts SplitStatements would
 // produce and the literal positions inside each. FingerprintScript
 // never fails; unparseable bytes hash as their raw text, so every
 // input has a stable fingerprint.
 func FingerprintScript(input string) *ScriptPrint {
-	sp := &ScriptPrint{}
-	h := newFPHasher()
-	var (
-		depth    int
-		begin    = -1
-		line     int
-		literals []LitSpan // absolute offsets until flush
-	)
-	flush := func(end int) {
-		if begin < 0 {
-			return
-		}
-		start := begin
-		begin = -1
-		text := trimLexSpace(input[start:end])
-		if text == "" {
-			literals = nil
-			return
-		}
-		// start is a significant token's start, so there is nothing to
-		// trim on the left and Start == start; only trailing whitespace
-		// before the semicolon (or EOF) is dropped.
-		st := StmtPrint{Text: text, Start: start, End: start + len(text), Line: line}
-		for _, l := range literals {
-			// An unterminated string literal runs to EOF and can swallow
-			// the trailing whitespace the trim just dropped — clamp so
-			// spans always index Text.
-			s, e := l.Start-start, l.End-start
-			if e > len(text) {
-				e = len(text)
-			}
-			if s >= e {
-				continue
-			}
-			st.Literals = append(st.Literals, LitSpan{Start: s, End: e})
-		}
-		literals = nil
-		sp.Stmts = append(sp.Stmts, st)
-		h.byte(fpMarkSepStmt)
-	}
+	s := fpScan{input: input, h: newFPHasher(), begin: -1}
+	var depth int
 	// Stream tokens straight off the lexer: fingerprinting is the hot
 	// probe of the report cache's serving path, and materializing the
 	// token slice Lex returns would dominate it.
-	l := &lexer{src: input, line: 1}
+	l := lexer{src: input, line: 1}
 	for {
 		t := l.next()
 		switch {
 		case t.Kind == TokenEOF:
-			flush(t.Pos)
-			sp.Fingerprint = Fingerprint{Hi: h.h1, Lo: h.h2}
-			return sp
+			s.flush(t.Pos)
+			s.sp.Fingerprint = Fingerprint{Hi: s.h.h1, Lo: s.h.h2}
+			out := s.sp
+			return &out
 		case t.Kind == TokenWhitespace || t.Kind == TokenComment:
 			// normalized away; does not begin a statement
 		case t.IsPunct(";") && depth == 0:
-			flush(t.Pos)
+			s.flush(t.Pos)
 		default:
-			if begin < 0 {
-				begin = t.Pos
-				line = t.Line
+			if s.begin < 0 {
+				s.begin = t.Pos
+				s.line = t.Line
 			}
 			if t.IsPunct("(") {
 				depth++
@@ -200,21 +211,21 @@ func FingerprintScript(input string) *ScriptPrint {
 			}
 			switch t.Kind {
 			case TokenNumber:
-				h.byte(fpMarkNumber)
-				literals = append(literals, LitSpan{Start: t.Pos, End: t.Pos + len(t.Text)})
+				s.h.byte(fpMarkNumber)
+				s.literals = append(s.literals, LitSpan{Start: t.Pos, End: t.Pos + len(t.Text)})
 			case TokenString:
-				h.byte(fpMarkString)
-				literals = append(literals, LitSpan{Start: t.Pos, End: t.Pos + len(t.Text)})
+				s.h.byte(fpMarkString)
+				s.literals = append(s.literals, LitSpan{Start: t.Pos, End: t.Pos + len(t.Text)})
 			case TokenPlaceholder:
-				h.byte(fpMarkPlaceholder)
+				s.h.byte(fpMarkPlaceholder)
 			case TokenKeyword, TokenIdent:
-				h.upperStr(t.Text)
+				s.h.upperStr(t.Text)
 			default:
 				// Quoted identifiers (case-sensitive), operators,
 				// punctuation, and unclassified bytes hash verbatim.
-				h.str(t.Text)
+				s.h.str(t.Text)
 			}
-			h.byte(fpMarkSepToken)
+			s.h.byte(fpMarkSepToken)
 		}
 	}
 }

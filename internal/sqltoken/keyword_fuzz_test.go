@@ -1,0 +1,93 @@
+package sqltoken
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzKeywordFold pins the zero-allocation fold machinery
+// byte-equivalent to the strings.ToUpper formulations it replaced on
+// the lexer and parser hot paths:
+//
+//	isKeywordFold(w)    == keywords[strings.ToUpper(w)]
+//	LookupFold(set, w)  == set[strings.ToUpper(w)]
+//	CanonUpper(w)       == strings.ToUpper(w)
+//	asciiEqualFold(w,U) == (strings.ToUpper(w) == U) for upper-ASCII U
+//
+// The interesting corners are Unicode: strings.ToUpper maps a few
+// non-ASCII runes onto ASCII letters (ſ → S, ı → I), so a matcher that
+// byte-rejected high bytes would classify "ſelect" differently from
+// the old lexer. Seeds cover those runes, every keyword case mix, and
+// buffer-length boundaries.
+func FuzzKeywordFold(f *testing.F) {
+	seeds := []string{
+		"", "select", "SELECT", "SeLeCt", "from", "where",
+		"auto_increment", "AUTO_INCREMENT", "autoincrement",
+		"not_a_keyword", "users", "tbl0", "_x", "x$y",
+		"ſelect", "ıs", "ſ", "ı", "İ", "straße", "Ärger",
+		"exiſtſ", "dıstınct", "tranſaction",
+		"exactly_16_chars", "longer_than_the_fold_buffer_word",
+		"ſſſſſſſſſſſſſſſſſ", // >16 bytes, shrinks under ToUpper
+		"SELECT\x00FROM", "sel\xffect", "\x80\x81",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, w string) {
+		upper := strings.ToUpper(w)
+
+		if got, want := isKeywordFold(w), keywords[upper]; got != want {
+			t.Errorf("isKeywordFold(%q) = %v, keywords[ToUpper] = %v", w, got, want)
+		}
+		if got, want := LookupFold(keywords, w), keywords[upper]; got != want {
+			t.Errorf("LookupFold(keywords, %q) = %v, want %v", w, got, want)
+		}
+		if got := CanonUpper(w); got != upper {
+			t.Errorf("CanonUpper(%q) = %q, strings.ToUpper = %q", w, got, upper)
+		}
+
+		// asciiEqualFold against a sample of upper-ASCII patterns,
+		// including the fold of w itself when that is upper ASCII.
+		patterns := []string{"SELECT", "AUTO_INCREMENT", "IS", ""}
+		if isUpperASCII(upper) {
+			patterns = append(patterns, upper)
+		}
+		for _, p := range patterns {
+			if got, want := asciiEqualFold(w, p), upper == p; got != want {
+				t.Errorf("asciiEqualFold(%q, %q) = %v, want %v", w, p, got, want)
+			}
+		}
+
+		// The lexer's keyword classification must agree with a lexer
+		// that still used the ToUpper lookup: lex the word alone and
+		// check the first token's kind when it is identifier-shaped.
+		if w != "" && isIdentStart(w[0]) {
+			identLike := true
+			for i := 0; i < len(w); i++ {
+				if !isIdentPart(w[i]) {
+					identLike = false
+					break
+				}
+			}
+			if identLike {
+				toks := Lex(w)
+				want := TokenIdent
+				if keywords[upper] {
+					want = TokenKeyword
+				}
+				if toks[0].Kind != want {
+					t.Errorf("Lex(%q)[0].Kind = %v, want %v", w, toks[0].Kind, want)
+				}
+			}
+		}
+	})
+}
+
+func isUpperASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 || ('a' <= s[i] && s[i] <= 'z') {
+			return false
+		}
+	}
+	return true
+}

@@ -8,8 +8,8 @@ import (
 // that cannot be classified becomes TokenOther tokens. The returned
 // slice always ends with a TokenEOF token.
 func Lex(input string) []Token {
-	l := &lexer{src: input, line: 1}
-	var toks []Token
+	l := lexer{src: input, line: 1}
+	toks := make([]Token, 0, len(input)/4+4)
 	for {
 		t := l.next()
 		toks = append(toks, t)
@@ -21,17 +21,21 @@ func Lex(input string) []Token {
 
 // LexSignificant tokenizes input and drops whitespace and comment
 // tokens, which most analyses do not care about. The trailing EOF
-// token is retained.
+// token is retained. Insignificant tokens are skipped as they stream
+// off the lexer — no intermediate full-token slice is built.
 func LexSignificant(input string) []Token {
-	all := Lex(input)
-	out := all[:0:0]
-	for _, t := range all {
+	l := lexer{src: input, line: 1}
+	toks := make([]Token, 0, len(input)/6+4)
+	for {
+		t := l.next()
 		if t.Kind == TokenWhitespace || t.Kind == TokenComment {
 			continue
 		}
-		out = append(out, t)
+		toks = append(toks, t)
+		if t.Kind == TokenEOF {
+			return toks
+		}
 	}
-	return out
 }
 
 type lexer struct {
@@ -119,7 +123,7 @@ func (l *lexer) next() Token {
 		}
 		word := l.src[start:l.pos]
 		kind := TokenIdent
-		if keywords[strings.ToUpper(word)] {
+		if isKeywordFold(word) {
 			kind = TokenKeyword
 		}
 		return l.tok(kind, start, startLine)
@@ -280,7 +284,7 @@ func isIdentPart(c byte) bool {
 // statements retain their original text (without the terminating
 // semicolon).
 func SplitStatements(input string) []string {
-	toks := Lex(input)
+	l := lexer{src: input, line: 1}
 	var (
 		stmts []string
 		depth int
@@ -296,10 +300,14 @@ func SplitStatements(input string) []string {
 		}
 		begin = -1
 	}
-	for _, t := range toks {
+	// Tokens stream straight off the lexer; splitting never needs the
+	// full token slice.
+	for {
+		t := l.next()
 		switch {
 		case t.Kind == TokenEOF:
 			flush(t.Pos)
+			return stmts
 		case t.Kind == TokenWhitespace || t.Kind == TokenComment:
 			// does not begin a statement
 		case t.IsPunct(";") && depth == 0:
@@ -315,5 +323,4 @@ func SplitStatements(input string) []string {
 			}
 		}
 	}
-	return stmts
 }

@@ -67,16 +67,19 @@ type Token struct {
 }
 
 // Upper returns the token text upper-cased; useful for keyword and
-// identifier comparison since SQL is case-insensitive.
-func (t Token) Upper() string { return strings.ToUpper(t.Text) }
+// identifier comparison since SQL is case-insensitive. Keywords, type
+// names, and other interned words return a shared canonical string
+// without allocating (see CanonUpper).
+func (t Token) Upper() string { return CanonUpper(t.Text) }
 
 // Is reports whether the token is a keyword or identifier whose
 // upper-cased text equals word (which must be given upper-cased).
+// Allocation-free: the comparison folds in place.
 func (t Token) Is(word string) bool {
 	if t.Kind != TokenKeyword && t.Kind != TokenIdent {
 		return false
 	}
-	return t.Upper() == word
+	return asciiEqualFold(t.Text, word)
 }
 
 // IsPunct reports whether the token is punctuation with the given text.

@@ -134,6 +134,20 @@ type Options struct {
 	// one NewReportCache to share the fast path process-wide; workloads
 	// opt out per request with Workload.NoReportCache.
 	ReportCache *ReportCache
+	// NoCoalesce disables batch statement coalescing and the cold-miss
+	// singleflight. By default a CheckWorkloads batch analyzes each
+	// distinct workload once — workloads sharing a report identity
+	// (same normalized fingerprint, byte-identical statement texts,
+	// same database state and configuration) run the pipeline a single
+	// time and fan the result out — and identical cold misses arriving
+	// concurrently from different batches merge onto one in-flight
+	// analysis. Both optimizations are output-transparent: reports stay
+	// byte-identical to the uncoalesced path, so the knob exists for
+	// benchmarking the raw pipeline and for debugging. Workloads that
+	// set Workload.NoReportCache never coalesce; their contract is a
+	// from-scratch analysis even for a byte-identical repeat. Avoided
+	// pipeline runs are counted in Metrics().Coalesce.
+	NoCoalesce bool
 }
 
 // Cache is a process-shareable parsed-statement cache, bounded by
@@ -493,6 +507,18 @@ func (c *Checker) CheckWorkloads(ctx context.Context, workloads []Workload) ([]*
 	if err != nil {
 		return nil, err
 	}
+	// Coalesced workloads (same-batch duplicates and singleflight
+	// merges) share one detection result: their Context pointers are
+	// identical. Count the sharing up front so the report build — the
+	// ranking and fix synthesis — also runs once per shared result,
+	// with every sharer served its own clone.
+	sharedCount := make(map[*appctx.Context]int)
+	for _, res := range results {
+		if res.Context != nil {
+			sharedCount[res.Context]++
+		}
+	}
+	var masters map[*appctx.Context]*Report // span-free, for shared results
 	reports := make([]*Report, len(results))
 	for i, res := range results {
 		if res.Memo != nil {
@@ -505,11 +531,24 @@ func (c *Checker) CheckWorkloads(ctx context.Context, workloads []Workload) ([]*
 			reports[i] = rep
 			continue
 		}
-		rep := c.buildReport(res)
-		if res.Store != nil {
-			// Memoize a span-free deep copy: spans are rebound per serve,
-			// and the caller's mutations must never reach the cache.
-			res.Store(cloneReport(rep), reportMemCost(rep))
+		var rep *Report
+		if master, ok := masters[res.Context]; ok {
+			rep = cloneReport(master)
+		} else {
+			rep = c.buildReport(res)
+			if res.Store != nil {
+				// Memoize a span-free deep copy: spans are rebound per
+				// serve, and the caller's mutations must never reach the
+				// cache. Only the coalescing leader carries a Store hook,
+				// so a shared result memoizes once.
+				res.Store(cloneReport(rep), reportMemCost(rep))
+			}
+			if sharedCount[res.Context] > 1 {
+				if masters == nil {
+					masters = make(map[*appctx.Context]*Report)
+				}
+				masters[res.Context] = cloneReport(rep)
+			}
 		}
 		setSpans(rep, res.Script)
 		reports[i] = rep
@@ -600,6 +639,13 @@ type PoolStats = core.PoolStats
 // PhaseStats is one pipeline phase's latency histogram.
 type PhaseStats = core.PhaseStats
 
+// CoalesceStats counts pipeline runs avoided by batch statement
+// coalescing (Metrics().Coalesce): InBatch for workloads served by a
+// same-batch leader, Singleflight for workloads merged onto a
+// concurrent identical analysis. Both stay zero under
+// Options.NoCoalesce.
+type CoalesceStats = core.CoalesceStats
+
 // engine lazily builds the Checker's shared analysis engine.
 func (c *Checker) engine() *core.Engine {
 	c.engineOnce.Do(func() {
@@ -637,6 +683,7 @@ func (c *Checker) coreOptions() core.Options {
 	if c.opts.ReportCache != nil {
 		opts.SharedReportCache = c.opts.ReportCache.inner
 	}
+	opts.NoCoalesce = c.opts.NoCoalesce
 	// The ranking configuration shapes scores and query ordering inside
 	// finished reports but is invisible to the engine, so it rides in
 	// the report-cache key as an opaque scope: Checkers with different
