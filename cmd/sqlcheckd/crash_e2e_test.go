@@ -1,0 +1,362 @@
+package main
+
+// Out-of-process lifecycle e2e: build the real sqlcheckd binary, run
+// it against a data directory, and exercise the two exits — kill -9
+// (recovery must replay the WAL back to byte-identical reports) and
+// SIGTERM (drain, checkpoint, exit 0, replay nothing on restart).
+// Skipped under -short; CI runs them in the crash-recovery job.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildDaemon compiles the daemon binary once per test process, into
+// a directory TestMain removes after the run (t.TempDir would reclaim
+// it when the first test using it finishes).
+var buildOnce struct {
+	sync.Once
+	dir string
+	bin string
+	err error
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if buildOnce.dir != "" {
+		os.RemoveAll(buildOnce.dir)
+	}
+	os.Exit(code)
+}
+
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "sqlcheckd-e2e-")
+		if err != nil {
+			buildOnce.err = err
+			return
+		}
+		buildOnce.dir = dir
+		bin := filepath.Join(dir, "sqlcheckd")
+		out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+		if err != nil {
+			buildOnce.err = fmt.Errorf("go build: %v\n%s", err, out)
+			return
+		}
+		buildOnce.bin = bin
+	})
+	if buildOnce.err != nil {
+		t.Fatal(buildOnce.err)
+	}
+	return buildOnce.bin
+}
+
+// daemon is one running sqlcheckd process plus its captured stderr.
+type daemon struct {
+	cmd *exec.Cmd
+	url string
+
+	mu     sync.Mutex
+	stderr []string
+	// readDone closes when the stderr scanner hits EOF; Wait must not
+	// run before it (Wait closes the pipe out from under the reader).
+	readDone chan struct{}
+}
+
+var listenRE = regexp.MustCompile(`sqlcheckd listening on (\S+)$`)
+
+func startDaemon(t *testing.T, bin, dataDir string, extra ...string) *daemon {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-shutdown-timeout", "10s"}, extra...)
+	d := &daemon{cmd: exec.Command(bin, args...), readDone: make(chan struct{})}
+	pipe, err := d.cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if d.cmd.ProcessState == nil {
+			d.cmd.Process.Kill()
+			d.cmd.Wait()
+		}
+	})
+	listening := make(chan string, 1)
+	go func() {
+		defer close(d.readDone)
+		sc := bufio.NewScanner(pipe)
+		for sc.Scan() {
+			line := sc.Text()
+			d.mu.Lock()
+			d.stderr = append(d.stderr, line)
+			d.mu.Unlock()
+			if m := listenRE.FindStringSubmatch(line); m != nil {
+				select {
+				case listening <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-listening:
+		d.url = "http://" + addr
+	case <-time.After(15 * time.Second):
+		d.cmd.Process.Kill()
+		t.Fatalf("daemon did not announce a listen address; stderr:\n%s", d.log())
+	}
+	return d
+}
+
+func (d *daemon) log() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return strings.Join(d.stderr, "\n")
+}
+
+// sigterm stops the daemon gracefully and asserts exit code 0.
+func (d *daemon) sigterm(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	<-d.readDone
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("SIGTERM exit: %v; stderr:\n%s", err, d.log())
+	}
+	if code := d.cmd.ProcessState.ExitCode(); code != 0 {
+		t.Fatalf("SIGTERM exit code = %d, want 0; stderr:\n%s", code, d.log())
+	}
+}
+
+// sigkill is the crash: no drain, no checkpoint, no WAL close.
+func (d *daemon) sigkill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-d.readDone
+	d.cmd.Wait() // "signal: killed" is the point, not an error
+}
+
+func (d *daemon) post(t *testing.T, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(d.url+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	raw := readAll(t, resp)
+	return resp, raw
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return buf.Bytes()
+}
+
+func execInsert(url string, id int) error {
+	body := fmt.Sprintf(`{"sql":"INSERT INTO tenants VALUES (%d, 'tenant-%d', 'U%d,U%d,U%d')"}`,
+		id, id, id, id+20, id+40)
+	resp, err := http.Post(url+"/api/databases/app/exec", "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return fmt.Errorf("exec id %d: status %d: %s", id, resp.StatusCode, buf.String())
+	}
+	return nil
+}
+
+func tableRows(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url + "/api/databases/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /api/databases/app: %d %s", resp.StatusCode, raw)
+	}
+	var info DatabaseInfo
+	if err := json.Unmarshal(raw, &info); err != nil {
+		t.Fatal(err)
+	}
+	return info.Tables[0].Rows
+}
+
+// TestCrashRecoveryE2E is the tentpole gate: kill -9 the daemon
+// mid-traffic and demand the restarted process serve the exact state —
+// and the exact report bytes — the acknowledged writes imply.
+func TestCrashRecoveryE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("out-of-process e2e skipped in -short")
+	}
+	bin := buildDaemon(t)
+	dataDir := t.TempDir()
+
+	// Phase 1: deterministic prefix. Register, apply 25 acknowledged
+	// INSERTs, then crash. Every ack rode an fsynced WAL append, so the
+	// recovered database must hold exactly fixture + 25 rows.
+	d1 := startDaemon(t, bin, dataDir)
+	resp, raw := d1.post(t, "/api/databases/app", fmt.Sprintf(`{"fixture": %q}`, tenantsFixture()))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, raw)
+	}
+	for id := 21; id <= 45; id++ {
+		if err := execInsert(d1.url, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d1.sigkill(t)
+
+	d2 := startDaemon(t, bin, dataDir)
+	if rows := tableRows(t, d2.url); rows != 45 {
+		t.Fatalf("rows after crash recovery = %d, want 45", rows)
+	}
+	// 1 register + 25 execs, no checkpoint happened before the crash.
+	if log := d2.log(); !strings.Contains(log, "recovered 1 database(s) (0 from checkpoint, 26 WAL records replayed)") {
+		t.Errorf("recovery log missing replay summary:\n%s", log)
+	}
+
+	// Byte-identity gate: an in-process reference built from the same
+	// fixture + the same 25 statements must produce the same report
+	// bytes as the recovered daemon — schema, profiles, findings,
+	// ranking, everything.
+	check := `{"workloads":[{"sql":"SELECT * FROM tenants WHERE user_ids LIKE '%U5%'","db":"app"}]}`
+	resp, recovered := d2.post(t, "/api/check", check)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("check on recovered daemon: %d %s", resp.StatusCode, recovered)
+	}
+	ref, _ := e2eServer(t)
+	registerFixture(t, ref, "app", tenantsFixture())
+	for id := 21; id <= 45; id++ {
+		if err := execInsert(ref.URL, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refResp, reference := do(t, "POST", ref.URL+"/api/check", check)
+	if refResp.StatusCode != http.StatusOK {
+		t.Fatal("reference check failed")
+	}
+	if !bytes.Equal(recovered, reference) {
+		t.Errorf("recovered report differs from reference\nrecovered: %s\nreference: %s", recovered, reference)
+	}
+
+	// Phase 2: crash mid-stream under concurrent writers. Acked writes
+	// are durable; unacked ones may or may not land — so the invariant
+	// is acked <= recovered <= sent.
+	var acked, sent atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for id := base; ; id++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sent.Add(1)
+				if err := execInsert(d2.url, id); err != nil {
+					return // the crash severs in-flight requests
+				}
+				acked.Add(1)
+			}
+		}(100 + g*1000)
+	}
+	for acked.Load() < 40 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	d2.sigkill(t)
+	close(stop)
+	wg.Wait()
+
+	d3 := startDaemon(t, bin, dataDir)
+	rows := int64(tableRows(t, d3.url))
+	lo, hi := 45+acked.Load(), 45+sent.Load()
+	if rows < lo || rows > hi {
+		t.Errorf("rows after mid-stream crash = %d, want %d <= rows <= %d (acked/sent bound)", rows, lo, hi)
+	}
+	d3.sigterm(t)
+}
+
+// TestGracefulShutdownE2E: SIGTERM drains, checkpoints, and exits 0;
+// the next start recovers everything from the checkpoint with zero
+// WAL replay.
+func TestGracefulShutdownE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("out-of-process e2e skipped in -short")
+	}
+	bin := buildDaemon(t)
+	dataDir := t.TempDir()
+
+	d1 := startDaemon(t, bin, dataDir)
+	resp, raw := d1.post(t, "/api/databases/app", fmt.Sprintf(`{"fixture": %q}`, tenantsFixture()))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, raw)
+	}
+	for id := 21; id <= 30; id++ {
+		if err := execInsert(d1.url, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A few in-flight checks racing the signal must either complete
+	// with a full 200 response or fail at the connection — never a
+	// truncated body or a 5xx.
+	var wg sync.WaitGroup
+	check := `{"workloads":[{"sql":"SELECT * FROM tenants WHERE user_ids LIKE '%U5%'","db":"app"}]}`
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(d1.url+"/api/check", "application/json", strings.NewReader(check))
+			if err != nil {
+				return // refused by the closed listener: fine
+			}
+			raw := readAll(t, resp)
+			if resp.StatusCode != http.StatusOK || !json.Valid(raw) {
+				t.Errorf("drained request: status %d, body %s", resp.StatusCode, raw)
+			}
+		}()
+	}
+	d1.sigterm(t)
+	wg.Wait()
+	if log := d1.log(); !strings.Contains(log, "shutdown complete") || !strings.Contains(log, "draining in-flight requests") {
+		t.Errorf("graceful shutdown log incomplete:\n%s", log)
+	}
+
+	d2 := startDaemon(t, bin, dataDir)
+	if rows := tableRows(t, d2.url); rows != 30 {
+		t.Errorf("rows after graceful restart = %d, want 30", rows)
+	}
+	// Close checkpointed, so recovery is O(checkpoint): nothing to replay.
+	if log := d2.log(); !strings.Contains(log, "recovered 1 database(s) (1 from checkpoint, 0 WAL records replayed)") {
+		t.Errorf("restart after clean shutdown should replay nothing:\n%s", log)
+	}
+	d2.sigterm(t)
+}

@@ -1,0 +1,203 @@
+package main
+
+// Durable-registry daemon tests: the exec endpoint that mutates a
+// registered database through the logged write path, and an
+// in-process stop/reopen roundtrip asserting the registry — and the
+// reports served off it — survive a restart byte-identically. The
+// out-of-process kill -9 variant lives in crash_e2e_test.go.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sqlcheck"
+)
+
+// durableServer opens a checker on dir and serves it; the caller owns
+// Close ordering (server first, then checker) so restarts can reuse
+// the directory mid-test.
+func durableServer(t *testing.T, dir string) (*httptest.Server, *sqlcheck.Checker) {
+	t.Helper()
+	checker, err := sqlcheck.Open(sqlcheck.Options{DataDir: dir})
+	if err != nil {
+		t.Fatalf("open data dir: %v", err)
+	}
+	return httptest.NewServer(NewHandler(checker)), checker
+}
+
+func TestExecEndpoint(t *testing.T) {
+	srv, _ := e2eServer(t)
+	info := registerFixture(t, srv, "app", tenantsFixture())
+	if info.Tables[0].Rows != 20 {
+		t.Fatalf("fixture rows = %d", info.Tables[0].Rows)
+	}
+
+	resp, raw := do(t, "POST", srv.URL+"/api/databases/app/exec",
+		`{"sql":"INSERT INTO tenants VALUES (21, 'tenant-21', 'U1,U2,U3'); DELETE FROM tenants WHERE id = 1"}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("exec: status = %d, body %s", resp.StatusCode, raw)
+	}
+	var after DatabaseInfo
+	if err := json.Unmarshal(raw, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Tables[0].Rows != 20 {
+		t.Errorf("rows after insert+delete = %d, want 20", after.Tables[0].Rows)
+	}
+
+	cases := []struct {
+		name, url, body string
+		wantStatus      int
+		wantContains    string
+	}{
+		{"malformed json", "/api/databases/app/exec", `{bad`, 400, "malformed JSON"},
+		{"empty sql", "/api/databases/app/exec", `{"sql":"  "}`, 400, "sql required"},
+		{"unknown db", "/api/databases/ghost/exec", `{"sql":"SELECT 1"}`, 404, "unknown database"},
+		{"failing statement", "/api/databases/app/exec", `{"sql":"INSERT INTO missing VALUES (1)"}`, 400, "exec:"},
+	}
+	for _, c := range cases {
+		resp, raw := do(t, "POST", srv.URL+c.url, c.body)
+		if resp.StatusCode != c.wantStatus || !strings.Contains(string(raw), c.wantContains) {
+			t.Errorf("%s: status = %d body = %s, want %d containing %q",
+				c.name, resp.StatusCode, raw, c.wantStatus, c.wantContains)
+		}
+	}
+
+	// Per-statement atomicity: the failing script above stopped at its
+	// only statement; a half-failing script keeps its applied prefix.
+	resp, raw = do(t, "POST", srv.URL+"/api/databases/app/exec",
+		`{"sql":"INSERT INTO tenants VALUES (22, 'tenant-22', 'U4'); INSERT INTO missing VALUES (1)"}`)
+	if resp.StatusCode != 400 {
+		t.Fatalf("half-failing exec: status = %d, body %s", resp.StatusCode, raw)
+	}
+	_, raw = do(t, "GET", srv.URL+"/api/databases/app", "")
+	if err := json.Unmarshal(raw, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Tables[0].Rows != 21 {
+		t.Errorf("rows after partial script = %d, want 21 (prefix stays applied)", after.Tables[0].Rows)
+	}
+}
+
+// TestDurableRegistryRestartRoundtrip is the in-process version of the
+// crash e2e: register + exec through the HTTP surface, close cleanly,
+// reopen the same directory, and demand the registry — schema, rows,
+// and the reports memoized off its profiles — come back byte-identical
+// with zero replay (Close checkpointed).
+func TestDurableRegistryRestartRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	srv, checker := durableServer(t, dir)
+	if r := checker.Recovery(); r.Databases != 0 || r.Replayed != 0 || r.Warning != "" {
+		t.Fatalf("fresh dir recovery = %+v", r)
+	}
+	registerFixture(t, srv, "app", tenantsFixture())
+	resp, raw := do(t, "POST", srv.URL+"/api/databases/app/exec",
+		`{"sql":"UPDATE tenants SET name = 'renamed' WHERE id = 7; INSERT INTO tenants VALUES (21, 'tenant-21', 'U9,U9,U9')"}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("exec: %d %s", resp.StatusCode, raw)
+	}
+
+	check := `{"workloads":[{"sql":"SELECT * FROM tenants WHERE user_ids LIKE '%U5%'","db":"app"}]}`
+	resp, baseline := do(t, "POST", srv.URL+"/api/check", check)
+	if resp.StatusCode != 200 {
+		t.Fatalf("baseline check: %d", resp.StatusCode)
+	}
+	_, infoRaw := do(t, "GET", srv.URL+"/api/databases/app", "")
+
+	// The durability counters are on the wire: 1 register + 2 execs.
+	_, prom := do(t, "GET", srv.URL+"/metrics", "")
+	for _, want := range []string{
+		"sqlcheck_wal_records_total 3",
+		"sqlcheck_wal_replayed_total 0",
+		"sqlcheck_checkpoint_total 0",
+		"sqlcheck_checkpoint_pending_records 3",
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+
+	srv.Close()
+	if err := checker.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	srv2, checker2 := durableServer(t, dir)
+	defer func() {
+		srv2.Close()
+		if err := checker2.Close(); err != nil {
+			t.Errorf("second close: %v", err)
+		}
+	}()
+	r := checker2.Recovery()
+	if r.Databases != 1 || r.FromCheckpoint != 1 || r.Replayed != 0 || r.Warning != "" {
+		t.Fatalf("recovery after clean close = %+v, want 1 tenant from checkpoint, 0 replayed", r)
+	}
+	_, infoRaw2 := do(t, "GET", srv2.URL+"/api/databases/app", "")
+	if !bytes.Equal(infoRaw, infoRaw2) {
+		t.Errorf("database info drifted across restart\nbefore: %s\nafter:  %s", infoRaw, infoRaw2)
+	}
+	resp, raw = do(t, "POST", srv2.URL+"/api/check", check)
+	if resp.StatusCode != 200 || !bytes.Equal(raw, baseline) {
+		t.Errorf("report drifted across restart (status %d)\nbefore: %s\nafter:  %s", resp.StatusCode, baseline, raw)
+	}
+
+	// The recovered handle is still durable: exec keeps logging.
+	resp, raw = do(t, "POST", srv2.URL+"/api/databases/app/exec", `{"sql":"DELETE FROM tenants WHERE id = 21"}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("exec after restart: %d %s", resp.StatusCode, raw)
+	}
+	m := daemonMetrics(t, srv2)
+	if m.Durability == nil || m.Durability.Records != 1 {
+		t.Errorf("durability metrics after restart = %+v, want 1 appended record", m.Durability)
+	}
+}
+
+// TestDurableUnregisterSurvivesRestart: deleting a tenant is itself
+// durable — after restart the name must stay gone, not resurrect from
+// the checkpoint.
+func TestDurableUnregisterSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, checker := durableServer(t, dir)
+	registerFixture(t, srv, "keep", tenantsFixture())
+	registerFixture(t, srv, "drop", tenantsFixture())
+	if err := checker.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := do(t, "DELETE", srv.URL+"/api/databases/drop", "")
+	if resp.StatusCode != 204 {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+	srv.Close()
+	if err := checker.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, checker2 := durableServer(t, dir)
+	defer func() { srv2.Close(); checker2.Close() }()
+	if got := checker2.RegisteredDatabases(); len(got) != 1 || got[0] != "keep" {
+		t.Errorf("registered after restart = %v, want [keep]", got)
+	}
+	resp, _ = do(t, "GET", srv2.URL+"/api/databases/drop", "")
+	if resp.StatusCode != 404 {
+		t.Errorf("dropped tenant resurrected: status %d", resp.StatusCode)
+	}
+}
+
+// TestNewPanicsOnDataDir pins the constructor contract: the lazy New
+// cannot surface recovery errors, so a DataDir there is a programming
+// bug, caught loudly.
+func TestNewPanicsOnDataDir(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("New with DataDir did not panic")
+		} else if !strings.Contains(fmt.Sprint(r), "Open constructor") {
+			t.Fatalf("panic = %v", r)
+		}
+	}()
+	sqlcheck.New(sqlcheck.Options{DataDir: t.TempDir()})
+}

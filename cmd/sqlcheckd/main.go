@@ -24,6 +24,11 @@
 //	POST   /api/databases/{name}  {"fixture": "<DDL+DML>"}
 //	  -> 201 + table/row summary; 409 when the name exists,
 //	     400 when the fixture fails
+//	POST   /api/databases/{name}/exec  {"sql": "<DDL+DML>"}
+//	  -> 200 + table/row summary — executes statements against the
+//	     registered database's live handle (the remote-tenant write
+//	     path; durable when -data-dir is set); 404 unknown name,
+//	     400 on statement errors
 //	GET    /api/databases         -> all registered databases
 //	GET    /api/databases/{name}  -> one database (404 unknown)
 //	DELETE /api/databases/{name}  -> 204 (404 unknown)
@@ -40,8 +45,15 @@
 // single bounded worker pool and parsed-AST cache instead of
 // oversubscribing the host; client disconnects cancel the analysis.
 //
+// With -data-dir the registry is durable: registrations and every
+// statement executed through /api/databases/{name}/exec are logged to
+// a write-ahead log under that directory and recovered on the next
+// start, with periodic checkpoints bounding replay. SIGTERM/SIGINT
+// drains in-flight requests, takes a final checkpoint, and exits 0.
+//
 // Flags: -addr (default :8686), -mode, -weights, -concurrency,
-// -cache-bytes.
+// -cache-bytes, -report-cache-bytes, -data-dir, -checkpoint-every,
+// -shutdown-timeout.
 package main
 
 import (
@@ -51,9 +63,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"sqlcheck"
 )
@@ -66,13 +82,18 @@ func main() {
 		concurrency = flag.Int("concurrency", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 		cacheBytes  = flag.Int64("cache-bytes", 64<<20, "parsed-statement cache budget in estimated resident bytes")
 		reportBytes = flag.Int64("report-cache-bytes", 32<<20, "memoized-report cache budget in estimated resident bytes (the serving fast path)")
+		dataDir     = flag.String("data-dir", "", "durable registry directory: WAL + checkpoints, recovered on start (empty = in-memory only)")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "WAL records between automatic checkpoints (0 = default 1024, negative disables)")
+		drainWait   = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown deadline for draining in-flight requests")
 	)
 	flag.Parse()
 
 	opts := sqlcheck.Options{
-		Concurrency: *concurrency,
-		SharedCache: sqlcheck.NewCache(*cacheBytes),
-		ReportCache: sqlcheck.NewReportCache(*reportBytes),
+		Concurrency:     *concurrency,
+		SharedCache:     sqlcheck.NewCache(*cacheBytes),
+		ReportCache:     sqlcheck.NewReportCache(*reportBytes),
+		DataDir:         *dataDir,
+		CheckpointEvery: *ckptEvery,
 	}
 	if *mode == "intra" {
 		opts.Mode = sqlcheck.IntraQuery
@@ -80,12 +101,65 @@ func main() {
 	if *weights == "c2" {
 		opts.Weights = sqlcheck.Hybrid
 	}
-	srv := &http.Server{Addr: *addr, Handler: NewHandler(sqlcheck.New(opts))}
-	log.Printf("sqlcheckd listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+	checker, err := sqlcheck.Open(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sqlcheckd: opening durable registry: %v\n", err)
+		os.Exit(1)
+	}
+	if *dataDir != "" {
+		rec := checker.Recovery()
+		log.Printf("sqlcheckd: durable registry at %s: recovered %d database(s) (%d from checkpoint, %d WAL records replayed)",
+			*dataDir, rec.Databases, rec.FromCheckpoint, rec.Replayed)
+		if rec.Warning != "" {
+			log.Printf("sqlcheckd: recovery warning: %s", rec.Warning)
+		}
+	}
+
+	// Listen before announcing, and announce the resolved address: with
+	// -addr 127.0.0.1:0 the kernel picks the port, and supervisors (and
+	// the crash-recovery e2e) parse it from this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "sqlcheckd: %v\n", err)
 		os.Exit(1)
 	}
+	srv := &http.Server{Handler: NewHandler(checker)}
+	log.Printf("sqlcheckd listening on %s", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	// Graceful shutdown: on SIGTERM/SIGINT stop accepting, drain
+	// in-flight requests up to the deadline (draining the analysis
+	// worker pools with them), then checkpoint and close the WAL so the
+	// next start replays nothing. Exit 0 on a clean drain.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigCh:
+		log.Printf("sqlcheckd: received %s, draining in-flight requests", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("sqlcheckd: drain deadline exceeded, closing anyway: %v", err)
+		}
+		cancel()
+		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "sqlcheckd: %v\n", err)
+			os.Exit(1)
+		}
+	case err := <-serveErr:
+		// Serve failed on its own (listener error) — not a shutdown.
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "sqlcheckd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if err := checker.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "sqlcheckd: closing durable registry: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("sqlcheckd: shutdown complete")
 }
 
 // CheckRequest is the POST /api/check payload: a single query script,
@@ -128,6 +202,16 @@ type RegisterRequest struct {
 	// Fixture is the DDL+DML script that builds the database, executed
 	// exactly once at registration.
 	Fixture string `json:"fixture"`
+}
+
+// ExecRequest is the POST /api/databases/{name}/exec payload.
+type ExecRequest struct {
+	// SQL is a DDL+DML script executed statement by statement against
+	// the registered database's live handle, under its single-writer
+	// lock. Execution stops at the first failing statement; prior
+	// statements stay applied (and logged, when the registry is
+	// durable) — per-statement atomicity, not script atomicity.
+	SQL string `json:"sql"`
 }
 
 // TableInfo summarizes one table of a registered database.
@@ -214,6 +298,28 @@ func NewHandler(checker *sqlcheck.Checker) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusCreated, databaseInfo(name, db))
+	})
+	mux.HandleFunc("POST /api/databases/{name}/exec", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		var req ExecRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "malformed JSON: " + err.Error()})
+			return
+		}
+		if strings.TrimSpace(req.SQL) == "" {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "sql required"})
+			return
+		}
+		db := checker.RegisteredDatabase(name)
+		if db == nil {
+			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown database %q", name)})
+			return
+		}
+		if err := db.ExecScript(req.SQL); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "exec: " + err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, databaseInfo(name, db))
 	})
 	mux.HandleFunc("GET /api/databases/{name}", func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")

@@ -81,6 +81,15 @@ func writePrometheus(w io.Writer, m sqlcheck.Metrics) {
 	pool("statements", m.Statements)
 	pool("workloads", m.Workloads)
 
+	if d := m.Durability; d != nil {
+		counter("sqlcheck_wal_records_total", "WAL records appended by this process (register, exec, unregister).", d.Records)
+		counter("sqlcheck_wal_replayed_total", "WAL records applied during startup recovery.", d.Replayed)
+		counter("sqlcheck_wal_append_errors_total", "Statements applied in memory that failed to reach the log (durability degraded).", d.AppendErrors)
+		counter("sqlcheck_checkpoint_total", "Checkpoints completed by this process.", d.Checkpoints)
+		gauge("sqlcheck_checkpoint_pending_records", "WAL records appended since the last checkpoint (replay delta on crash).", d.SinceCheckpoint)
+		gauge("sqlcheck_checkpoint_last_unix_seconds", "Completion time of the newest checkpoint (0 = none yet).", d.LastCheckpointUnix)
+	}
+
 	fmt.Fprint(w, "# HELP sqlcheck_phase_seconds Wall time per pipeline phase per workload.\n# TYPE sqlcheck_phase_seconds histogram\n")
 	for _, ph := range m.Phases {
 		for _, b := range ph.Buckets {

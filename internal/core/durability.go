@@ -1,0 +1,112 @@
+package core
+
+// Engine-level durability surface: opening a data directory attaches
+// a wal.Store to the registry, which recovers the tenants a previous
+// process registered and logs everything this process does to them.
+// Durability is opt-in and entirely off the read path — workload
+// serving, snapshotting, and report memoization never touch the log.
+
+import (
+	"sqlcheck/internal/storage/wal"
+)
+
+// DurabilityConfig tunes the engine's durable registry.
+type DurabilityConfig struct {
+	// CheckpointEvery is the appended-record count that triggers a
+	// background checkpoint; 0 uses the wal package default, negative
+	// disables automatic checkpoints.
+	CheckpointEvery int
+	// NoSync skips fsync on appends (test-only).
+	NoSync bool
+	// Logf receives recovery warnings; nil uses the standard logger.
+	Logf func(format string, args ...any)
+}
+
+// RecoverySummary reports what OpenDurability reconstructed.
+type RecoverySummary struct {
+	// Databases is the recovered tenant count now in the registry.
+	Databases int `json:"databases"`
+	// FromCheckpoint counts tenants loaded from the checkpoint file.
+	FromCheckpoint int `json:"from_checkpoint"`
+	// Replayed counts WAL records applied on top of the checkpoint.
+	Replayed int `json:"replayed"`
+	// Warning is non-empty when replay stopped at a corrupt record;
+	// the registry reflects everything up to the last valid one.
+	Warning string `json:"warning,omitempty"`
+}
+
+// OpenDurability opens (creating if needed) a data directory, rebuilds
+// the registry from its checkpoint and WAL, and routes every future
+// registry mutation through the log. Must be called once, before the
+// engine serves traffic; calling it on an engine that already has a
+// store is an error in the caller (the public API prevents it).
+func (e *Engine) OpenDurability(dir string, cfg DurabilityConfig) (RecoverySummary, error) {
+	store, info, err := wal.Open(dir, wal.Config{
+		CheckpointEvery: cfg.CheckpointEvery,
+		NoSync:          cfg.NoSync,
+		Logf:            cfg.Logf,
+	})
+	if err != nil {
+		return RecoverySummary{}, err
+	}
+	e.registry.AttachStore(store, info.Databases)
+	return RecoverySummary{
+		Databases:      len(info.Databases),
+		FromCheckpoint: info.CheckpointTenants,
+		Replayed:       info.Replayed,
+		Warning:        info.Warning,
+	}, nil
+}
+
+// Checkpoint forces a synchronous checkpoint: every tenant's state is
+// serialized to the checkpoint file and superseded WAL segments are
+// pruned. A no-op (nil) without durability.
+func (e *Engine) Checkpoint() error {
+	if s := e.registry.Store(); s != nil {
+		return s.Checkpoint()
+	}
+	return nil
+}
+
+// Close takes a final checkpoint and closes the WAL. A no-op (nil)
+// without durability. Callers should quiesce exec traffic first.
+func (e *Engine) Close() error {
+	if s := e.registry.Store(); s != nil {
+		return s.Close()
+	}
+	return nil
+}
+
+// DurabilityStats mirrors wal.Stats for the metrics snapshot.
+type DurabilityStats struct {
+	// Records counts WAL records appended by this process and Replayed
+	// the records applied during startup recovery.
+	Records  int64 `json:"records"`
+	Replayed int64 `json:"replayed"`
+	// Checkpoints counts checkpoints completed by this process;
+	// SinceCheckpoint is the pending replay delta in records;
+	// LastCheckpointUnix is the newest completion time (0 = none yet).
+	Checkpoints        int64 `json:"checkpoints"`
+	SinceCheckpoint    int64 `json:"since_checkpoint"`
+	LastCheckpointUnix int64 `json:"last_checkpoint_unix"`
+	// AppendErrors counts statements that applied in memory but failed
+	// to reach the log — each one is durability silently degraded.
+	AppendErrors int64 `json:"append_errors"`
+}
+
+// durabilityStats snapshots the attached store, or nil without one.
+func (e *Engine) durabilityStats() *DurabilityStats {
+	s := e.registry.Store()
+	if s == nil {
+		return nil
+	}
+	st := s.Stats()
+	return &DurabilityStats{
+		Records:            st.Records,
+		Replayed:           st.Replayed,
+		Checkpoints:        st.Checkpoints,
+		SinceCheckpoint:    st.SinceCheckpoint,
+		LastCheckpointUnix: st.LastCheckpointUnix,
+		AppendErrors:       st.AppendErrors,
+	}
+}

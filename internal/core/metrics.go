@@ -170,6 +170,9 @@ type EngineMetrics struct {
 	Coalesce CoalesceStats `json:"coalesce"`
 	// Phases holds per-phase latency histograms in pipeline order.
 	Phases []PhaseStats `json:"phases"`
+	// Durability snapshots the WAL/checkpoint counters when the engine
+	// was opened with a data directory; nil for in-memory engines.
+	Durability *DurabilityStats `json:"durability,omitempty"`
 }
 
 // CoalesceStats counts pipeline runs avoided by statement coalescing.
@@ -225,6 +228,7 @@ func (e *Engine) Metrics() EngineMetrics {
 			InBatch:      e.coalesce.inBatch.Load(),
 			Singleflight: e.coalesce.singleflight.Load(),
 		},
-		Phases: e.phases.snapshot(),
+		Phases:     e.phases.snapshot(),
+		Durability: e.durabilityStats(),
 	}
 }

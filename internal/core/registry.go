@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"sqlcheck/internal/storage"
+	"sqlcheck/internal/storage/wal"
 )
 
 // Registry lookup and registration errors. Servers map these to HTTP
@@ -31,8 +32,13 @@ var (
 // registered database always do so through a Snapshot, never the
 // handle itself.
 type Registry struct {
-	mu     sync.RWMutex
-	dbs    map[string]*storage.Database
+	mu  sync.RWMutex
+	dbs map[string]*storage.Database
+	// store, when attached, makes the registry durable: Register and
+	// Unregister write WAL records through it, and the commit hooks it
+	// installs log every mutating statement executed against a
+	// registered handle. Nil for the default pure in-memory registry.
+	store  *wal.Store
 	hits   atomic.Int64
 	misses atomic.Int64
 }
@@ -65,6 +71,14 @@ func (r *Registry) Register(name string, db *storage.Database) error {
 	if _, ok := r.dbs[name]; ok {
 		return fmt.Errorf("%w: %q", ErrDatabaseExists, name)
 	}
+	if r.store != nil {
+		// Durable-first: the register record (full encoded state) must
+		// be on disk before the name resolves, or a crash between the
+		// two could acknowledge a tenant that recovery cannot rebuild.
+		if err := r.store.Register(name, db); err != nil {
+			return fmt.Errorf("sqlcheck: registering %q durably: %w", name, err)
+		}
+	}
 	r.dbs[name] = db
 	return nil
 }
@@ -75,11 +89,39 @@ func (r *Registry) Unregister(name string) bool {
 	name = canonName(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.dbs[name]; !ok {
+	db, ok := r.dbs[name]
+	if !ok {
 		return false
+	}
+	if r.store != nil {
+		// Appends the unregister record under the database writer lock,
+		// so it serializes after every in-flight statement's exec
+		// record, and uninstalls the commit hook.
+		r.store.Unregister(name, db)
 	}
 	delete(r.dbs, name)
 	return true
+}
+
+// AttachStore makes the registry durable: it adopts the tenants the
+// store recovered (commit hooks already installed) and routes every
+// subsequent Register/Unregister through the store. Must be called
+// before the registry starts serving.
+func (r *Registry) AttachStore(s *wal.Store, recovered map[string]*storage.Database) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.store = s
+	for name, db := range recovered {
+		r.dbs[canonName(name)] = db
+	}
+}
+
+// Store returns the attached durability store, or nil for a pure
+// in-memory registry.
+func (r *Registry) Store() *wal.Store {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.store
 }
 
 // Get returns the live handle for a name without touching the

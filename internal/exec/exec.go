@@ -26,13 +26,32 @@ type Result struct {
 // the database. Each statement runs under the database's single-writer
 // lock, so concurrent callers serialize per statement and snapshots
 // (storage.Database.Snapshot) observe statement-atomic states.
+//
+// When the database carries a commit hook (storage.SetCommitHook, set
+// by the durability layer), Run invokes it after every successfully
+// applied mutating statement, still under the writer lock — the hook
+// appends the statement's WAL record and fsyncs, so a nil return from
+// Run means the mutation is both applied and durable. A hook error is
+// surfaced to the caller: the in-memory mutation stands, but it was
+// not made durable. Replay is deterministic because each statement
+// runs with its own fixed-seed Rand.
 func Run(db *storage.Database, stmt sqlast.Statement) (*Result, error) {
 	if db != nil {
 		db.Lock()
 		defer db.Unlock()
 	}
 	ex := &executor{db: db, rand: NewRand(0xfeed)}
-	return ex.exec(stmt)
+	res, err := ex.exec(stmt)
+	if err == nil && db != nil && !db.Frozen() {
+		if _, readOnly := stmt.(*sqlast.SelectStatement); !readOnly {
+			if hook := db.CommitHook(); hook != nil {
+				if herr := hook(stmt.Raw()); herr != nil {
+					return res, fmt.Errorf("exec: statement applied but not made durable: %w", herr)
+				}
+			}
+		}
+	}
+	return res, err
 }
 
 // RunSQL is a convenience wrapper that executes one SQL string.

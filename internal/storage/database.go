@@ -37,6 +37,18 @@ type Database struct {
 	// an integer compare instead of a content diff.
 	id      uint64
 	version uint64
+	// commitHook, when set, is invoked by the executor after each
+	// successfully applied mutating statement, while the writer lock is
+	// still held — the durability layer appends the statement's WAL
+	// record there. Guarded by mu; snapshots never carry it (they are
+	// frozen, so nothing fires it).
+	commitHook func(sql string) error
+	// durableLSN is the log sequence number of the last WAL record
+	// reflected in this database's state. Guarded by mu on live
+	// handles; Snapshot copies it, so a snapshot carries the exact
+	// watermark of the state it froze — the checkpoint writer relies on
+	// that pairing being atomic.
+	durableLSN uint64
 }
 
 // NewDatabase creates an empty database.
@@ -67,6 +79,25 @@ func (db *Database) Unlock() { db.mu.Unlock() }
 
 // Frozen reports whether the database is a read-only snapshot view.
 func (db *Database) Frozen() bool { return db.frozen }
+
+// SetCommitHook installs (or, with nil, removes) the post-statement
+// durability hook. Callers must hold the writer lock or have
+// exclusive ownership of the handle.
+func (db *Database) SetCommitHook(h func(sql string) error) { db.commitHook = h }
+
+// CommitHook returns the installed durability hook, or nil. The
+// executor reads it under the writer lock it already holds.
+func (db *Database) CommitHook() func(sql string) error { return db.commitHook }
+
+// SetDurableLSN records the WAL sequence number of the last record
+// reflected in this database's state. Must be called under the writer
+// lock (the executor's commit hook already holds it).
+func (db *Database) SetDurableLSN(lsn uint64) { db.durableLSN = lsn }
+
+// DurableLSN returns the durability watermark. On a live handle it
+// must be read under the writer lock; on a snapshot it is immutable
+// and pairs atomically with the frozen state.
+func (db *Database) DurableLSN() uint64 { return db.durableLSN }
 
 // AddTable registers a table with the database, wiring it for foreign
 // key resolution.

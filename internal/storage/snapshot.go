@@ -81,9 +81,14 @@ func (db *Database) Snapshot() *Database {
 		out.AddTable(db.tables[k].snapshotLocked())
 	}
 	out.frozen = true
-	// The view keeps the source's identity and catalog version
-	// (NewDatabase/AddTable assigned fresh ones while building it).
+	// The view keeps the source's identity, catalog version, and
+	// durability watermark (NewDatabase/AddTable assigned fresh ones
+	// while building it). Copying durableLSN here, under the same lock
+	// hold that froze the pages, is what makes a snapshot a valid
+	// checkpoint unit: the watermark names exactly the WAL prefix this
+	// state reflects.
 	out.id = db.id
 	out.version = db.version
+	out.durableLSN = db.durableLSN
 	return out
 }

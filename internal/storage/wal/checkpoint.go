@@ -1,0 +1,135 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint file: a single heap file holding every tenant's encoded
+// snapshot plus the LSN watermarks that make replay idempotent. The
+// file is written to a temp name, fsynced, and renamed over the live
+// name, so a crash mid-checkpoint leaves the previous checkpoint (or
+// none) intact; the WAL segments it supersedes are pruned only after
+// the rename lands.
+//
+// Layout:
+//
+//	8-byte magic "SQCKPT01"
+//	uvarint registryLSN          — last registry op reflected here
+//	uvarint tenant count
+//	per tenant: name, uvarint dbLSN, uvarint blobLen, blob
+//	u32 CRC-32C over everything above
+const checkpointMagic = "SQCKPT01"
+
+const checkpointFile = "checkpoint"
+
+// checkpointEntry is one tenant in a checkpoint: its state snapshot
+// and the LSN of the last log record that state reflects.
+type checkpointEntry struct {
+	name string
+	lsn  uint64
+	blob []byte
+}
+
+type checkpoint struct {
+	registryLSN uint64
+	entries     []checkpointEntry
+}
+
+func writeCheckpoint(dir string, cp *checkpoint) error {
+	b := make([]byte, 0, 4096)
+	b = append(b, checkpointMagic...)
+	b = binary.AppendUvarint(b, cp.registryLSN)
+	b = binary.AppendUvarint(b, uint64(len(cp.entries)))
+	for _, e := range cp.entries {
+		b = appendString(b, e.name)
+		b = binary.AppendUvarint(b, e.lsn)
+		b = binary.AppendUvarint(b, uint64(len(e.blob)))
+		b = append(b, e.blob...)
+	}
+	crc := crc32.Checksum(b, castagnoli)
+	b = binary.LittleEndian.AppendUint32(b, crc)
+
+	tmp := filepath.Join(dir, checkpointFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, checkpointFile)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readCheckpoint loads and validates the checkpoint; ok=false when
+// none exists. A checkpoint that fails validation is an error, not a
+// warning: unlike a torn WAL tail (expected after a crash), the
+// checkpoint was fsynced before the WAL it supersedes was pruned, so
+// corruption here means the state cannot be reconstructed and serving
+// an empty registry would silently drop tenants.
+func readCheckpoint(dir string) (*checkpoint, bool, error) {
+	b, err := os.ReadFile(filepath.Join(dir, checkpointFile))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	if len(b) < len(checkpointMagic)+4 || string(b[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, false, fmt.Errorf("wal: checkpoint file is not a checkpoint (bad magic)")
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return nil, false, fmt.Errorf("wal: checkpoint file failed CRC validation")
+	}
+	r := &reader{b: body, off: len(checkpointMagic)}
+	cp := &checkpoint{registryLSN: r.uvarint()}
+	n := int(r.uvarint())
+	for i := 0; i < n && r.err == nil; i++ {
+		e := checkpointEntry{name: r.str(), lsn: r.uvarint()}
+		blobLen := int(r.uvarint())
+		if r.err == nil && (blobLen < 0 || r.off+blobLen > len(r.b)) {
+			r.fail()
+		}
+		if r.err == nil {
+			e.blob = body[r.off : r.off+blobLen]
+			r.off += blobLen
+		}
+		cp.entries = append(cp.entries, e)
+	}
+	if r.err != nil {
+		return nil, false, fmt.Errorf("wal: malformed checkpoint: %w", r.err)
+	}
+	if r.off != len(body) {
+		return nil, false, fmt.Errorf("wal: %d trailing bytes in checkpoint", len(body)-r.off)
+	}
+	return cp, true, nil
+}
+
+// syncDir fsyncs a directory so renames and removals within it are
+// durable. Best-effort on platforms where directories reject fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Logical record types. The log is logical, not physical: exec
+// records carry the original SQL text and replay re-executes it
+// through the deterministic executor, which is what keeps recovered
+// profiles byte-identical (per-statement fixed-seed Rand, identical
+// scan order) without serializing pages per statement.
+type recordType byte
+
+const (
+	// recRegister carries the tenant name and the full encoded database
+	// state at registration time — databases are built before they are
+	// registered, so their pre-registration history is not in the log.
+	recRegister recordType = 1
+	// recExec carries the tenant name and one successfully applied
+	// mutating statement's SQL text.
+	recExec recordType = 2
+	// recUnregister carries just the tenant name.
+	recUnregister recordType = 3
+)
+
+func encodeRegister(name string, state []byte) []byte {
+	b := make([]byte, 0, len(name)+len(state)+16)
+	b = append(b, byte(recRegister))
+	b = appendString(b, name)
+	b = binary.AppendUvarint(b, uint64(len(state)))
+	return append(b, state...)
+}
+
+func encodeExec(name, sql string) []byte {
+	b := make([]byte, 0, len(name)+len(sql)+16)
+	b = append(b, byte(recExec))
+	b = appendString(b, name)
+	return appendString(b, sql)
+}
+
+func encodeUnregister(name string) []byte {
+	b := make([]byte, 0, len(name)+8)
+	b = append(b, byte(recUnregister))
+	return appendString(b, name)
+}
+
+// record is one decoded logical record.
+type record struct {
+	typ   recordType
+	name  string
+	sql   string // recExec
+	state []byte // recRegister
+}
+
+func decodeRecord(payload []byte) (record, error) {
+	r := &reader{b: payload}
+	rec := record{typ: recordType(r.byte()), name: r.str()}
+	switch rec.typ {
+	case recRegister:
+		n := int(r.uvarint())
+		if r.err == nil && (n < 0 || r.off+n > len(r.b)) {
+			r.fail()
+		}
+		if r.err == nil {
+			rec.state = payload[r.off : r.off+n]
+			r.off += n
+		}
+	case recExec:
+		rec.sql = r.str()
+	case recUnregister:
+	default:
+		return rec, fmt.Errorf("wal: unknown record type %d", rec.typ)
+	}
+	if r.err != nil {
+		return rec, r.err
+	}
+	if r.off != len(r.b) {
+		return rec, fmt.Errorf("wal: %d trailing bytes in record", len(r.b)-r.off)
+	}
+	return rec, nil
+}

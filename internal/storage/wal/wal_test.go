@@ -1,0 +1,470 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"sqlcheck/internal/exec"
+	"sqlcheck/internal/storage"
+)
+
+// testConfig keeps unit tests fast (no fsync) and predictable (no
+// background checkpoints) while capturing warnings.
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{NoSync: true, CheckpointEvery: -1, Logf: t.Logf}
+}
+
+func mustOpen(t *testing.T, dir string, cfg Config) (*Store, *RecoverInfo) {
+	t.Helper()
+	s, info, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s, info
+}
+
+func mustExec(t *testing.T, db *storage.Database, sql string) {
+	t.Helper()
+	if _, err := exec.RunSQL(db, sql); err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+}
+
+// buildFixture creates a database exercising every value kind plus
+// primary key, secondary index, CHECK IN, foreign key, and deleted
+// rows (holes the codec must compact without reordering live rows).
+func buildFixture(t *testing.T) *storage.Database {
+	t.Helper()
+	db := storage.NewDatabase("app")
+	for _, s := range []string{
+		"CREATE TABLE users (id INT PRIMARY KEY, name VARCHAR(40) NOT NULL, score FLOAT, active BOOLEAN, joined TIMESTAMP, status VARCHAR(10) CHECK (status IN ('new','ok')))",
+		"CREATE INDEX users_name ON users (name)",
+		"CREATE TABLE orders (id INT PRIMARY KEY, user_id INT REFERENCES users(id), total FLOAT)",
+		"INSERT INTO users VALUES (1, 'ada', 1.5, TRUE, '2024-01-02 03:04:05', 'new')",
+		"INSERT INTO users VALUES (2, 'bob', NULL, FALSE, NULL, 'ok')",
+		"INSERT INTO users VALUES (3, 'eve', -2.25, TRUE, NULL, 'ok')",
+		"INSERT INTO orders VALUES (10, 1, 9.99)",
+		"INSERT INTO orders VALUES (11, 2, 0)",
+		"DELETE FROM users WHERE id = 3",
+	} {
+		mustExec(t, db, s)
+	}
+	return db
+}
+
+// encodeState is the observable-state equality oracle the recovery
+// tests compare with: the codec serializes schema plus live rows in
+// scan order, exactly what profiling observes.
+func encodeState(db *storage.Database) string {
+	return string(EncodeDatabase(db))
+}
+
+func TestCodecRoundtrip(t *testing.T) {
+	db := buildFixture(t)
+	blob := EncodeDatabase(db)
+	back, err := DecodeDatabase(blob)
+	if err != nil {
+		t.Fatalf("DecodeDatabase: %v", err)
+	}
+	if got := encodeState(back); got != string(blob) {
+		t.Fatalf("decode->re-encode not identical:\n got %q\nwant %q", got, string(blob))
+	}
+	// Constraints survive: the FK is enforced on the decoded handle.
+	if _, err := exec.RunSQL(back, "INSERT INTO orders VALUES (12, 99, 1)"); err == nil {
+		t.Fatal("decoded database accepted an FK-violating insert")
+	}
+	if _, err := exec.RunSQL(back, "INSERT INTO users VALUES (4, 'zed', 0, TRUE, NULL, 'bad-status')"); err == nil {
+		t.Fatal("decoded database accepted a CHECK-violating insert")
+	}
+	if _, err := exec.RunSQL(back, "INSERT INTO users VALUES (1, 'dup', 0, TRUE, NULL, 'ok')"); err == nil {
+		t.Fatal("decoded database accepted a duplicate primary key")
+	}
+}
+
+func TestRecoveryReplaysLog(t *testing.T) {
+	dir := t.TempDir()
+	s, info := mustOpen(t, dir, testConfig(t))
+	if len(info.Databases) != 0 || info.Replayed != 0 {
+		t.Fatalf("fresh dir recovered %+v", info)
+	}
+	db := buildFixture(t)
+	if err := s.Register("app", db); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	// Post-registration DML flows through the commit hook.
+	mustExec(t, db, "INSERT INTO users VALUES (5, 'kim', 7, TRUE, NULL, 'new')")
+	mustExec(t, db, "UPDATE orders SET total = 1.5 WHERE id = 11")
+	want := encodeState(db)
+	// Simulate a crash: close the log without a checkpoint so recovery
+	// exercises full replay.
+	if err := s.log.close(); err != nil {
+		t.Fatalf("log close: %v", err)
+	}
+
+	s2, info2 := mustOpen(t, dir, testConfig(t))
+	defer s2.log.close()
+	if info2.Warning != "" {
+		t.Fatalf("unexpected warning: %s", info2.Warning)
+	}
+	if info2.Replayed != 3 { // register + 2 exec records
+		t.Fatalf("replayed %d records, want 3", info2.Replayed)
+	}
+	got, ok := info2.Databases["app"]
+	if !ok {
+		t.Fatal("tenant not recovered")
+	}
+	if encodeState(got) != want {
+		t.Fatal("recovered state differs from pre-crash state")
+	}
+	if got.ID() == db.ID() {
+		t.Fatal("recovered database reused the origin ID of a prior incarnation")
+	}
+	// The recovered handle is live and durable: its hook must log.
+	before := s2.log.records.Load()
+	mustExec(t, got, "INSERT INTO users VALUES (6, 'lee', 0, FALSE, NULL, 'ok')")
+	if s2.log.records.Load() != before+1 {
+		t.Fatal("statement on recovered handle did not reach the log")
+	}
+}
+
+func TestRecoveryAfterUnregisterAndReregister(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, testConfig(t))
+	db1 := buildFixture(t)
+	if err := s.Register("app", db1); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db1, "INSERT INTO users VALUES (7, 'old', 0, TRUE, NULL, 'ok')")
+	s.Unregister("app", db1)
+	// The uninstalled hook must stop logging.
+	before := s.log.records.Load()
+	mustExec(t, db1, "INSERT INTO users VALUES (8, 'ghost', 0, TRUE, NULL, 'ok')")
+	if s.log.records.Load() != before {
+		t.Fatal("unregistered database still reached the log")
+	}
+	db2 := storage.NewDatabase("app")
+	mustExec(t, db2, "CREATE TABLE notes (id INT PRIMARY KEY, body TEXT)")
+	if err := s.Register("app", db2); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db2, "INSERT INTO notes VALUES (1, 'fresh tenant')")
+	want := encodeState(db2)
+	if err := s.log.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, info := mustOpen(t, dir, testConfig(t))
+	defer s2.log.close()
+	got, ok := info.Databases["app"]
+	if !ok {
+		t.Fatal("re-registered tenant not recovered")
+	}
+	if encodeState(got) != want {
+		t.Fatal("recovery resurrected the unregistered tenant's state")
+	}
+}
+
+func TestCheckpointBoundsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, testConfig(t))
+	db := buildFixture(t)
+	if err := s.Register("app", db); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO users VALUES (%d, 'u%d', 0, TRUE, NULL, 'ok')", 100+i, i))
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	// Recovery is O(delta): only post-checkpoint records replay.
+	mustExec(t, db, "INSERT INTO users VALUES (200, 'post', 0, TRUE, NULL, 'ok')")
+	want := encodeState(db)
+	if err := s.log.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, info := mustOpen(t, dir, testConfig(t))
+	defer s2.log.close()
+	if info.CheckpointTenants != 1 {
+		t.Fatalf("checkpoint tenants = %d, want 1", info.CheckpointTenants)
+	}
+	if info.Replayed != 1 {
+		t.Fatalf("replayed %d records after checkpoint, want 1", info.Replayed)
+	}
+	if encodeState(info.Databases["app"]) != want {
+		t.Fatal("checkpoint + tail replay diverged from pre-crash state")
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("checkpoint left %d segments, want 1 (pruned)", len(segs))
+	}
+}
+
+func TestCloseCheckpointsAndReplaysNothing(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, testConfig(t))
+	db := buildFixture(t)
+	if err := s.Register("app", db); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "INSERT INTO users VALUES (9, 'fin', 0, TRUE, NULL, 'ok')")
+	want := encodeState(db)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s2, info := mustOpen(t, dir, testConfig(t))
+	defer s2.log.close()
+	if info.Replayed != 0 {
+		t.Fatalf("clean shutdown still replayed %d records", info.Replayed)
+	}
+	if encodeState(info.Databases["app"]) != want {
+		t.Fatal("state after clean shutdown differs")
+	}
+}
+
+// TestCheckpointDuringDML is the checkpoint-vs-DML interleaving gate:
+// checkpoints taken while exec traffic runs must produce recovery
+// states identical to a quiesced checkpoint of the same history.
+func TestCheckpointDuringDML(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, testConfig(t))
+	db := storage.NewDatabase("app")
+	mustExec(t, db, "CREATE TABLE events (id INT PRIMARY KEY, tag TEXT)")
+	if err := s.Register("app", db); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, perWriter = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := w*perWriter + i
+				mustExec(t, db, fmt.Sprintf("INSERT INTO events VALUES (%d, 'w%d')", id, w))
+				if i%10 == 0 {
+					mustExec(t, db, fmt.Sprintf("UPDATE events SET tag = 'touched' WHERE id = %d", id))
+				}
+			}
+		}(w)
+	}
+	// Hammer checkpoints concurrently with the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			if err := s.Checkpoint(); err != nil {
+				t.Errorf("concurrent Checkpoint: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	want := encodeState(db)
+	if err := s.log.close(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery from the racing checkpoints + WAL tail.
+	s2, info := mustOpen(t, dir, testConfig(t))
+	if info.Warning != "" {
+		t.Fatalf("unexpected warning: %s", info.Warning)
+	}
+	if encodeState(info.Databases["app"]) != want {
+		t.Fatal("checkpoint taken under concurrent DML diverged from live state")
+	}
+	// And a quiesced checkpoint of the recovered state must agree too.
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, info3 := mustOpen(t, dir, testConfig(t))
+	defer s3.log.close()
+	if info3.Replayed != 0 {
+		t.Fatalf("quiesced checkpoint still left %d records to replay", info3.Replayed)
+	}
+	if encodeState(info3.Databases["app"]) != want {
+		t.Fatal("quiesced checkpoint state differs from concurrent-checkpoint state")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection corpus: every case must recover the valid prefix,
+// surface a warning, and never panic or half-apply a statement.
+// ---------------------------------------------------------------------------
+
+// corruptibleLog builds a store with a register + N exec records and
+// no checkpoint, closes it, and returns the directory, the path of
+// the single WAL segment, and the state with and without the final
+// statement applied.
+func corruptibleLog(t *testing.T) (dir, seg string, wantFull, wantPrefix string) {
+	t.Helper()
+	dir = t.TempDir()
+	s, _ := mustOpen(t, dir, testConfig(t))
+	db := storage.NewDatabase("app")
+	mustExec(t, db, "CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)")
+	if err := s.Register("app", db); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "INSERT INTO kv VALUES (1, 'one')")
+	wantPrefix = encodeState(db)
+	mustExec(t, db, "INSERT INTO kv VALUES (2, 'two')")
+	wantFull = encodeState(db)
+	if err := s.log.close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v (err %v), want exactly 1", segs, err)
+	}
+	return dir, filepath.Join(dir, segName(segs[0])), wantFull, wantPrefix
+}
+
+func reopenCorrupted(t *testing.T, dir string) (*RecoverInfo, []string) {
+	t.Helper()
+	var logged []string
+	cfg := Config{NoSync: true, CheckpointEvery: -1, Logf: func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+		t.Logf(format, args...)
+	}}
+	s, info := mustOpen(t, dir, cfg)
+	if err := s.log.close(); err != nil {
+		t.Fatal(err)
+	}
+	return info, logged
+}
+
+func TestFaultTruncatedMidRecord(t *testing.T) {
+	dir, seg, _, wantPrefix := corruptibleLog(t)
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop into the middle of the final record's payload.
+	if err := os.Truncate(seg, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	info, logged := reopenCorrupted(t, dir)
+	if info.Warning == "" || len(logged) == 0 {
+		t.Fatal("truncated tail recovered without a warning")
+	}
+	if !strings.Contains(info.Warning, "truncated record") {
+		t.Fatalf("warning %q does not name the truncation", info.Warning)
+	}
+	if got := encodeState(info.Databases["app"]); got != wantPrefix {
+		t.Fatal("recovery did not stop exactly at the last valid record")
+	}
+	// The corrupt tail was physically removed: a fresh reopen is clean.
+	info2, _ := reopenCorrupted(t, dir)
+	if info2.Warning != "" {
+		t.Fatalf("tail not truncated; second recovery warned: %s", info2.Warning)
+	}
+	if got := encodeState(info2.Databases["app"]); got != wantPrefix {
+		t.Fatal("second recovery diverged")
+	}
+}
+
+func TestFaultFlippedCRC(t *testing.T) {
+	dir, seg, _, wantPrefix := corruptibleLog(t)
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the final record.
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, logged := reopenCorrupted(t, dir)
+	if info.Warning == "" || len(logged) == 0 {
+		t.Fatal("CRC-corrupt record recovered without a warning")
+	}
+	if !strings.Contains(info.Warning, "CRC mismatch") {
+		t.Fatalf("warning %q does not name the CRC failure", info.Warning)
+	}
+	if got := encodeState(info.Databases["app"]); got != wantPrefix {
+		t.Fatal("recovery applied a record that failed its CRC")
+	}
+}
+
+func TestFaultDuplicatedTailRecord(t *testing.T) {
+	dir, seg, wantFull, _ := corruptibleLog(t)
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-append the final frame verbatim — a double-write crash. The
+	// duplicate's LSN is not greater than its predecessor's, so replay
+	// must stop before applying the statement twice.
+	tail := tailFrame(t, b)
+	if err := os.WriteFile(seg, append(b, tail...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, logged := reopenCorrupted(t, dir)
+	if info.Warning == "" || len(logged) == 0 {
+		t.Fatal("duplicated tail recovered without a warning")
+	}
+	if !strings.Contains(info.Warning, "duplicate or out-of-order") {
+		t.Fatalf("warning %q does not name the duplication", info.Warning)
+	}
+	if got := encodeState(info.Databases["app"]); got != wantFull {
+		t.Fatal("duplicate record was applied twice (or valid prefix lost)")
+	}
+}
+
+// tailFrame returns the final frame's bytes by walking the segment.
+func tailFrame(t *testing.T, b []byte) []byte {
+	t.Helper()
+	off := 0
+	for {
+		if off+frameHeaderLen > len(b) {
+			t.Fatal("segment ends mid-frame")
+		}
+		n := int(uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24)
+		next := off + frameHeaderLen + n
+		if next == len(b) {
+			return append([]byte(nil), b[off:]...)
+		}
+		if next > len(b) {
+			t.Fatal("segment ends mid-frame")
+		}
+		off = next
+	}
+}
+
+func TestFaultCorruptCheckpointIsHardError(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, testConfig(t))
+	db := storage.NewDatabase("app")
+	mustExec(t, db, "CREATE TABLE kv (k INT PRIMARY KEY)")
+	if err := s.Register("app", db); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, checkpointFile)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Unlike a torn WAL tail, a corrupt checkpoint cannot be recovered
+	// past — serving an empty registry would silently drop tenants.
+	if _, _, err := Open(dir, testConfig(t)); err == nil {
+		t.Fatal("corrupt checkpoint opened without error")
+	}
+}

@@ -1,0 +1,167 @@
+package sqlcheck
+
+// Registry re-registration race suite (run under -race by `make
+// test`): one goroutine cycles a name through Unregister/Register with
+// alternating database contents while checkers resolve workloads
+// against it concurrently. The lifecycle invariants under test:
+// in-flight batches finish on the handle they admitted with, a
+// re-registered name never serves the previous incarnation's memoized
+// report (the PR 5/6 cache keys must observe the new origin), and the
+// only error a reader may see is ErrUnknownDatabase in the gap between
+// unregister and re-register. This is the regression test for serving
+// a stale tenant's report after its name is recycled.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// reregFixture builds one of the two alternating database contents.
+// Variant A's tags column holds comma-separated lists (the
+// multi-valued-attribute data rule fires); variant B's holds atomic
+// values (it doesn't). The differing findings are what let the test
+// tell a stale report from a fresh one.
+func reregFixture(t testing.TB, variant string) *Database {
+	t.Helper()
+	db := NewDatabase("app")
+	db.MustExec(`CREATE TABLE users (id INT PRIMARY KEY, name TEXT, tags TEXT)`)
+	for i := 0; i < 40; i++ {
+		tags := fmt.Sprintf("T%d,T%d,T%d", i, i+7, i+13)
+		if variant == "B" {
+			tags = fmt.Sprintf("T%d", i)
+		}
+		db.MustExec(fmt.Sprintf(
+			`INSERT INTO users VALUES (%d, '%s-user-%d', '%s')`, i, variant, i, tags))
+	}
+	return db
+}
+
+func TestReRegistrationRace(t *testing.T) {
+	checker := New(Options{Concurrency: 4})
+	w := Workload{SQL: `SELECT * FROM users WHERE tags LIKE '%T9%'`, DBName: "app"}
+
+	// Quiesced baselines for both variants, via a throwaway checker so
+	// the racing checker's caches start cold.
+	baseline := map[string]string{}
+	for _, v := range []string{"A", "B"} {
+		ref := New(Options{Concurrency: 4})
+		if err := ref.RegisterDatabase("app", reregFixture(t, v)); err != nil {
+			t.Fatal(err)
+		}
+		baseline[v] = string(reportJSON(t, ref, w))
+	}
+	if baseline["A"] == baseline["B"] {
+		t.Fatal("fixture variants produced identical reports; the race would be vacuous")
+	}
+
+	if err := checker.RegisterDatabase("app", reregFixture(t, "A")); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		readers   = 4
+		perReader = 8
+	)
+	var (
+		stop    atomic.Bool
+		served  atomic.Int64
+		misses  atomic.Int64
+		cycles  int
+		wg      sync.WaitGroup
+		readWg  sync.WaitGroup
+		errc    = make(chan error, readers+1)
+		variant = func(i int) string {
+			if i%2 == 0 {
+				return "B"
+			}
+			return "A"
+		}
+	)
+
+	// Pre-build both incarnations so the unregister→register gap is as
+	// narrow as the registry itself, not fixture-construction time. The
+	// handles alternate for as long as the readers keep reading.
+	incarnations := []*Database{reregFixture(t, "B"), reregFixture(t, "A")}
+
+	// The cycler: tear the name down and put it back with the other
+	// contents, as fast as the registry allows, until the readers are
+	// done.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			if !checker.UnregisterDatabase("app") {
+				errc <- fmt.Errorf("cycle %d: name vanished before unregister", i)
+				return
+			}
+			if err := checker.RegisterDatabase("app", incarnations[i%2]); err != nil {
+				errc <- fmt.Errorf("cycle %d: re-register: %v", i, err)
+				return
+			}
+			cycles = i + 1
+		}
+	}()
+
+	// Readers: resolve by name throughout the churn. Any served report
+	// must byte-equal one of the two quiesced baselines — a third value
+	// would be a torn registration or a stale memoized report leaking
+	// across incarnations.
+	for g := 0; g < readers; g++ {
+		readWg.Add(1)
+		go func() {
+			defer readWg.Done()
+			// Loop until perReader reports were actually served: a miss
+			// (the unregister/re-register gap) doesn't count, so the
+			// serving path is guaranteed to be exercised every run.
+			for ok := 0; ok < perReader; {
+				reports, err := checker.CheckWorkloads(context.Background(), []Workload{w})
+				if err != nil {
+					if errors.Is(err, ErrUnknownDatabase) {
+						misses.Add(1)
+						continue
+					}
+					errc <- err
+					return
+				}
+				ok++
+				raw, err := json.Marshal(reports[0])
+				if err != nil {
+					errc <- err
+					return
+				}
+				if got := string(raw); got != baseline["A"] && got != baseline["B"] {
+					errc <- fmt.Errorf("served report matches neither incarnation:\n%s", got)
+					return
+				}
+				served.Add(1)
+			}
+		}()
+	}
+	readWg.Wait()
+	stop.Store(true)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if served.Load() == 0 {
+		t.Fatal("no reports served during the churn; race never exercised")
+	}
+	if cycles == 0 {
+		t.Fatal("no re-registration cycles completed during the churn")
+	}
+	t.Logf("served %d reports (%d unknown-database misses) across %d re-registration cycles",
+		served.Load(), misses.Load(), cycles)
+
+	// Quiesced coda: the final incarnation serves its own baseline, not
+	// whatever the report cache held for the name before the last cycle.
+	final := string(reportJSON(t, checker, w))
+	if want := baseline[variant(cycles-1)]; final != want {
+		t.Fatalf("post-churn report is not the final incarnation's baseline\ngot:  %s\nwant: %s", final, want)
+	}
+}

@@ -148,6 +148,24 @@ type Options struct {
 	// from-scratch analysis even for a byte-identical repeat. Avoided
 	// pipeline runs are counted in Metrics().Coalesce.
 	NoCoalesce bool
+	// DataDir, when non-empty, makes the named-database registry
+	// durable: registrations, every mutating statement executed
+	// against a registered database, and unregistrations are recorded
+	// in a write-ahead log under this directory, and the registry is
+	// rebuilt from it on the next start. Durability requires the Open
+	// constructor — it recovers eagerly and can fail — so New panics
+	// when DataDir is set rather than silently running in-memory.
+	// Reads (checks, snapshots, memoized report serving) never touch
+	// the log. The default empty value keeps the library pure
+	// in-memory.
+	DataDir string
+	// CheckpointEvery tunes the durable registry's checkpoint cadence:
+	// after this many WAL records a background checkpoint serializes
+	// every tenant and prunes the log, bounding restart replay to
+	// O(records since last checkpoint). 0 uses the default (1024);
+	// negative disables automatic checkpoints (Checkpoint/Close only).
+	// Ignored without DataDir.
+	CheckpointEvery int
 }
 
 // Cache is a process-shareable parsed-statement cache, bounded by
@@ -228,17 +246,74 @@ type Checker struct {
 
 	engineOnce sync.Once
 	eng        *core.Engine
+
+	// recovery summarizes what Open reconstructed from Options.DataDir
+	// (zero value for in-memory Checkers).
+	recovery RecoverySummary
 }
 
 // New builds a Checker. With no argument it uses defaults; with one
-// argument it uses the given options.
+// argument it uses the given options. Durable options require Open:
+// New cannot return an error, so rather than deferring a recovery
+// failure to the first check — or worse, silently dropping
+// durability — it panics when Options.DataDir is set.
 func New(opts ...Options) *Checker {
 	var o Options
 	if len(opts) > 0 {
 		o = opts[0]
 	}
+	if o.DataDir != "" {
+		panic("sqlcheck: Options.DataDir requires the Open constructor (New cannot surface recovery errors)")
+	}
 	return &Checker{opts: o}
 }
+
+// Open builds a Checker like New but initializes eagerly, which is
+// what durable registries need: when Options.DataDir is set, Open
+// replays the write-ahead log and re-registers every database a
+// previous process had registered before returning. The recovered
+// databases are live handles with fresh origin IDs, so reports
+// memoized by a previous incarnation are structurally unreachable —
+// a restart can never serve a stale report. Open with an empty
+// DataDir is equivalent to New and never fails.
+//
+// Callers owning a durable Checker should Close it on shutdown; see
+// Recovery for what was reconstructed.
+func Open(opts Options) (*Checker, error) {
+	c := &Checker{opts: opts}
+	c.engineOnce.Do(func() {
+		c.eng = core.NewEngine(c.coreOptions(), c.opts.Concurrency)
+	})
+	if opts.DataDir != "" {
+		summary, err := c.eng.OpenDurability(opts.DataDir, core.DurabilityConfig{
+			CheckpointEvery: opts.CheckpointEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.recovery = summary
+	}
+	return c, nil
+}
+
+// Recovery reports what Open reconstructed from Options.DataDir:
+// tenant counts, the number of WAL records replayed, and a warning
+// when replay stopped at a corrupt record. Zero value for in-memory
+// Checkers.
+func (c *Checker) Recovery() RecoverySummary { return c.recovery }
+
+// Checkpoint forces a synchronous checkpoint of the durable registry:
+// every registered database's state is serialized and superseded WAL
+// segments are pruned, so the next Open replays only records logged
+// after this call. A no-op (nil) for in-memory Checkers.
+func (c *Checker) Checkpoint() error { return c.engine().Checkpoint() }
+
+// Close takes a final checkpoint and closes the write-ahead log, so
+// the next Open recovers without replay. A no-op (nil) for in-memory
+// Checkers. Callers should stop submitting Exec traffic first:
+// statements racing Close may fail with a durability error once the
+// log is closed.
+func (c *Checker) Close() error { return c.engine().Close() }
 
 // Finding is one detected anti-pattern with its fix.
 type Finding struct {
@@ -645,6 +720,15 @@ type PhaseStats = core.PhaseStats
 // concurrent identical analysis. Both stay zero under
 // Options.NoCoalesce.
 type CoalesceStats = core.CoalesceStats
+
+// DurabilityStats snapshots the durable registry's WAL and checkpoint
+// counters (Metrics().Durability; nil for in-memory Checkers).
+type DurabilityStats = core.DurabilityStats
+
+// RecoverySummary reports what Open reconstructed from a data
+// directory: recovered tenant counts, WAL records replayed, and a
+// warning when replay stopped at a corrupt record.
+type RecoverySummary = core.RecoverySummary
 
 // engine lazily builds the Checker's shared analysis engine.
 func (c *Checker) engine() *core.Engine {
