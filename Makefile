@@ -13,14 +13,14 @@ SHELL := /bin/bash -o pipefail
 # run against it and fails on >20% median ns/op regression or >25%
 # median B/op / allocs/op regression (the gated runs use -benchmem so
 # allocation regressions cannot hide behind wall-clock noise).
-BENCH_GATE = BenchmarkCheckSQLParallel|BenchmarkRuleDispatch|BenchmarkProfileParallel|BenchmarkProfileMemoized|BenchmarkFingerprintMemoized|BenchmarkRegistryReuse|BenchmarkQueryOnlyWorkload|BenchmarkColdParse|BenchmarkBatchCoalesced|BenchmarkDaemonServe
+BENCH_GATE = BenchmarkCheckSQLParallel|BenchmarkRuleDispatch|BenchmarkProfileParallel|BenchmarkProfileMemoized|BenchmarkFingerprintMemoized|BenchmarkRegistryReuse|BenchmarkQueryOnlyWorkload|BenchmarkColdParse|BenchmarkBatchCoalesced|BenchmarkDaemonServe|BenchmarkSpillScan
 BENCH_COUNT ?= 5
 
 # Packages holding gated benchmarks: the root pipeline benchmarks plus
 # the daemon's end-to-end serving benchmark.
 BENCH_PKGS = . ./cmd/sqlcheckd
 
-.PHONY: build test test-full bench bench-baseline bench-check print-bench-gate print-bench-pkgs profile-cpu profile-heap docs-check lint ci
+.PHONY: build test test-full bench bench-baseline bench-check bounded-rss print-bench-gate print-bench-pkgs profile-cpu profile-heap docs-check lint ci
 
 # The single source of truth for the gated-benchmark pattern: CI's
 # base-ref step reads it from the PR's Makefile (before checking out
@@ -60,11 +60,22 @@ bench-baseline:
 # pull-request job points it at a base-ref run from the same runner,
 # which removes hardware variance from the comparison.
 BENCH_BASELINE ?= bench/baseline.txt
+# BENCH_JSON names the machine-readable medians artifact benchcmp
+# writes alongside the comparison; CI uploads it (BENCH_9.json) so
+# perf history diffs across PRs without re-parsing bench text.
+BENCH_JSON ?= BENCH_9.json
 bench-check:
 	$(GO) test -bench '$(BENCH_GATE)' -count $(BENCH_COUNT) -benchtime 0.3s -benchmem -run '^$$' $(BENCH_PKGS) | tee bench-current.txt
 	$(GO) run ./cmd/benchcmp -baseline $(BENCH_BASELINE) -current bench-current.txt \
-		-max-regression 20 -max-mem-regression 25 \
-		-require 'CheckSQLParallel,RuleDispatch,ProfileParallel,ProfileMemoized,FingerprintMemoized/cold,FingerprintMemoized/warm,RegistryReuse,QueryOnlyWorkload,ColdParse,BatchCoalesced/coalesced,BatchCoalesced/uncoalesced,DaemonServe'
+		-max-regression 20 -max-mem-regression 25 -json $(BENCH_JSON) \
+		-require 'CheckSQLParallel,RuleDispatch,ProfileParallel,ProfileMemoized,FingerprintMemoized/cold,FingerprintMemoized/warm,RegistryReuse,QueryOnlyWorkload,ColdParse,BatchCoalesced/coalesced,BatchCoalesced/uncoalesced,DaemonServe,SpillScan/resident,SpillScan/hot'
+
+# The larger-than-RAM capacity gate (see bounded_rss_test.go): ~128
+# MiB of fixture tenants through a 16 MiB page-cache budget under a
+# GOMEMLIMIT well below the fixture total, asserting peak RSS stays
+# bounded and every report matches the all-resident baseline.
+bounded-rss:
+	SQLCHECK_BOUNDED_RSS=1 GOMEMLIMIT=96MiB $(GO) test -run TestBoundedRSSLargerThanRAMRegistry -v .
 
 # CPU profile of the data-analysis phase (the system's hot path):
 # runs BenchmarkProfileParallel under -cpuprofile and leaves

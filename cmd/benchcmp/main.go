@@ -17,10 +17,16 @@
 // (profiles/s, speedup-x, …) are informational and never gated.
 // Benchmarks named by -require must be present in the current output,
 // so a gate cannot silently vanish by being renamed or skipped.
+//
+// -json <path> additionally writes the current run's per-benchmark
+// unit medians as a JSON document — the machine-readable artifact CI
+// uploads (BENCH_<n>.json) so perf history is diffable across PRs
+// without re-parsing bench text.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -87,6 +93,39 @@ func median(xs []float64) float64 {
 	}
 }
 
+// benchJSON is one benchmark's entry in the -json artifact: the
+// median of every reported unit (built-in and custom) plus the sample
+// count the medians were taken over.
+type benchJSON struct {
+	Name    string             `json:"name"`
+	Samples int                `json:"samples"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// writeJSON renders per-benchmark unit medians, sorted by name so the
+// artifact diffs cleanly between runs.
+func writeJSON(path string, cur map[string]samples) error {
+	out := make([]benchJSON, 0, len(cur))
+	for name, s := range cur {
+		e := benchJSON{Name: name, Metrics: make(map[string]float64, len(s))}
+		for unit, vals := range s {
+			e.Metrics[unit] = median(vals)
+			if len(vals) > e.Samples {
+				e.Samples = len(vals)
+			}
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	raw, err := json.MarshalIndent(struct {
+		Benchmarks []benchJSON `json:"benchmarks"`
+	}{out}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "bench/baseline.txt", "checked-in baseline bench output")
@@ -94,6 +133,7 @@ func main() {
 		maxRegress   = flag.Float64("max-regression", 20, "fail when median ns/op regresses by more than this percent")
 		maxMem       = flag.Float64("max-mem-regression", 25, "fail when median B/op or allocs/op regresses by more than this percent")
 		require      = flag.String("require", "", "comma-separated substrings; each must match a current benchmark")
+		jsonPath     = flag.String("json", "", "write the current run's per-benchmark unit medians to this file as JSON")
 	)
 	flag.Parse()
 	if *currentPath == "" {
@@ -109,6 +149,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcmp: current: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *jsonPath != "" {
+		// Emit before gating so the artifact exists even when the run
+		// regresses — the failing run is the one worth inspecting.
+		if err := writeJSON(*jsonPath, cur); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcmp: writing %s: %v\n", *jsonPath, err)
+			os.Exit(2)
+		}
 	}
 
 	failed := false

@@ -53,7 +53,7 @@
 //
 // Flags: -addr (default :8686), -mode, -weights, -concurrency,
 // -cache-bytes, -report-cache-bytes, -data-dir, -checkpoint-every,
-// -shutdown-timeout.
+// -page-cache-bytes, -shutdown-timeout.
 package main
 
 import (
@@ -84,6 +84,7 @@ func main() {
 		reportBytes = flag.Int64("report-cache-bytes", 32<<20, "memoized-report cache budget in estimated resident bytes (the serving fast path)")
 		dataDir     = flag.String("data-dir", "", "durable registry directory: WAL + checkpoints, recovered on start (empty = in-memory only)")
 		ckptEvery   = flag.Int("checkpoint-every", 0, "WAL records between automatic checkpoints (0 = default 1024, negative disables)")
+		pageBytes   = flag.Int64("page-cache-bytes", 0, "resident-byte budget for registered databases' row pages; cold pages spill to disk and fault back on access (0 = unbounded, all pages stay in memory)")
 		drainWait   = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown deadline for draining in-flight requests")
 	)
 	flag.Parse()
@@ -94,6 +95,7 @@ func main() {
 		ReportCache:     sqlcheck.NewReportCache(*reportBytes),
 		DataDir:         *dataDir,
 		CheckpointEvery: *ckptEvery,
+		PageCacheBytes:  *pageBytes,
 	}
 	if *mode == "intra" {
 		opts.Mode = sqlcheck.IntraQuery

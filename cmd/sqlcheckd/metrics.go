@@ -81,6 +81,24 @@ func writePrometheus(w io.Writer, m sqlcheck.Metrics) {
 	pool("statements", m.Statements)
 	pool("workloads", m.Workloads)
 
+	if pc := m.PageCache; pc != nil {
+		gauge("sqlcheck_page_cache_budget_bytes", "Resident-byte budget for registered databases' row pages.", pc.BudgetBytes)
+		gauge("sqlcheck_page_cache_resident_bytes", "Estimated row-page bytes currently heap-resident under cache management.", pc.ResidentBytes)
+		gauge("sqlcheck_page_cache_resident_pages", "Row pages currently heap-resident under cache management.", pc.ResidentPages)
+		gauge("sqlcheck_page_cache_pinned_pages", "Row pages pinned by in-flight reads or writes (not evictable).", pc.PinnedPages)
+		gauge("sqlcheck_page_cache_spilled_pages", "Row pages whose contents live only in spill files right now.", pc.SpilledPages)
+		gauge("sqlcheck_page_cache_spill_bytes", "Total bytes in spill files, live records plus garbage.", pc.SpillBytes)
+		gauge("sqlcheck_page_cache_garbage_bytes", "Superseded record bytes in spill files awaiting compaction.", pc.GarbageBytes)
+		counter("sqlcheck_page_cache_faults_total", "Spilled pages read back from disk on access.", pc.Faults)
+		counter("sqlcheck_page_cache_evictions_total", "Pages evicted from residency (clean drops plus spills).", pc.Evictions)
+		counter("sqlcheck_page_cache_spills_total", "Dirty pages written to spill files on eviction.", pc.Spills)
+		counter("sqlcheck_page_cache_clean_drops_total", "Evictions that dropped a page whose disk copy was current (no write needed).", pc.CleanDrops)
+		counter("sqlcheck_page_cache_spilled_pages_total", "Dirty pages written to spill files on eviction (alias of spills for dashboard compatibility).", pc.Spills)
+		counter("sqlcheck_page_cache_compacted_slots_total", "Deleted row slots compacted away by spill writes (bytes never hit disk).", pc.CompactedSlots)
+		counter("sqlcheck_page_cache_file_compactions_total", "Spill-file rewrites that reclaimed superseded records.", pc.FileCompactions)
+		counter("sqlcheck_page_cache_spill_errors_total", "Evictions that failed to write the spill file (page parked resident; residency degraded, no data lost).", pc.SpillErrors)
+	}
+
 	if d := m.Durability; d != nil {
 		counter("sqlcheck_wal_records_total", "WAL records appended by this process (register, exec, unregister).", d.Records)
 		counter("sqlcheck_wal_replayed_total", "WAL records applied during startup recovery.", d.Replayed)

@@ -66,6 +66,22 @@ type Options struct {
 	// set it so engines sharing one ReportCache under different such
 	// state never serve each other's reports.
 	ReportScope string
+	// PageCacheBytes, when > 0, bounds the resident heap bytes of
+	// registered databases' row pages: the engine builds a
+	// process-wide spill-capable page cache (storage.PageCache) and
+	// the registry adopts every database it registers (including
+	// recovered tenants) into it. Cold pages spill to per-table page
+	// files under SpillDir and fault back on access, so registry
+	// capacity is disk-sized while the hot working set stays resident.
+	// Zero disables management entirely — every page stays
+	// heap-resident, exactly the pre-cache behavior. Inline
+	// (caller-owned) workload databases are never adopted.
+	PageCacheBytes int64
+	// SpillDir is the page-file directory used when PageCacheBytes is
+	// set; empty means a process-private temp directory. Stale page
+	// files in it are removed at engine construction (spill files are
+	// transient process state, not durable data — the WAL is).
+	SpillDir string
 	// NoCoalesce disables batch statement coalescing and the cold-miss
 	// singleflight. By default, workloads in one batch that share a
 	// report-cache identity (same fingerprint, byte-identical statement

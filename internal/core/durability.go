@@ -68,13 +68,18 @@ func (e *Engine) Checkpoint() error {
 	return nil
 }
 
-// Close takes a final checkpoint and closes the WAL. A no-op (nil)
-// without durability. Callers should quiesce exec traffic first.
+// Close takes a final checkpoint and closes the WAL, then tears down
+// the page cache's spill files (spilled state is rebuilt from the
+// checkpoint on the next open, so nothing durable lives there). A
+// no-op (nil) without durability or a page cache. Callers should
+// quiesce exec traffic first.
 func (e *Engine) Close() error {
+	var err error
 	if s := e.registry.Store(); s != nil {
-		return s.Close()
+		err = s.Close()
 	}
-	return nil
+	e.pageCache.Close()
+	return err
 }
 
 // DurabilityStats mirrors wal.Stats for the metrics snapshot.

@@ -9,6 +9,8 @@ package core
 import (
 	"sync/atomic"
 	"time"
+
+	"sqlcheck/internal/storage"
 )
 
 // Pipeline phase names, in execution order. Each workload passes
@@ -173,6 +175,10 @@ type EngineMetrics struct {
 	// Durability snapshots the WAL/checkpoint counters when the engine
 	// was opened with a data directory; nil for in-memory engines.
 	Durability *DurabilityStats `json:"durability,omitempty"`
+	// PageCache snapshots the spill-capable page cache bounding
+	// registered databases' resident row-page bytes; nil when
+	// Options.PageCacheBytes was zero (all pages heap-resident).
+	PageCache *storage.PageCacheStats `json:"page_cache,omitempty"`
 }
 
 // CoalesceStats counts pipeline runs avoided by statement coalescing.
@@ -230,5 +236,15 @@ func (e *Engine) Metrics() EngineMetrics {
 		},
 		Phases:     e.phases.snapshot(),
 		Durability: e.durabilityStats(),
+		PageCache:  e.pageCacheStats(),
 	}
+}
+
+// pageCacheStats snapshots the page cache, or nil without one.
+func (e *Engine) pageCacheStats() *storage.PageCacheStats {
+	if e.pageCache == nil {
+		return nil
+	}
+	st := e.pageCache.Stats()
+	return &st
 }

@@ -172,6 +172,11 @@ type Engine struct {
 	reports  *ReportCache
 	phases   *phaseSet
 	registry *Registry
+	// pageCache, when non-nil, bounds resident row-page bytes across
+	// every database the registry holds; see Options.PageCacheBytes.
+	// Registered and recovered tenants are adopted into it by the
+	// registry; inline workload databases never are.
+	pageCache *storage.PageCache
 	// ruleSet is Options.Rules compiled once at construction — the
 	// admission-time form of the rule filter. rulesErr records unknown
 	// IDs and fails every batch until the options are fixed.
@@ -249,7 +254,7 @@ func NewEngine(opts Options, concurrency int) *Engine {
 		rcache = NewReportCache(DefaultReportCacheBytes)
 	}
 	rs, rsErr := rules.NewRuleSet(opts.Rules)
-	return &Engine{
+	e := &Engine{
 		opts:      opts,
 		stmts:     NewPool(concurrency),
 		workloads: NewPool(concurrency),
@@ -262,7 +267,16 @@ func NewEngine(opts Options, concurrency int) *Engine {
 		rulesErr:  rsErr,
 		flights:   make(map[reportVariantKey]*flight),
 	}
+	if opts.PageCacheBytes > 0 {
+		e.pageCache = storage.NewPageCache(opts.PageCacheBytes, opts.SpillDir)
+		e.registry.SetPageCache(e.pageCache)
+	}
+	return e
 }
+
+// PageCache returns the engine's spill-capable page cache, or nil
+// when Options.PageCacheBytes was zero.
+func (e *Engine) PageCache() *storage.PageCache { return e.pageCache }
 
 // Registry returns the engine's named-database registry.
 func (e *Engine) Registry() *Registry { return e.registry }

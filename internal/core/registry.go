@@ -38,9 +38,14 @@ type Registry struct {
 	// Unregister write WAL records through it, and the commit hooks it
 	// installs log every mutating statement executed against a
 	// registered handle. Nil for the default pure in-memory registry.
-	store  *wal.Store
-	hits   atomic.Int64
-	misses atomic.Int64
+	store *wal.Store
+	// pageCache, when set, adopts every database the registry comes to
+	// hold (registered or recovered) so their row pages fall under the
+	// engine's resident-byte budget and may spill. Set once at engine
+	// construction, before the registry serves.
+	pageCache *storage.PageCache
+	hits      atomic.Int64
+	misses    atomic.Int64
 }
 
 // NewRegistry builds an empty registry.
@@ -52,6 +57,15 @@ func NewRegistry() *Registry {
 // that registers is reachable by the same string on lookup and
 // delete.
 func canonName(name string) string { return strings.TrimSpace(name) }
+
+// SetPageCache routes every future registration (and recovery
+// adoption) through the cache. Must be called before the registry
+// starts serving; databases already registered are not retrofitted.
+func (r *Registry) SetPageCache(c *storage.PageCache) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pageCache = c
+}
 
 // Register adds a live database under a name. Names are exact-match
 // (after trimming surrounding space, consistently with every lookup);
@@ -78,6 +92,12 @@ func (r *Registry) Register(name string, db *storage.Database) error {
 		if err := r.store.Register(name, db); err != nil {
 			return fmt.Errorf("sqlcheck: registering %q durably: %w", name, err)
 		}
+	}
+	if r.pageCache != nil {
+		// Adopt only after the durable register succeeded: adoption may
+		// spill pages immediately, and spill files are transient — the
+		// WAL record is the durable copy the adoption relies on.
+		r.pageCache.Adopt(db)
 	}
 	r.dbs[name] = db
 	return nil
@@ -112,6 +132,9 @@ func (r *Registry) AttachStore(s *wal.Store, recovered map[string]*storage.Datab
 	defer r.mu.Unlock()
 	r.store = s
 	for name, db := range recovered {
+		if r.pageCache != nil {
+			r.pageCache.Adopt(db)
+		}
 		r.dbs[canonName(name)] = db
 	}
 }

@@ -20,10 +20,12 @@ type Database struct {
 	tables map[string]*Table
 	order  []string
 	// mu is the single-writer lock: the executor holds it for the
-	// duration of each statement, and Snapshot holds it while capturing
-	// pages, so snapshots observe statement-atomic states. Direct
-	// Table/Database mutator calls (test and generator code) do not
-	// take it and therefore must not run concurrently with anything.
+	// duration of each statement, Snapshot holds it while capturing
+	// pages, and PageCache.Adopt holds it while bringing pages under
+	// cache management, so snapshots observe statement-atomic states
+	// and adoption never races a writer. Direct Table/Database mutator
+	// calls (test and generator code) do not take it and therefore
+	// must not run concurrently with anything.
 	mu sync.Mutex
 	// frozen marks snapshot views: the executor rejects DDL and DML
 	// against them (the tables carry their own frozen flags too).

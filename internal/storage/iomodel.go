@@ -8,6 +8,13 @@ package storage
 // access performs a fixed amount of memory work (a checksum over a
 // page-sized buffer), so costs show up in wall-clock time the same way
 // disk I/O shapes PostgreSQL's — just at a smaller scale.
+//
+// This simulated bufferPool is distinct from the real PageCache
+// (pagecache.go): the bufferPool models the cost of the *workload
+// under analysis* and never moves bytes, while the PageCache manages
+// actual heap residency of row pages for registered databases. They
+// share the page geometry (PageRows) so one rowPage is both the cost
+// unit and the spill frame.
 
 const (
 	// PageRows is the number of row slots per simulated page.

@@ -1,0 +1,522 @@
+package storage
+
+// Spill-capable page store. A PageCache turns rowPages from
+// permanently heap-resident arrays into cache-managed frames: hot
+// frames stay resident behind a byte-bounded LRU, cold frames spill
+// to per-table page files on disk and fault back in on access. The
+// registry adopts every database it registers into the process-wide
+// cache, which is what makes registry capacity disk-sized instead of
+// RAM-sized while unregistered (inline, caller-owned) databases keep
+// the zero-overhead direct path.
+//
+// Frame lifecycle and locking:
+//
+//   - A frame is in exactly one of four states: resident (array in
+//     heap), spilling (eviction is writing it out), spilled (array
+//     dropped, disk copy authoritative), faulting (a reader is
+//     loading it back). State, pin count, and LRU membership are
+//     guarded by the cache mutex; file I/O always happens with the
+//     mutex released, so a fault on one frame never blocks access to
+//     resident frames.
+//   - Readers and writers pin a frame for the duration of array
+//     access (rowPage.view / PageCache.write). Pinned frames are
+//     never evicted; rows returned to callers stay valid after unpin
+//     because eviction only drops the frame's pointer to the slot
+//     array — row backing arrays referenced by a caller are kept
+//     alive by the caller's own reference and, for shared frames,
+//     are immutable under the COW protocol.
+//   - The budget is a target, not a hard cap: the pinned working set
+//     plus one in-flight fault can exceed it transiently, and frames
+//     whose spill failed (disk full) are parked resident rather than
+//     risk data loss.
+//   - COW interplay: snapshots share frames with the live table, on
+//     disk as well as in heap — a spilled shared frame is never
+//     rewritten (its content is frozen), so any number of snapshots
+//     fault from the same disk image. A writer mutating a shared
+//     frame faults it in, copies, and the copy becomes a fresh
+//     dirty frame; the original stays frozen for the snapshots.
+//   - Eviction of a dirty frame rewrites only live slots (deleted
+//     slots are dropped from the record — spill-out is compaction),
+//     using the same value codec as WAL checkpoints (codec.go).
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Frame states (rowPage.state, guarded by PageCache.mu).
+const (
+	frameResident = iota
+	frameSpilling
+	frameSpilled
+	frameFaulting
+)
+
+// pageBaseBytes is the accounted resident overhead of an empty frame:
+// the slot array (PageRows row-slice headers) plus the frame struct.
+const pageBaseBytes = int64(PageRows*24 + 256)
+
+// rowHeapBytes estimates the heap bytes a row keeps resident: the
+// value backing array plus string payloads. An estimate is fine —
+// the budget bounds RSS through this same estimator on both sides
+// (accounting in and accounting out), so errors cancel.
+func rowHeapBytes(r Row) int64 {
+	if r == nil {
+		return 0
+	}
+	n := int64(48*len(r)) + 24
+	for i := range r {
+		n += int64(len(r[i].S))
+	}
+	return n
+}
+
+// PageCacheStats is a point-in-time snapshot of cache state and
+// lifetime counters.
+type PageCacheStats struct {
+	// BudgetBytes is the configured residency target; ResidentBytes
+	// and ResidentPages are the frames currently in heap (pinned or
+	// evictable) and PinnedPages the frames pinned this instant.
+	BudgetBytes   int64 `json:"budget_bytes"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	ResidentPages int64 `json:"resident_pages"`
+	PinnedPages   int64 `json:"pinned_pages"`
+	// SpilledPages is the number of frames whose only copy is on disk
+	// right now; SpillBytes the total size of the page files and
+	// GarbageBytes the superseded-record fraction of that.
+	SpilledPages int64 `json:"spilled_pages"`
+	SpillBytes   int64 `json:"spill_bytes"`
+	GarbageBytes int64 `json:"garbage_bytes"`
+	// Faults counts disk loads; Evictions counts frames dropped from
+	// residency, split into Spills (dirty: record written) and
+	// CleanDrops (an up-to-date disk copy already existed).
+	Faults     int64 `json:"faults"`
+	Evictions  int64 `json:"evictions"`
+	Spills     int64 `json:"spills"`
+	CleanDrops int64 `json:"clean_drops"`
+	// CompactedSlots counts deleted slots dropped by spill-out
+	// rewrites; FileCompactions counts page-file garbage rewrites.
+	CompactedSlots  int64 `json:"compacted_slots"`
+	FileCompactions int64 `json:"file_compactions"`
+	// SpillErrors counts frames parked resident because their spill
+	// write failed — each one is capacity silently degraded.
+	SpillErrors int64 `json:"spill_errors"`
+}
+
+// PageCache is a process-wide, byte-bounded LRU over rowPage frames.
+// One instance serves every database adopted into it; the zero value
+// is not usable — construct with NewPageCache.
+type PageCache struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	budget int64
+	// dir is the spill directory; created lazily on first spill when
+	// the cache was built with an empty path (temp-dir mode).
+	dir    string
+	tmpDir bool
+	dirErr error
+
+	// LRU of evictable frames (resident, unpinned): head is most
+	// recently used, tail the eviction victim. Intrusive via
+	// rowPage.prev/next.
+	head, tail *rowPage
+
+	files map[uint64]*spillFile
+
+	resident      int64
+	residentPages int64
+	pinnedPages   int64
+	spilledPages  int64
+	faults        int64
+	evictions     int64
+	spills        int64
+	cleanDrops    int64
+	compacted     int64
+	spillErrors   int64
+}
+
+// NewPageCache builds a cache with the given residency budget in
+// bytes. dir is the spill directory: it is wiped of stale page files
+// at construction (spill files are transient process state — after a
+// crash the WAL, not the page files, is the durable copy); an empty
+// dir defers to a process-private temp directory created on first
+// spill. budgetBytes <= 0 disables residency limiting (frames are
+// still adoptable, nothing ever spills).
+func NewPageCache(budgetBytes int64, dir string) *PageCache {
+	c := &PageCache{budget: budgetBytes, dir: dir, files: make(map[uint64]*spillFile)}
+	c.cond = sync.NewCond(&c.mu)
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			c.dirErr = err
+		} else if stale, err := filepath.Glob(filepath.Join(dir, "t*.pages")); err == nil {
+			for _, f := range stale {
+				os.Remove(f)
+			}
+		}
+	}
+	return c
+}
+
+// ensureDirLocked resolves the spill directory, creating the temp
+// directory on first use. Called with c.mu held.
+func (c *PageCache) ensureDirLocked() (string, error) {
+	if c.dirErr != nil {
+		return "", c.dirErr
+	}
+	if c.dir == "" {
+		d, err := os.MkdirTemp("", "sqlcheck-spill-")
+		if err != nil {
+			c.dirErr = err
+			return "", err
+		}
+		c.dir = d
+		c.tmpDir = true
+	}
+	return c.dir, nil
+}
+
+// fileFor returns (creating if needed) the spill file for a table
+// origin ID. Called with c.mu held; the file performs its own I/O
+// under its own lock.
+func (c *PageCache) fileFor(tid uint64) (*spillFile, error) {
+	if sf, ok := c.files[tid]; ok {
+		return sf, nil
+	}
+	dir, err := c.ensureDirLocked()
+	if err != nil {
+		return nil, err
+	}
+	sf := newSpillFile(filepath.Join(dir, fmt.Sprintf("t%d.pages", tid)))
+	c.files[tid] = sf
+	return sf, nil
+}
+
+// Close drops every spill file. Call only after the cache's
+// databases are quiesced: a fault after Close panics. Safe to call
+// on a nil cache.
+func (c *PageCache) Close() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for tid, sf := range c.files {
+		if err := sf.close(); err != nil && first == nil {
+			first = err
+		}
+		delete(c.files, tid)
+	}
+	if c.tmpDir && c.dir != "" {
+		if err := os.Remove(c.dir); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats snapshots the cache.
+func (c *PageCache) Stats() PageCacheStats {
+	if c == nil {
+		return PageCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := PageCacheStats{
+		BudgetBytes:    c.budget,
+		ResidentBytes:  c.resident,
+		ResidentPages:  c.residentPages,
+		PinnedPages:    c.pinnedPages,
+		SpilledPages:   c.spilledPages,
+		Faults:         c.faults,
+		Evictions:      c.evictions,
+		Spills:         c.spills,
+		CleanDrops:     c.cleanDrops,
+		CompactedSlots: c.compacted,
+		SpillErrors:    c.spillErrors,
+	}
+	for _, sf := range c.files {
+		sz, garbage, compactions := sf.stats()
+		st.SpillBytes += sz
+		st.GarbageBytes += garbage
+		st.FileCompactions += compactions
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// Adoption
+// ---------------------------------------------------------------------------
+
+// Adopt places every frame of db under cache management. Takes the
+// database writer lock, so it serializes against in-flight statements
+// and snapshots; safe to call while older snapshots of db are being
+// read (frames they share are adopted in place — readers switch to
+// pinned access on their next page). Adopting an already-adopted
+// frame is a no-op, so re-registering a database is safe. A nil
+// cache adopts nothing.
+func (c *PageCache) Adopt(db *Database) {
+	if c == nil || db == nil {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, t := range db.Tables() {
+		c.adoptTable(t)
+	}
+}
+
+func (c *PageCache) adoptTable(t *Table) {
+	t.cache = c
+	for pi, p := range t.pages {
+		used := t.slots - pi*PageRows
+		if used > PageRows {
+			used = PageRows
+		}
+		c.adoptPage(p, t.id, used)
+	}
+	c.mu.Lock()
+	c.evictLocked()
+	c.mu.Unlock()
+}
+
+// adoptPage brings one frame under management. The frame must be
+// resident (it always is: only managed frames spill) and not
+// concurrently mutated (callers hold the database writer lock).
+// Adopted frames start dirty: no disk copy exists yet.
+func (c *PageCache) adoptPage(p *rowPage, tid uint64, used int) {
+	if p.cache.Load() != nil {
+		return // already managed (shared with an adopted table)
+	}
+	rows := p.rows.Load()
+	nbytes := pageBaseBytes
+	for i := 0; i < used; i++ {
+		nbytes += rowHeapBytes(rows[i])
+	}
+	c.mu.Lock()
+	if p.cache.Load() != nil {
+		c.mu.Unlock()
+		return
+	}
+	p.tid = tid
+	p.used = int32(used)
+	p.dirty = true
+	p.bytes = nbytes
+	p.state = frameResident
+	c.resident += nbytes
+	c.residentPages++
+	c.lruPushFront(p)
+	// Publishing the cache pointer is the last store: a reader that
+	// still observes nil takes the direct path against the resident
+	// array, which stays valid until an eviction that can only be
+	// ordered after this store.
+	p.cache.Store(c)
+	c.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Pin / unpin / fault-in
+// ---------------------------------------------------------------------------
+
+// pin makes the frame resident, marks it unevictable, and returns its
+// slot array. Pins nest. The returned array stays readable after
+// unpin (see the lifecycle comment at the top of the file); writers
+// must hold the pin across the mutation.
+func (c *PageCache) pin(p *rowPage) *[PageRows]Row {
+	c.mu.Lock()
+	for {
+		switch p.state {
+		case frameResident:
+			if p.pins == 0 {
+				c.lruRemove(p)
+				c.pinnedPages++
+			}
+			p.pins++
+			rows := p.rows.Load()
+			c.mu.Unlock()
+			return rows
+
+		case frameSpilling, frameFaulting:
+			c.cond.Wait()
+
+		case frameSpilled:
+			p.state = frameFaulting
+			ref := p.disk
+			sf, err := c.fileFor(p.tid)
+			var rows *[PageRows]Row
+			var nbytes int64
+			if err == nil {
+				c.mu.Unlock()
+				rows, nbytes, err = sf.read(ref)
+				c.mu.Lock()
+			}
+			if err != nil {
+				// The spill file is process-owned state this cache wrote;
+				// failing to read it back means the frame's only copy is
+				// gone. That is storage corruption, not a recoverable
+				// condition for the caller holding row IDs into the page.
+				p.state = frameSpilled
+				c.cond.Broadcast()
+				c.mu.Unlock()
+				panic(fmt.Sprintf("storage: page fault (table origin %d): %v", p.tid, err))
+			}
+			p.rows.Store(rows)
+			p.state = frameResident
+			p.dirty = false
+			p.bytes = nbytes
+			p.pins = 1
+			c.resident += nbytes
+			c.residentPages++
+			c.spilledPages--
+			c.pinnedPages++
+			c.faults++
+			c.cond.Broadcast()
+			c.evictLocked() // shed cold frames to make room
+			rowsOut := p.rows.Load()
+			c.mu.Unlock()
+			return rowsOut
+		}
+	}
+}
+
+// unpin releases one pin; the frame becomes evictable at zero.
+func (c *PageCache) unpin(p *rowPage) {
+	c.mu.Lock()
+	p.pins--
+	if p.pins == 0 {
+		c.pinnedPages--
+		if !p.noSpill {
+			c.lruPushFront(p)
+		}
+		if c.budget > 0 && c.resident > c.budget {
+			c.evictLocked()
+		}
+	}
+	c.mu.Unlock()
+}
+
+// write stores r into the frame's slot through the pin discipline,
+// keeping byte accounting and the dirty bit coherent. Callers hold
+// the single-writer lock of the owning database (the frame is never
+// shared — writablePage copied it if it was).
+func (c *PageCache) write(p *rowPage, slot int64, r Row) {
+	rows := c.pin(p)
+	c.mu.Lock()
+	delta := rowHeapBytes(r) - rowHeapBytes(rows[slot])
+	rows[slot] = r
+	p.bytes += delta
+	c.resident += delta
+	p.dirty = true
+	if s := int32(slot) + 1; s > p.used {
+		p.used = s
+	}
+	c.mu.Unlock()
+	c.unpin(p)
+}
+
+// ---------------------------------------------------------------------------
+// Eviction
+// ---------------------------------------------------------------------------
+
+// evictLocked sheds LRU frames until residency meets the budget or
+// nothing evictable remains (the pinned working set may exceed the
+// budget; that is the documented floor). Called with c.mu held;
+// releases it around file writes. Dirty victims are rewritten with
+// live slots only — the spill-out compaction — while clean victims
+// just drop their array, because the disk copy is still current.
+func (c *PageCache) evictLocked() {
+	if c.budget <= 0 {
+		return
+	}
+	for c.resident > c.budget {
+		v := c.tail
+		if v == nil {
+			return
+		}
+		c.lruRemove(v)
+		if !v.dirty && v.disk != nil {
+			v.rows.Store(nil)
+			v.state = frameSpilled
+			c.resident -= v.bytes
+			c.residentPages--
+			c.spilledPages++
+			c.evictions++
+			c.cleanDrops++
+			continue
+		}
+		sf, err := c.fileFor(v.tid)
+		if err != nil {
+			c.parkLocked(v)
+			continue
+		}
+		v.state = frameSpilling
+		rows := v.rows.Load()
+		used := int(v.used)
+		ref := v.disk
+		c.mu.Unlock()
+		newRef, compacted, werr := sf.write(ref, v, rows, used)
+		c.mu.Lock()
+		if werr != nil {
+			v.state = frameResident
+			c.parkLocked(v)
+			c.cond.Broadcast()
+			continue
+		}
+		v.disk = newRef
+		v.dirty = false
+		v.rows.Store(nil)
+		v.state = frameSpilled
+		c.resident -= v.bytes
+		c.residentPages--
+		c.spilledPages++
+		c.evictions++
+		c.spills++
+		c.compacted += int64(compacted)
+		c.cond.Broadcast()
+	}
+}
+
+// parkLocked pins a frame out of the LRU permanently after its spill
+// failed: residency degrades instead of losing rows.
+func (c *PageCache) parkLocked(v *rowPage) {
+	v.noSpill = true
+	c.spillErrors++
+}
+
+// ---------------------------------------------------------------------------
+// Intrusive LRU
+// ---------------------------------------------------------------------------
+
+func (c *PageCache) lruPushFront(p *rowPage) {
+	p.prev = nil
+	p.next = c.head
+	if c.head != nil {
+		c.head.prev = p
+	}
+	c.head = p
+	if c.tail == nil {
+		c.tail = p
+	}
+	p.inLRU = true
+}
+
+func (c *PageCache) lruRemove(p *rowPage) {
+	if !p.inLRU {
+		return
+	}
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else {
+		c.head = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else {
+		c.tail = p.prev
+	}
+	p.prev, p.next = nil, nil
+	p.inLRU = false
+}

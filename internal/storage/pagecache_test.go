@@ -1,0 +1,335 @@
+package storage
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"sqlcheck/internal/schema"
+)
+
+// scaled shrinks fixture sizes under -short (the CI race run) while
+// keeping the full sizes for local/thorough runs.
+func scaled(full, short int) int {
+	if testing.Short() {
+		return short
+	}
+	return full
+}
+
+// spillFixture builds a database with one wide table of n string-heavy
+// rows — several pages' worth so a small budget forces spilling.
+func spillFixture(tb testing.TB, name string, n int) (*Database, *Table) {
+	tb.Helper()
+	db := NewDatabase(name)
+	t := db.CreateTable("events", []ColumnDef{
+		{Name: "id", Class: schema.ClassInteger},
+		{Name: "kind", Class: schema.ClassChar},
+		{Name: "payload", Class: schema.ClassText},
+	})
+	if err := t.SetPrimaryKey("id"); err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		t.MustInsert(Int(int64(i)), Str(fmt.Sprintf("kind-%d", i%7)),
+			Str(strings.Repeat(fmt.Sprintf("payload-%d|", i), 8)))
+	}
+	return db, t
+}
+
+// collect materializes every live row of a table as rendered strings.
+func collectRows(t *Table) []string {
+	var out []string
+	t.ScanReadOnly(func(id int64, r Row) bool {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%d:", id)
+		for _, v := range r {
+			sb.WriteString(v.String())
+			sb.WriteByte('|')
+		}
+		out = append(out, sb.String())
+		return true
+	})
+	return out
+}
+
+func equalRows(tb testing.TB, got, want []string, ctx string) {
+	tb.Helper()
+	if len(got) != len(want) {
+		tb.Fatalf("%s: %d rows, want %d", ctx, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			tb.Fatalf("%s: row %d mismatch:\n got %q\nwant %q", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+func TestPageCacheSpillRoundtrip(t *testing.T) {
+	n := scaled(2000, 800)
+	db, tab := spillFixture(t, "spill", n)
+	want := collectRows(tab)
+
+	c := NewPageCache(64<<10, t.TempDir()) // far below the ~2000-row working set
+	defer c.Close()
+	c.Adopt(db)
+
+	st := c.Stats()
+	if st.SpilledPages == 0 || st.Spills == 0 {
+		t.Fatalf("adoption under a tiny budget should spill, stats %+v", st)
+	}
+	if st.ResidentBytes > 64<<10 {
+		t.Fatalf("resident %d exceeds budget at rest", st.ResidentBytes)
+	}
+
+	// Every row must fault back byte-identically, repeatedly (the
+	// second scan re-faults what the first scan's churn evicted).
+	equalRows(t, collectRows(tab), want, "first spilled scan")
+	equalRows(t, collectRows(tab), want, "second spilled scan")
+	if st = c.Stats(); st.Faults == 0 {
+		t.Fatal("scans over spilled pages must fault")
+	}
+
+	// Random access through Fetch faults too.
+	probe := int64(n - 100)
+	r, err := tab.Fetch(probe)
+	if err != nil || r[0].I != probe {
+		t.Fatalf("Fetch over spilled page: %v %v", r, err)
+	}
+}
+
+func TestPageCacheCOWSnapshotUnderSpill(t *testing.T) {
+	db, tab := spillFixture(t, "cow", scaled(1500, 1500))
+	want := collectRows(tab)
+
+	c := NewPageCache(48<<10, t.TempDir())
+	defer c.Close()
+	c.Adopt(db)
+
+	snap := db.Snapshot().Table("events")
+
+	// Mutate the live table: updates fault in + copy shared frames,
+	// deletes punch holes. The snapshot must keep serving the frozen
+	// state from the shared (possibly spilled) frames.
+	for i := int64(0); i < 1500; i += 3 {
+		if err := tab.Update(i, Row{Int(i), Str("mutated"), Str("new-payload")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(1); i < 1500; i += 50 {
+		if err := tab.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	equalRows(t, collectRows(snap), want, "snapshot after live mutations")
+	if got := collectRows(tab); len(got) == len(want) {
+		t.Fatal("live table should have fewer rows after deletes")
+	}
+	live := collectRows(tab)
+	// Churn both views again to force re-faults of the copied frames.
+	equalRows(t, collectRows(snap), want, "snapshot second pass")
+	equalRows(t, collectRows(tab), live, "live second pass")
+}
+
+func TestPageCacheSpillCompactsDeletedSlots(t *testing.T) {
+	db, tab := spillFixture(t, "compact", 1024)
+	for i := int64(0); i < 1024; i += 2 {
+		if err := tab.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := collectRows(tab)
+
+	c := NewPageCache(32<<10, t.TempDir())
+	defer c.Close()
+	c.Adopt(db)
+
+	st := c.Stats()
+	if st.CompactedSlots == 0 {
+		t.Fatalf("spilling half-deleted pages must compact slots, stats %+v", st)
+	}
+	// Deleted slots stay deleted and live slots keep their IDs after
+	// the fault-in (slot indices are explicit in the page record).
+	equalRows(t, collectRows(tab), want, "compacted fault-in")
+	if _, err := tab.Fetch(0); err == nil {
+		t.Fatal("deleted row resurrected by spill round-trip")
+	}
+	if r, err := tab.Fetch(1); err != nil || r[0].I != 1 {
+		t.Fatalf("live row lost: %v %v", r, err)
+	}
+}
+
+func TestPageCacheConcurrentSnapshotsAndDML(t *testing.T) {
+	db, tab := spillFixture(t, "race", scaled(1200, 500))
+	want := collectRows(tab)
+
+	c := NewPageCache(40<<10, t.TempDir())
+	defer c.Close()
+	c.Adopt(db)
+
+	snap := db.Snapshot().Table("events")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				equalRows(t, collectRows(snap), want, "concurrent snapshot scan")
+			}
+		}()
+	}
+	// Writer churn under the single-writer lock, as the executor does.
+	for round := 0; round < 5; round++ {
+		db.Lock()
+		for i := int64(round); i < 1200; i += 17 {
+			_ = tab.Update(i, Row{Int(i), Str("churn"), Str(strings.Repeat("x", 64))})
+		}
+		db.Unlock()
+		// Fresh snapshots interleave with the old one.
+		s2 := db.Snapshot().Table("events")
+		if s2.Len() != tab.Len() {
+			t.Errorf("snapshot row count %d != live %d", s2.Len(), tab.Len())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestPageCacheAdoptionDuringReads registers (adopts) a database while
+// snapshot readers taken before adoption are mid-scan — the race the
+// atomic cache/rows publication protocol exists for.
+func TestPageCacheAdoptionDuringReads(t *testing.T) {
+	db, tab := spillFixture(t, "adopt-race", scaled(1000, 500))
+	want := collectRows(tab)
+	snap := db.Snapshot().Table("events")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				equalRows(t, collectRows(snap), want, "scan across adoption")
+			}
+		}()
+	}
+	c := NewPageCache(32<<10, t.TempDir())
+	defer c.Close()
+	c.Adopt(db)
+	equalRows(t, collectRows(tab), want, "post-adoption scan")
+	close(stop)
+	wg.Wait()
+	_ = tab
+}
+
+func TestSpillFileCompaction(t *testing.T) {
+	dir := t.TempDir()
+	c := NewPageCache(1, dir) // evict everything, always
+	defer c.Close()
+
+	db := NewDatabase("filecompact")
+	tab := db.CreateTable("blobs", []ColumnDef{
+		{Name: "id", Class: schema.ClassInteger},
+		{Name: "body", Class: schema.ClassText},
+	})
+	n := 256
+	big := strings.Repeat("z", 8<<10)
+	for i := 0; i < n; i++ {
+		tab.MustInsert(Int(int64(i)), Str(big))
+	}
+	c.Adopt(db)
+
+	// One update per page per round re-spills that whole ~1 MiB page
+	// record, superseding the previous one: a few rounds push garbage
+	// past both compaction thresholds (absolute floor and file ratio)
+	// without churning every row.
+	for round := 0; round < 4; round++ {
+		for i := int64(0); i < int64(n); i += PageRows {
+			if err := tab.Update(i, Row{Int(i), Str(big[:len(big)-round-1])}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.FileCompactions == 0 {
+		t.Fatalf("expected a page-file compaction, stats %+v", st)
+	}
+	if st.GarbageBytes > st.SpillBytes {
+		t.Fatalf("garbage accounting out of range: %+v", st)
+	}
+	// Everything must still read back.
+	if got := collectRows(tab); got == nil || len(got) != n {
+		t.Fatalf("rows lost after compaction: %d", len(got))
+	}
+}
+
+// TestSpillFileReapsDeadSnapshots drops a snapshot that owned spilled
+// frames and checks a later compaction reclaims their records via the
+// weak refs.
+func TestSpillFileReapsDeadSnapshots(t *testing.T) {
+	db, tab := spillFixture(t, "reap", 600)
+	c := NewPageCache(16<<10, t.TempDir())
+	defer c.Close()
+	c.Adopt(db)
+
+	// A snapshot pins COW identity: one update per page below copies
+	// every frame, leaving the snapshot as sole owner of the originals.
+	snap := db.Snapshot()
+	for i := int64(0); i < 600; i += PageRows {
+		_ = tab.Update(i, Row{Int(i), Str("v2"), Str(strings.Repeat("y", 256))})
+	}
+	_ = collectRows(snap.Table("events")) // make the snapshot's frames spill-backed
+	before := len(activeRefs(c))
+
+	snap = nil
+	runtime.GC()
+	runtime.GC()
+
+	// Churn one big row per page until the events file compacts.
+	big := strings.Repeat("w", 48<<10)
+	for round := 0; round < 8; round++ {
+		for i := int64(0); i < 600; i += PageRows {
+			_ = tab.Update(i, Row{Int(i), Str("v3"), Str(big)})
+		}
+	}
+	after := len(activeRefs(c))
+	if after >= before {
+		t.Fatalf("dead snapshot records not reaped: refs %d -> %d", before, after)
+	}
+	if got := collectRows(tab); len(got) != 600 {
+		t.Fatalf("live rows lost: %d", len(got))
+	}
+	if st := c.Stats(); st.FileCompactions == 0 {
+		t.Fatalf("expected compaction to have run, stats %+v", st)
+	}
+}
+
+// activeRefs counts tracked page records across all spill files.
+func activeRefs(c *PageCache) []*diskRef {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*diskRef
+	for _, sf := range c.files {
+		sf.mu.Lock()
+		for ref := range sf.refs {
+			out = append(out, ref)
+		}
+		sf.mu.Unlock()
+	}
+	return out
+}

@@ -60,6 +60,10 @@ func (t *Table) snapshotLocked() *Table {
 		fks:     append([]ForeignKey(nil), t.fks...),
 		checks:  append([]CheckInList(nil), t.checks...),
 		pool:    newBufferPool(0),
+		// The snapshot shares the source's page-cache management:
+		// shared frames are already adopted (pages spill and fault as
+		// one identity whichever handle reads them).
+		cache: t.cache,
 		// Identity and version transfer verbatim: the snapshot is the
 		// created table's row state at this exact version, which is what
 		// lets profile memoization key on (ID, Version) and treat a

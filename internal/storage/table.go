@@ -77,11 +77,67 @@ type CheckInList struct {
 // copies only the page-pointer slice; a writer copies a shared page
 // before its first mutation, so the snapshot keeps the frozen original
 // while DML proceeds on a private copy.
+//
+// A page is also the frame unit of the spill-capable page cache
+// (pagecache.go): unmanaged pages (the default — inline, caller-owned
+// databases) keep their slot array resident forever and are read
+// directly, while pages adopted by a PageCache may have the array
+// dropped to disk and faulted back on demand. The cache and rows
+// pointers are atomics so adoption can race with in-flight readers:
+// a reader that still observes cache == nil also observes a non-nil
+// resident array (eviction is ordered after cache publication), and
+// an array captured before an eviction stays valid — COW freezes
+// shared pages and the single-writer lock covers private ones.
 type rowPage struct {
 	// shared is set (under the database writer lock) when at least one
 	// snapshot captured the page; writers must copy before mutating.
 	shared bool
-	rows   [PageRows]Row // slot = row id % PageRows; nil slot = deleted
+	// cache, when set, owns this page's residency; rows is nil while
+	// the page is spilled. Slot = row id % PageRows; nil slot =
+	// deleted.
+	cache atomic.Pointer[PageCache]
+	rows  atomic.Pointer[[PageRows]Row]
+	// Frame bookkeeping, all guarded by cache.mu once managed.
+	tid        uint64 // owning table's origin ID: spill-file routing
+	state      uint8  // frameResident / frameSpilling / ...
+	pins       int32  // > 0 blocks eviction
+	dirty      bool   // resident content newer than disk record
+	noSpill    bool   // parked resident after a spill failure
+	inLRU      bool
+	used       int32 // high-water allocated slot count
+	bytes      int64 // accounted resident heap bytes
+	disk       *diskRef
+	prev, next *rowPage
+}
+
+// newRowPage builds an unmanaged resident page.
+func newRowPage() *rowPage {
+	p := &rowPage{}
+	p.rows.Store(new([PageRows]Row))
+	return p
+}
+
+// view returns the page's slot array for reading, pinning the frame
+// when the page is cache-managed; the caller must pass the returned
+// cache to unview when done. The retry handles adoption racing with
+// the two loads: observing a nil array implies the cache pointer is
+// now visible.
+func (p *rowPage) view() (*[PageRows]Row, *PageCache) {
+	for {
+		if c := p.cache.Load(); c != nil {
+			return c.pin(p), c
+		}
+		if rows := p.rows.Load(); rows != nil {
+			return rows, nil
+		}
+	}
+}
+
+// unview releases a view; c is the second return of view.
+func (p *rowPage) unview(c *PageCache) {
+	if c != nil {
+		c.unpin(p)
+	}
 }
 
 // tableIDs hands every table created in the process a distinct origin
@@ -104,6 +160,11 @@ type Table struct {
 	checks  []CheckInList
 	db      *Database
 	pool    *bufferPool
+	// cache, when set (PageCache.Adopt — i.e. the table belongs to a
+	// registered database), manages page residency; pages created by
+	// later inserts are born managed. Written under the database
+	// writer lock, read by Insert under the same lock.
+	cache *PageCache
 	// id is the table's origin identity: assigned once in NewTable from
 	// a process-wide counter and inherited verbatim by snapshots, so a
 	// snapshot and its source answer "are you views of the same created
@@ -121,28 +182,54 @@ type Table struct {
 	version uint64
 }
 
-// rowAt returns the row in the given slot (nil when deleted). The
-// caller must have bounds-checked id against t.slots.
+// rowAt returns the row in the given slot (nil when deleted), pinning
+// the page across the read when it is cache-managed. The caller must
+// have bounds-checked id against t.slots. The returned row stays
+// valid after the pin drops: eviction releases the slot array, never
+// the row backing arrays a caller holds.
 func (t *Table) rowAt(id int64) Row {
-	return t.pages[id/PageRows].rows[id%PageRows]
+	p := t.pages[id/PageRows]
+	rows, c := p.view()
+	r := rows[id%PageRows]
+	p.unview(c)
+	return r
 }
 
 // writablePage returns the page holding row ids [pi*PageRows, ...),
 // copying it first when a snapshot shares it — the write half of the
-// copy-on-write protocol: the snapshot keeps the frozen original.
+// copy-on-write protocol: the snapshot keeps the frozen original. A
+// shared spilled frame is faulted in for the copy; the copy becomes a
+// fresh dirty frame while the original (and its disk record) stays
+// frozen for the snapshots that share it.
 func (t *Table) writablePage(pi int) *rowPage {
 	p := t.pages[pi]
-	if p.shared {
-		cp := &rowPage{rows: p.rows}
-		t.pages[pi] = cp
-		p = cp
+	if !p.shared {
+		return p
 	}
-	return p
+	src, c := p.view()
+	cp := newRowPage()
+	*cp.rows.Load() = *src
+	p.unview(c)
+	if c != nil {
+		used := t.slots - pi*PageRows
+		if used > PageRows {
+			used = PageRows
+		}
+		c.adoptPage(cp, p.tid, used)
+	}
+	t.pages[pi] = cp
+	return cp
 }
 
-// setRow stores r in the given slot through the COW barrier.
+// setRow stores r in the given slot through the COW barrier and,
+// for managed pages, the pin/accounting discipline.
 func (t *Table) setRow(id int64, r Row) {
-	t.writablePage(int(id / PageRows)).rows[id%PageRows] = r
+	p := t.writablePage(int(id / PageRows))
+	if c := p.cache.Load(); c != nil {
+		c.write(p, id%PageRows, r)
+		return
+	}
+	p.rows.Load()[id%PageRows] = r
 }
 
 // NewTable creates a table with the given columns.
@@ -522,7 +609,11 @@ func (t *Table) Insert(r Row) (int64, error) {
 	}
 	id := int64(t.slots)
 	if int(id/PageRows) == len(t.pages) {
-		t.pages = append(t.pages, &rowPage{})
+		np := newRowPage()
+		if t.cache != nil {
+			t.cache.adoptPage(np, t.id, 0)
+		}
+		t.pages = append(t.pages, np)
 	}
 	t.setRow(id, r.Clone())
 	t.slots++
@@ -553,29 +644,46 @@ func (t *Table) MustInsert(vals ...Value) int64 {
 // Fetch returns the row with the given id (paying page cost), or
 // ErrNoRow.
 func (t *Table) Fetch(id int64) (Row, error) {
-	if id < 0 || id >= int64(t.slots) || t.rowAt(id) == nil {
+	if id < 0 || id >= int64(t.slots) {
+		return nil, ErrNoRow
+	}
+	r := t.rowAt(id)
+	if r == nil {
 		return nil, ErrNoRow
 	}
 	t.touchRowPage(id)
-	return t.rowAt(id), nil
+	return r, nil
 }
 
 // Scan iterates all live rows in physical order, paying page cost once
-// per page. fn returning false stops the scan.
+// per page. fn returning false stops the scan. Each page is pinned
+// for the duration of its slot walk — one pin per PageRows rows, so
+// managed tables pay a mutex pair per page, not per row.
 func (t *Table) Scan(fn func(id int64, r Row) bool) {
-	lastPage := int64(-1)
-	for id := int64(0); id < int64(t.slots); id++ {
-		r := t.rowAt(id)
-		if r == nil {
-			continue
+	slots := int64(t.slots)
+	for base := int64(0); base < slots; base += PageRows {
+		p := t.pages[base/PageRows]
+		rows, c := p.view()
+		end := slots - base
+		if end > PageRows {
+			end = PageRows
 		}
-		if p := id / PageRows; p != lastPage {
-			t.pool.touch(p)
-			lastPage = p
+		touched := false
+		for s := int64(0); s < end; s++ {
+			r := rows[s]
+			if r == nil {
+				continue
+			}
+			if !touched {
+				t.pool.touch(base / PageRows)
+				touched = true
+			}
+			if !fn(base+s, r) {
+				p.unview(c)
+				return
+			}
 		}
-		if !fn(id, r) {
-			return
-		}
+		p.unview(c)
 	}
 }
 
@@ -586,16 +694,29 @@ func (t *Table) Scan(fn func(id int64, r Row) bool) {
 // pool state — which makes it safe for any number of concurrent
 // readers. On a live table that still requires no DML during the
 // scan; profiling a Snapshot lifts even that restriction, because
-// writers copy shared pages instead of mutating them.
+// writers copy shared pages instead of mutating them. Cache-managed
+// pages are pinned page-wise, so a spilled page faults in once per
+// scan, not once per row.
 func (t *Table) ScanReadOnly(fn func(id int64, r Row) bool) {
-	for id := int64(0); id < int64(t.slots); id++ {
-		r := t.rowAt(id)
-		if r == nil {
-			continue
+	slots := int64(t.slots)
+	for base := int64(0); base < slots; base += PageRows {
+		p := t.pages[base/PageRows]
+		rows, c := p.view()
+		end := slots - base
+		if end > PageRows {
+			end = PageRows
 		}
-		if !fn(id, r) {
-			return
+		for s := int64(0); s < end; s++ {
+			r := rows[s]
+			if r == nil {
+				continue
+			}
+			if !fn(base+s, r) {
+				p.unview(c)
+				return
+			}
 		}
+		p.unview(c)
 	}
 }
 
@@ -605,7 +726,11 @@ func (t *Table) Update(id int64, newRow Row) error {
 	if t.frozen {
 		return ErrFrozen
 	}
-	if id < 0 || id >= int64(t.slots) || t.rowAt(id) == nil {
+	if id < 0 || id >= int64(t.slots) {
+		return ErrNoRow
+	}
+	old := t.rowAt(id)
+	if old == nil {
 		return ErrNoRow
 	}
 	if err := t.checkRow(newRow); err != nil {
@@ -614,7 +739,6 @@ func (t *Table) Update(id int64, newRow Row) error {
 	if err := t.checkFKs(newRow); err != nil {
 		return err
 	}
-	old := t.rowAt(id)
 	if t.pk != nil {
 		newKey := t.pk.keyFor(newRow)
 		if newKey != t.pk.keyFor(old) {
@@ -660,10 +784,13 @@ func (t *Table) Delete(id int64) error {
 	if t.frozen {
 		return ErrFrozen
 	}
-	if id < 0 || id >= int64(t.slots) || t.rowAt(id) == nil {
+	if id < 0 || id >= int64(t.slots) {
 		return ErrNoRow
 	}
 	row := t.rowAt(id)
+	if row == nil {
+		return ErrNoRow
+	}
 	if t.db != nil {
 		if err := t.db.applyReferentialActions(t, row); err != nil {
 			return err

@@ -3,9 +3,11 @@ package wal
 import (
 	"encoding/binary"
 	"fmt"
+
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sqlcheck/internal/storage"
 )
 
 // Checkpoint file: a single heap file holding every tenant's encoded
@@ -45,7 +47,7 @@ func writeCheckpoint(dir string, cp *checkpoint) error {
 	b = binary.AppendUvarint(b, cp.registryLSN)
 	b = binary.AppendUvarint(b, uint64(len(cp.entries)))
 	for _, e := range cp.entries {
-		b = appendString(b, e.name)
+		b = storage.AppendString(b, e.name)
 		b = binary.AppendUvarint(b, e.lsn)
 		b = binary.AppendUvarint(b, uint64(len(e.blob)))
 		b = append(b, e.blob...)
@@ -96,26 +98,26 @@ func readCheckpoint(dir string) (*checkpoint, bool, error) {
 	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
 		return nil, false, fmt.Errorf("wal: checkpoint file failed CRC validation")
 	}
-	r := &reader{b: body, off: len(checkpointMagic)}
-	cp := &checkpoint{registryLSN: r.uvarint()}
-	n := int(r.uvarint())
-	for i := 0; i < n && r.err == nil; i++ {
-		e := checkpointEntry{name: r.str(), lsn: r.uvarint()}
-		blobLen := int(r.uvarint())
-		if r.err == nil && (blobLen < 0 || r.off+blobLen > len(r.b)) {
-			r.fail()
+	r := &storage.ByteReader{Buf: body, Off: len(checkpointMagic)}
+	cp := &checkpoint{registryLSN: r.Uvarint()}
+	n := int(r.Uvarint())
+	for i := 0; i < n && r.Err == nil; i++ {
+		e := checkpointEntry{name: r.Str(), lsn: r.Uvarint()}
+		blobLen := int(r.Uvarint())
+		if r.Err == nil && (blobLen < 0 || r.Off+blobLen > len(r.Buf)) {
+			r.Fail()
 		}
-		if r.err == nil {
-			e.blob = body[r.off : r.off+blobLen]
-			r.off += blobLen
+		if r.Err == nil {
+			e.blob = body[r.Off : r.Off+blobLen]
+			r.Off += blobLen
 		}
 		cp.entries = append(cp.entries, e)
 	}
-	if r.err != nil {
-		return nil, false, fmt.Errorf("wal: malformed checkpoint: %w", r.err)
+	if r.Err != nil {
+		return nil, false, fmt.Errorf("wal: malformed checkpoint: %w", r.Err)
 	}
-	if r.off != len(body) {
-		return nil, false, fmt.Errorf("wal: %d trailing bytes in checkpoint", len(body)-r.off)
+	if r.Off != len(body) {
+		return nil, false, fmt.Errorf("wal: %d trailing bytes in checkpoint", len(body)-r.Off)
 	}
 	return cp, true, nil
 }

@@ -3,7 +3,6 @@ package wal
 import (
 	"encoding/binary"
 	"fmt"
-	"math"
 	"sort"
 
 	"sqlcheck/internal/schema"
@@ -31,7 +30,7 @@ const codecVersion = 1
 func EncodeDatabase(db *storage.Database) []byte {
 	b := make([]byte, 0, 1024)
 	b = append(b, codecVersion)
-	b = appendString(b, db.Name)
+	b = storage.AppendString(b, db.Name)
 	tables := db.Tables()
 	b = binary.AppendUvarint(b, uint64(len(tables)))
 	for _, t := range tables {
@@ -41,33 +40,33 @@ func EncodeDatabase(db *storage.Database) []byte {
 }
 
 func encodeTable(b []byte, t *storage.Table) []byte {
-	b = appendString(b, t.Name)
+	b = storage.AppendString(b, t.Name)
 	b = binary.AppendUvarint(b, uint64(len(t.Cols)))
 	for _, c := range t.Cols {
-		b = appendString(b, c.Name)
+		b = storage.AppendString(b, c.Name)
 		b = binary.AppendUvarint(b, uint64(c.Class))
-		b = appendBool(b, c.NotNull)
+		b = storage.AppendBool(b, c.NotNull)
 	}
 	pk := t.PrimaryKey()
 	b = binary.AppendUvarint(b, uint64(len(pk)))
 	for _, ord := range pk {
-		b = appendString(b, t.Cols[ord].Name)
+		b = storage.AppendString(b, t.Cols[ord].Name)
 	}
 	ixs := t.Indexes()
 	b = binary.AppendUvarint(b, uint64(len(ixs)))
 	for _, ix := range ixs {
-		b = appendString(b, ix.Name)
-		b = appendBool(b, ix.Unique)
+		b = storage.AppendString(b, ix.Name)
+		b = storage.AppendBool(b, ix.Unique)
 		b = binary.AppendUvarint(b, uint64(len(ix.Cols)))
 		for _, ord := range ix.Cols {
-			b = appendString(b, t.Cols[ord].Name)
+			b = storage.AppendString(b, t.Cols[ord].Name)
 		}
 	}
 	checks := t.Checks()
 	b = binary.AppendUvarint(b, uint64(len(checks)))
 	for _, ck := range checks {
-		b = appendString(b, ck.Name)
-		b = appendString(b, t.Cols[ck.Col].Name)
+		b = storage.AppendString(b, ck.Name)
+		b = storage.AppendString(b, t.Cols[ck.Col].Name)
 		vals := make([]string, 0, len(ck.Allowed))
 		for v := range ck.Allowed {
 			vals = append(vals, v)
@@ -75,54 +74,33 @@ func encodeTable(b []byte, t *storage.Table) []byte {
 		sort.Strings(vals)
 		b = binary.AppendUvarint(b, uint64(len(vals)))
 		for _, v := range vals {
-			b = appendString(b, v)
+			b = storage.AppendString(b, v)
 		}
 	}
 	fks := t.ForeignKeys()
 	b = binary.AppendUvarint(b, uint64(len(fks)))
 	for _, fk := range fks {
-		b = appendString(b, fk.Name)
+		b = storage.AppendString(b, fk.Name)
 		b = binary.AppendUvarint(b, uint64(len(fk.Cols)))
 		for _, ord := range fk.Cols {
-			b = appendString(b, t.Cols[ord].Name)
+			b = storage.AppendString(b, t.Cols[ord].Name)
 		}
-		b = appendString(b, fk.RefTable)
+		b = storage.AppendString(b, fk.RefTable)
 		b = binary.AppendUvarint(b, uint64(len(fk.RefCols)))
 		for _, rc := range fk.RefCols {
-			b = appendString(b, rc)
+			b = storage.AppendString(b, rc)
 		}
-		b = appendString(b, fk.OnDelete)
+		b = storage.AppendString(b, fk.OnDelete)
 	}
 	// Live rows in scan order — the order profiling observes.
 	b = binary.AppendUvarint(b, uint64(t.Len()))
 	t.ScanReadOnly(func(id int64, r storage.Row) bool {
 		b = binary.AppendUvarint(b, uint64(len(r)))
 		for _, v := range r {
-			b = encodeValue(b, v)
+			b = storage.AppendValue(b, v)
 		}
 		return true
 	})
-	return b
-}
-
-func encodeValue(b []byte, v storage.Value) []byte {
-	b = append(b, byte(v.Kind))
-	switch v.Kind {
-	case storage.KindInt:
-		b = binary.AppendVarint(b, v.I)
-	case storage.KindFloat:
-		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.F))
-	case storage.KindString:
-		b = appendString(b, v.S)
-	case storage.KindBool:
-		b = appendBool(b, v.B)
-	case storage.KindTime:
-		b = binary.AppendVarint(b, v.I)
-		b = appendBool(b, v.TZKnown)
-		if v.TZKnown {
-			b = binary.AppendVarint(b, int64(v.TZOffsetMin))
-		}
-	}
 	return b
 }
 
@@ -163,14 +141,14 @@ type decodedFK struct {
 // DecodeDatabase reconstructs a database from EncodeDatabase output.
 // The result is a fresh live handle with a fresh origin ID.
 func DecodeDatabase(blob []byte) (*storage.Database, error) {
-	r := &reader{b: blob}
-	if ver := r.byte(); ver != codecVersion {
+	r := &storage.ByteReader{Buf: blob}
+	if ver := r.Byte(); ver != codecVersion {
 		return nil, fmt.Errorf("wal: unsupported database codec version %d", ver)
 	}
-	name := r.str()
-	ntab := int(r.uvarint())
-	if r.err != nil {
-		return nil, r.err
+	name := r.Str()
+	ntab := int(r.Uvarint())
+	if r.Err != nil {
+		return nil, r.Err
 	}
 	tabs := make([]*decodedTable, 0, ntab)
 	for i := 0; i < ntab; i++ {
@@ -180,11 +158,11 @@ func DecodeDatabase(blob []byte) (*storage.Database, error) {
 		}
 		tabs = append(tabs, dt)
 	}
-	if r.err != nil {
-		return nil, r.err
+	if r.Err != nil {
+		return nil, r.Err
 	}
-	if len(r.b) != r.off {
-		return nil, fmt.Errorf("wal: %d trailing bytes after database blob", len(r.b)-r.off)
+	if len(r.Buf) != r.Off {
+		return nil, fmt.Errorf("wal: %d trailing bytes after database blob", len(r.Buf)-r.Off)
 	}
 
 	db := storage.NewDatabase(name)
@@ -225,172 +203,56 @@ func DecodeDatabase(blob []byte) (*storage.Database, error) {
 	return db, nil
 }
 
-func decodeTable(r *reader) (*decodedTable, error) {
-	dt := &decodedTable{name: r.str()}
-	ncols := int(r.uvarint())
-	if r.err != nil {
-		return nil, r.err
+func decodeTable(r *storage.ByteReader) (*decodedTable, error) {
+	dt := &decodedTable{name: r.Str()}
+	ncols := int(r.Uvarint())
+	if r.Err != nil {
+		return nil, r.Err
 	}
 	for i := 0; i < ncols; i++ {
 		dt.cols = append(dt.cols, storage.ColumnDef{
-			Name:    r.str(),
-			Class:   schema.TypeClass(r.uvarint()),
-			NotNull: r.bool(),
+			Name:    r.Str(),
+			Class:   schema.TypeClass(r.Uvarint()),
+			NotNull: r.Bool(),
 		})
 	}
-	for i, n := 0, int(r.uvarint()); i < n && r.err == nil; i++ {
-		dt.pk = append(dt.pk, r.str())
+	for i, n := 0, int(r.Uvarint()); i < n && r.Err == nil; i++ {
+		dt.pk = append(dt.pk, r.Str())
 	}
-	for i, n := 0, int(r.uvarint()); i < n && r.err == nil; i++ {
-		ix := decodedIndex{name: r.str(), unique: r.bool()}
-		for j, m := 0, int(r.uvarint()); j < m && r.err == nil; j++ {
-			ix.cols = append(ix.cols, r.str())
+	for i, n := 0, int(r.Uvarint()); i < n && r.Err == nil; i++ {
+		ix := decodedIndex{name: r.Str(), unique: r.Bool()}
+		for j, m := 0, int(r.Uvarint()); j < m && r.Err == nil; j++ {
+			ix.cols = append(ix.cols, r.Str())
 		}
 		dt.indexes = append(dt.indexes, ix)
 	}
-	for i, n := 0, int(r.uvarint()); i < n && r.err == nil; i++ {
-		ck := decodedCheck{name: r.str(), col: r.str()}
-		for j, m := 0, int(r.uvarint()); j < m && r.err == nil; j++ {
-			ck.allowed = append(ck.allowed, r.str())
+	for i, n := 0, int(r.Uvarint()); i < n && r.Err == nil; i++ {
+		ck := decodedCheck{name: r.Str(), col: r.Str()}
+		for j, m := 0, int(r.Uvarint()); j < m && r.Err == nil; j++ {
+			ck.allowed = append(ck.allowed, r.Str())
 		}
 		dt.checks = append(dt.checks, ck)
 	}
-	for i, n := 0, int(r.uvarint()); i < n && r.err == nil; i++ {
-		fk := decodedFK{name: r.str()}
-		for j, m := 0, int(r.uvarint()); j < m && r.err == nil; j++ {
-			fk.cols = append(fk.cols, r.str())
+	for i, n := 0, int(r.Uvarint()); i < n && r.Err == nil; i++ {
+		fk := decodedFK{name: r.Str()}
+		for j, m := 0, int(r.Uvarint()); j < m && r.Err == nil; j++ {
+			fk.cols = append(fk.cols, r.Str())
 		}
-		fk.refTable = r.str()
-		for j, m := 0, int(r.uvarint()); j < m && r.err == nil; j++ {
-			fk.refCols = append(fk.refCols, r.str())
+		fk.refTable = r.Str()
+		for j, m := 0, int(r.Uvarint()); j < m && r.Err == nil; j++ {
+			fk.refCols = append(fk.refCols, r.Str())
 		}
-		fk.onDelete = r.str()
+		fk.onDelete = r.Str()
 		dt.fks = append(dt.fks, fk)
 	}
-	nrows := int(r.uvarint())
-	for i := 0; i < nrows && r.err == nil; i++ {
-		nvals := int(r.uvarint())
+	nrows := int(r.Uvarint())
+	for i := 0; i < nrows && r.Err == nil; i++ {
+		nvals := int(r.Uvarint())
 		row := make(storage.Row, 0, nvals)
-		for j := 0; j < nvals && r.err == nil; j++ {
-			row = append(row, decodeValue(r))
+		for j := 0; j < nvals && r.Err == nil; j++ {
+			row = append(row, storage.DecodeValue(r))
 		}
 		dt.rows = append(dt.rows, row)
 	}
-	return dt, r.err
-}
-
-func decodeValue(r *reader) storage.Value {
-	switch storage.ValueKind(r.byte()) {
-	case storage.KindNull:
-		return storage.Null()
-	case storage.KindInt:
-		return storage.Int(r.varint())
-	case storage.KindFloat:
-		return storage.Float(math.Float64frombits(r.uint64()))
-	case storage.KindString:
-		return storage.Str(r.str())
-	case storage.KindBool:
-		return storage.Bool(r.bool())
-	case storage.KindTime:
-		us := r.varint()
-		if r.bool() {
-			return storage.TimeTZ(us, int16(r.varint()))
-		}
-		return storage.Time(us)
-	default:
-		if r.err == nil {
-			r.err = fmt.Errorf("wal: unknown value kind in database blob")
-		}
-		return storage.Null()
-	}
-}
-
-// ---------------------------------------------------------------------------
-// Byte-level helpers
-// ---------------------------------------------------------------------------
-
-func appendString(b []byte, s string) []byte {
-	b = binary.AppendUvarint(b, uint64(len(s)))
-	return append(b, s...)
-}
-
-func appendBool(b []byte, v bool) []byte {
-	if v {
-		return append(b, 1)
-	}
-	return append(b, 0)
-}
-
-// reader is a cursor over an encoded blob; the first malformed read
-// sets err and every later read returns a zero value, so decode paths
-// check err at their section boundaries instead of per call.
-type reader struct {
-	b   []byte
-	off int
-	err error
-}
-
-func (r *reader) fail() {
-	if r.err == nil {
-		r.err = fmt.Errorf("wal: truncated database blob at byte %d", r.off)
-	}
-}
-
-func (r *reader) byte() byte {
-	if r.err != nil || r.off >= len(r.b) {
-		r.fail()
-		return 0
-	}
-	v := r.b[r.off]
-	r.off++
-	return v
-}
-
-func (r *reader) bool() bool { return r.byte() != 0 }
-
-func (r *reader) uvarint() uint64 {
-	if r.err != nil {
-		return 0
-	}
-	v, n := binary.Uvarint(r.b[r.off:])
-	if n <= 0 {
-		r.fail()
-		return 0
-	}
-	r.off += n
-	return v
-}
-
-func (r *reader) varint() int64 {
-	if r.err != nil {
-		return 0
-	}
-	v, n := binary.Varint(r.b[r.off:])
-	if n <= 0 {
-		r.fail()
-		return 0
-	}
-	r.off += n
-	return v
-}
-
-func (r *reader) uint64() uint64 {
-	if r.err != nil || r.off+8 > len(r.b) {
-		r.fail()
-		return 0
-	}
-	v := binary.LittleEndian.Uint64(r.b[r.off:])
-	r.off += 8
-	return v
-}
-
-func (r *reader) str() string {
-	n := int(r.uvarint())
-	if r.err != nil || n < 0 || r.off+n > len(r.b) {
-		r.fail()
-		return ""
-	}
-	s := string(r.b[r.off : r.off+n])
-	r.off += n
-	return s
+	return dt, r.Err
 }

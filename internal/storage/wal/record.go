@@ -3,6 +3,8 @@ package wal
 import (
 	"encoding/binary"
 	"fmt"
+
+	"sqlcheck/internal/storage"
 )
 
 // Logical record types. The log is logical, not physical: exec
@@ -27,7 +29,7 @@ const (
 func encodeRegister(name string, state []byte) []byte {
 	b := make([]byte, 0, len(name)+len(state)+16)
 	b = append(b, byte(recRegister))
-	b = appendString(b, name)
+	b = storage.AppendString(b, name)
 	b = binary.AppendUvarint(b, uint64(len(state)))
 	return append(b, state...)
 }
@@ -35,14 +37,14 @@ func encodeRegister(name string, state []byte) []byte {
 func encodeExec(name, sql string) []byte {
 	b := make([]byte, 0, len(name)+len(sql)+16)
 	b = append(b, byte(recExec))
-	b = appendString(b, name)
-	return appendString(b, sql)
+	b = storage.AppendString(b, name)
+	return storage.AppendString(b, sql)
 }
 
 func encodeUnregister(name string) []byte {
 	b := make([]byte, 0, len(name)+8)
 	b = append(b, byte(recUnregister))
-	return appendString(b, name)
+	return storage.AppendString(b, name)
 }
 
 // record is one decoded logical record.
@@ -54,29 +56,29 @@ type record struct {
 }
 
 func decodeRecord(payload []byte) (record, error) {
-	r := &reader{b: payload}
-	rec := record{typ: recordType(r.byte()), name: r.str()}
+	r := &storage.ByteReader{Buf: payload}
+	rec := record{typ: recordType(r.Byte()), name: r.Str()}
 	switch rec.typ {
 	case recRegister:
-		n := int(r.uvarint())
-		if r.err == nil && (n < 0 || r.off+n > len(r.b)) {
-			r.fail()
+		n := int(r.Uvarint())
+		if r.Err == nil && (n < 0 || r.Off+n > len(r.Buf)) {
+			r.Fail()
 		}
-		if r.err == nil {
-			rec.state = payload[r.off : r.off+n]
-			r.off += n
+		if r.Err == nil {
+			rec.state = payload[r.Off : r.Off+n]
+			r.Off += n
 		}
 	case recExec:
-		rec.sql = r.str()
+		rec.sql = r.Str()
 	case recUnregister:
 	default:
 		return rec, fmt.Errorf("wal: unknown record type %d", rec.typ)
 	}
-	if r.err != nil {
-		return rec, r.err
+	if r.Err != nil {
+		return rec, r.Err
 	}
-	if r.off != len(r.b) {
-		return rec, fmt.Errorf("wal: %d trailing bytes in record", len(r.b)-r.off)
+	if r.Off != len(r.Buf) {
+		return rec, fmt.Errorf("wal: %d trailing bytes in record", len(r.Buf)-r.Off)
 	}
 	return rec, nil
 }

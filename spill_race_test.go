@@ -1,0 +1,233 @@
+package sqlcheck
+
+// The spill-churn suite (run under -race by `make test`): a Checker
+// whose page-cache budget is far below the registered fixture's
+// working set serves concurrent workloads while writers hammer the
+// live handle — so eviction, spill-out, fault-in, and COW frame
+// copies race snapshot scans and the profiler continuously. The
+// invariant is the tentpole's contract: spilling moves pages, never
+// changes analysis results, so every mid-churn report must be
+// byte-identical to the report a cold, all-resident checker computes
+// over the same visible rows.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"slices"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// spillScaled shrinks fixture sizes under -short (the CI race run).
+func spillScaled(full, short int) int {
+	if testing.Short() {
+		return short
+	}
+	return full
+}
+
+// spillRaceFixtureDB builds a string-heavy fixture several times the
+// spill budget used by the tests below, so registration immediately
+// spills and every profiling pass faults pages back in.
+func spillRaceFixtureDB(t testing.TB, n int) *Database {
+	t.Helper()
+	db := NewDatabase("app")
+	db.MustExec(`CREATE TABLE users (id INT PRIMARY KEY, name TEXT, role TEXT, bio TEXT)`)
+	db.MustExec(`CREATE INDEX users_role ON users (role)`)
+	roles := []string{"admin", "user", "user", "user"}
+	for i := 0; i < n; i++ {
+		db.MustExec(fmt.Sprintf(
+			`INSERT INTO users VALUES (%d, 'user-%d', '%s', 'writes go and sql no %d %s')`,
+			i, i, roles[i%len(roles)], i, strings.Repeat("padding ", 8)))
+	}
+	return db
+}
+
+func TestSpillRegistryConcurrentDMLByteEquality(t *testing.T) {
+	n := spillScaled(2000, 800)
+	db := spillRaceFixtureDB(t, n)
+	// The budget is far below the fixture's resident bytes, so the
+	// registry operates spill-first from registration onward.
+	checker := New(Options{Concurrency: 4, PageCacheBytes: 64 << 10})
+	t.Cleanup(func() { checker.Close() })
+	if err := checker.RegisterDatabase("app", db); err != nil {
+		t.Fatal(err)
+	}
+	if pc := checker.Metrics().PageCache; pc == nil || pc.Spills == 0 {
+		t.Fatalf("registration under a tiny budget must spill, stats %+v", pc)
+	}
+
+	const (
+		writers      = 4
+		opsPerWriter = 60
+		readers      = 4
+		checksPerR   = 5
+	)
+	type observed struct {
+		snap   *Database
+		report []byte
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		seen []observed
+		errc = make(chan error, writers*opsPerWriter+readers)
+	)
+
+	// Writers: INSERT/UPDATE/DELETE on spill-managed pages — updates
+	// fault shared frames back in and copy them, deletes punch slots
+	// that the next spill-out compacts away.
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWriter; i++ {
+				id := 300000 + g*1000 + i
+				if _, err := db.Exec(fmt.Sprintf(
+					`INSERT INTO users VALUES (%d, 'churn-%d', 'user', 'transient row')`, id, id)); err != nil {
+					errc <- err
+					return
+				}
+				switch i % 3 {
+				case 0:
+					if _, err := db.Exec(fmt.Sprintf(`DELETE FROM users WHERE id = %d`, id)); err != nil {
+						errc <- err
+						return
+					}
+				case 1:
+					if _, err := db.Exec(fmt.Sprintf(
+						`UPDATE users SET bio = 'rewritten %d' WHERE id = %d`, id, g*7+i)); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	// Readers: analyze mid-churn snapshots through the spill-managed
+	// checker. Each scan pins pages as it walks them and faults in
+	// whatever the writers' churn evicted.
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < checksPerR; i++ {
+				snap := db.Snapshot()
+				reports, err := checker.CheckWorkloads(context.Background(),
+					[]Workload{{SQL: raceWorkloadSQL, DB: snap}})
+				if err != nil {
+					errc <- err
+					return
+				}
+				raw, err := json.Marshal(reports[0])
+				if err != nil {
+					errc <- err
+					return
+				}
+				mu.Lock()
+				seen = append(seen, observed{snap: snap, report: raw})
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Every mid-churn report must match a cold, all-resident checker
+	// (no page cache at all) over the same visible rows.
+	if len(seen) != readers*checksPerR {
+		t.Fatalf("observed %d snapshots, want %d", len(seen), readers*checksPerR)
+	}
+	for i, obs := range seen {
+		cold := New(Options{Concurrency: 4})
+		resident := reportJSON(t, cold, Workload{SQL: raceWorkloadSQL, DB: materialize(t, obs.snap)})
+		if string(obs.report) != string(resident) {
+			t.Fatalf("snapshot %d: spill-managed report differs from all-resident baseline\nspill:    %s\nresident: %s",
+				i, obs.report, resident)
+		}
+	}
+
+	// The churn exercised the whole frame lifecycle, and parked frames
+	// (spill errors) never appeared.
+	pc := checker.Metrics().PageCache
+	if pc.Faults == 0 || pc.Evictions == 0 || pc.Spills == 0 {
+		t.Errorf("spill churn left lifecycle counters idle: %+v", pc)
+	}
+	if pc.SpillErrors != 0 {
+		t.Errorf("spill writes failed during churn: %+v", pc)
+	}
+
+	// Quiesced: the registered handle itself still matches the
+	// all-resident baseline after all the eviction churn.
+	final := reportJSON(t, checker, Workload{SQL: raceWorkloadSQL, DBName: "app"})
+	cold := New(Options{Concurrency: 4})
+	coldFinal := reportJSON(t, cold, Workload{SQL: raceWorkloadSQL, DB: materialize(t, db.Snapshot())})
+	if string(final) != string(coldFinal) {
+		t.Fatalf("quiesced spill-managed report differs from all-resident baseline\nspill:    %s\nresident: %s",
+			final, coldFinal)
+	}
+}
+
+// TestGoldenCorpusUnderSpill runs the golden corpus with every
+// database-attached workload registered into a checker whose page
+// cache is far below the corpus working set: findings must be
+// identical to the all-resident cold run, with real spill traffic.
+func TestGoldenCorpusUnderSpill(t *testing.T) {
+	names, ws := goldenWorkloads(t)
+
+	// All-resident baseline on a plain checker.
+	cold := New()
+	coldReports, err := cold.CheckWorkloads(t.Context(), ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Spill checker: register every attached database so it falls
+	// under page-cache management, and resolve it by name.
+	spill := New(Options{PageCacheBytes: 128 << 10})
+	t.Cleanup(func() { spill.Close() })
+	spillWS := make([]Workload, len(ws))
+	copy(spillWS, ws)
+	for i := range spillWS {
+		if spillWS[i].DB == nil {
+			continue
+		}
+		name := fmt.Sprintf("spill-%d", i)
+		if err := spill.RegisterDatabase(name, spillWS[i].DB); err != nil {
+			t.Fatal(err)
+		}
+		spillWS[i].DB = nil
+		spillWS[i].DBName = name
+	}
+	spillReports, err := spill.CheckWorkloads(t.Context(), spillWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range coldReports {
+		var want, got []string
+		for _, f := range coldReports[i].Findings {
+			want = append(want, findingKey(f))
+		}
+		for _, f := range spillReports[i].Findings {
+			got = append(got, findingKey(f))
+		}
+		if !slices.Equal(got, want) {
+			t.Errorf("%s: findings differ under spill\nspill:    %v\nresident: %v", names[i], got, want)
+		}
+	}
+
+	pc := spill.Metrics().PageCache
+	if pc == nil || pc.Spills == 0 || pc.Faults == 0 {
+		t.Fatalf("golden corpus did not exercise the spill path: %+v", pc)
+	}
+	if pc.SpillErrors != 0 {
+		t.Errorf("spill writes failed: %+v", pc)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -166,6 +167,24 @@ type Options struct {
 	// negative disables automatic checkpoints (Checkpoint/Close only).
 	// Ignored without DataDir.
 	CheckpointEvery int
+	// PageCacheBytes, when > 0, bounds the resident heap bytes of
+	// registered databases' row storage: cold row pages spill to
+	// per-table page files and fault back on access, so the registry
+	// holds more fixture data than the budget while the hot working
+	// set stays in memory. Reports are byte-identical to the
+	// all-resident configuration — spilling moves pages, never changes
+	// analysis results. Spill files live under DataDir/spill when
+	// DataDir is set, else in a process-private temp directory; they
+	// are transient state, wiped on startup and removed on Close (the
+	// WAL, not the spill files, is the durable copy). Databases
+	// attached inline to a single workload (Workload.DB) are never
+	// spill-managed — only registered (or recovered) databases are.
+	// Sizing guidance: the budget is a working-set target, not a hard
+	// cap — pages pinned by in-flight scans stay resident regardless,
+	// so peak usage is roughly the budget plus the pages the largest
+	// concurrent profiling pass touches. Zero disables spilling
+	// entirely (every page stays heap-resident, the prior behavior).
+	PageCacheBytes int64
 }
 
 // Cache is a process-shareable parsed-statement cache, bounded by
@@ -309,10 +328,12 @@ func (c *Checker) Recovery() RecoverySummary { return c.recovery }
 func (c *Checker) Checkpoint() error { return c.engine().Checkpoint() }
 
 // Close takes a final checkpoint and closes the write-ahead log, so
-// the next Open recovers without replay. A no-op (nil) for in-memory
-// Checkers. Callers should stop submitting Exec traffic first:
-// statements racing Close may fail with a durability error once the
-// log is closed.
+// the next Open recovers without replay, and removes the page cache's
+// spill files when Options.PageCacheBytes was set. A no-op (nil) for
+// in-memory Checkers without a page cache. Callers should stop
+// submitting Exec traffic first: statements racing Close may fail
+// with a durability error once the log is closed, and spilled pages
+// are unreadable after it.
 func (c *Checker) Close() error { return c.engine().Close() }
 
 // Finding is one detected anti-pattern with its fix.
@@ -768,6 +789,12 @@ func (c *Checker) coreOptions() core.Options {
 		opts.SharedReportCache = c.opts.ReportCache.inner
 	}
 	opts.NoCoalesce = c.opts.NoCoalesce
+	if c.opts.PageCacheBytes > 0 {
+		opts.PageCacheBytes = c.opts.PageCacheBytes
+		if c.opts.DataDir != "" {
+			opts.SpillDir = filepath.Join(c.opts.DataDir, "spill")
+		}
+	}
 	// The ranking configuration shapes scores and query ordering inside
 	// finished reports but is invisible to the engine, so it rides in
 	// the report-cache key as an opaque scope: Checkers with different
