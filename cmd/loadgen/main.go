@@ -17,6 +17,18 @@
 // runs with one seed replay identical traffic. The run prints request
 // counts per class, p50/p90/p99 latency, and sustained QPS, and can
 // write the same numbers as a JSON artifact for CI trend lines.
+//
+// With -overload the harness instead ramps offered load past the
+// daemon's admission capacity (-steps multipliers over the base
+// -concurrency, each held for -step-duration) and reports shed rate,
+// goodput vs offered load, queue-wait percentiles from the daemon's
+// admission histogram, and post-burst recovery:
+//
+//	loadgen -addr http://localhost:8686 -overload -concurrency 8 \
+//	  -steps 1,2,4,1 -step-duration 5s -out overload.json
+//
+// In overload mode 429 responses are expected shedding, not errors;
+// the run fails only on transport errors or unexpected statuses.
 package main
 
 import (
@@ -48,10 +60,47 @@ func main() {
 		repos       = flag.Int("repos", 16, "corpus repos to draw scripts from")
 		seed        = flag.Uint64("seed", 1, "corpus + traffic seed")
 		outPath     = flag.String("out", "", "write the summary as JSON to this file")
+
+		overload = flag.Bool("overload", false, "ramp offered load past capacity and measure shed rate, goodput, and recovery instead of steady-state latency")
+		steps    = flag.String("steps", "1,2,4,1", "overload ramp as comma-separated concurrency multipliers; the last step should return to 1 so recovery is measured")
+		stepDur  = flag.Duration("step-duration", 5*time.Second, "how long to hold each overload ramp step")
 	)
 	flag.Parse()
 
 	scripts := corpusScripts(*repos, *seed)
+	if *overload {
+		mults, err := parseSteps(*steps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(2)
+		}
+		sum, err := runOverload(context.Background(), overloadConfig{
+			baseURL:      strings.TrimRight(*addr, "/"),
+			concurrency:  *concurrency,
+			steps:        mults,
+			stepDuration: *stepDur,
+			coldFrac:     *coldFrac,
+			dupFrac:      *dupFrac,
+			seed:         *seed,
+			scripts:      scripts,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(sum.String())
+		if *outPath != "" {
+			raw, _ := json.MarshalIndent(sum, "", "  ")
+			if err := os.WriteFile(*outPath, append(raw, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: writing %s: %v\n", *outPath, err)
+				os.Exit(1)
+			}
+		}
+		if sum.Errors > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	sum, err := run(context.Background(), config{
 		baseURL:     strings.TrimRight(*addr, "/"),
 		duration:    *duration,

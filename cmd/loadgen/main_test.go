@@ -136,3 +136,129 @@ func TestRunAgainstStub(t *testing.T) {
 		t.Errorf("summary rendering missing qps: %q", sum.String())
 	}
 }
+
+func TestParseSteps(t *testing.T) {
+	got, err := parseSteps("1, 2,4 ,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 4, 1}
+	if len(got) != len(want) {
+		t.Fatalf("parseSteps = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseSteps = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "0", "a", "1,-2"} {
+		if _, err := parseSteps(bad); err == nil {
+			t.Errorf("parseSteps(%q) accepted", bad)
+		}
+	}
+}
+
+func TestHistDeltaPercentiles(t *testing.T) {
+	// Before: 10 observations all <= 1ms. After: 10 more in the 100ms
+	// bucket and 2 in +Inf, so the step's p50 is 100ms.
+	before := []histBucket{{LE: 0.001, Count: 10}, {LE: 0.1, Count: 10}, {LE: -1, Count: 10}}
+	after := []histBucket{{LE: 0.001, Count: 10}, {LE: 0.1, Count: 20}, {LE: -1, Count: 22}}
+	qs := histDeltaPercentiles(before, after, 0.50, 0.99)
+	if qs[0] != 100 {
+		t.Errorf("p50 = %vms, want 100", qs[0])
+	}
+	// p99 lands in +Inf, reported as the largest finite bound.
+	if qs[1] != 100 {
+		t.Errorf("p99 = %vms, want 100 (capped at largest finite bound)", qs[1])
+	}
+	// No new observations -> zeros, not division by zero.
+	if qs := histDeltaPercentiles(after, after, 0.5); qs[0] != 0 {
+		t.Errorf("empty delta p50 = %v, want 0", qs[0])
+	}
+}
+
+// TestRunOverloadAgainstStub drives the ramp against a stub daemon
+// that sheds every third request with 429 + Retry-After and serves a
+// minimal /metrics document, then checks the summary: sheds counted
+// as sheds (not errors), goodput below offered, recovery computed.
+func TestRunOverloadAgainstStub(t *testing.T) {
+	var served atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case strings.HasSuffix(r.URL.Path, "/healthz"):
+			w.Write([]byte("ok\n"))
+		case strings.HasSuffix(r.URL.Path, "/metrics"):
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"admission":{"queue_wait_count":0,"queue_wait_buckets":[{"le":0.001,"count":0},{"le":-1,"count":0}]},"panics":0,"request_timeouts":0}`))
+		default:
+			if served.Add(1)%3 == 0 {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, `{"error":"overloaded"}`, http.StatusTooManyRequests)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"reports":[]}`))
+		}
+	}))
+	defer stub.Close()
+
+	sum, err := runOverload(context.Background(), overloadConfig{
+		baseURL:      stub.URL,
+		concurrency:  2,
+		steps:        []int{1, 2, 1},
+		stepDuration: 150 * time.Millisecond,
+		coldFrac:     0.2,
+		dupFrac:      0.2,
+		seed:         1,
+		scripts:      corpusScripts(2, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Steps) != 3 {
+		t.Fatalf("got %d steps, want 3", len(sum.Steps))
+	}
+	var totalOK, totalShed int
+	for i, st := range sum.Steps {
+		if st.Errors != 0 {
+			t.Errorf("step %d errors = %d, want 0 (429 is shed, not error)", i, st.Errors)
+		}
+		if st.RetryAfterMissing != 0 {
+			t.Errorf("step %d Retry-After missing on %d sheds", i, st.RetryAfterMissing)
+		}
+		if st.GoodputQPS > st.OfferedQPS {
+			t.Errorf("step %d goodput %v > offered %v", i, st.GoodputQPS, st.OfferedQPS)
+		}
+		totalOK += st.OK
+		totalShed += st.Shed
+	}
+	if totalOK == 0 || totalShed == 0 {
+		t.Fatalf("ok = %d, shed = %d; want both nonzero", totalOK, totalShed)
+	}
+	if sum.Errors != 0 {
+		t.Errorf("summary errors = %d, want 0", sum.Errors)
+	}
+	if sum.BaselineP99ms <= 0 || sum.RecoveryRatio <= 0 {
+		t.Errorf("recovery not computed: baseline %v ratio %v", sum.BaselineP99ms, sum.RecoveryRatio)
+	}
+	if !strings.Contains(sum.String(), "recovery") {
+		t.Errorf("summary rendering missing recovery line: %q", sum.String())
+	}
+}
+
+// TestRunOverloadDaemonDown fails fast when the daemon is absent.
+func TestRunOverloadDaemonDown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out the health-check deadline")
+	}
+	_, err := runOverload(context.Background(), overloadConfig{
+		baseURL:      "http://127.0.0.1:1",
+		concurrency:  1,
+		steps:        []int{1},
+		stepDuration: 50 * time.Millisecond,
+		scripts:      []string{"SELECT 1"},
+	})
+	if err == nil {
+		t.Fatal("expected error against dead daemon")
+	}
+}

@@ -1,0 +1,373 @@
+package main
+
+// Overload mode: instead of measuring steady-state latency, ramp
+// offered load past the daemon's admission capacity and measure how it
+// degrades — does it shed excess with 429s (goodput holds) or melt
+// (errors, unbounded latency)? The ramp is a sequence of concurrency
+// multipliers over the base worker count (default 1,2,4,1); the final
+// step returns to the baseline so the run also measures recovery:
+// post-burst p99 over the baseline p99. Queue-wait percentiles come
+// from the daemon's own admission histogram, read as before/after
+// deltas per step.
+//
+// 429 is the expected overload behavior, counted as shed, not error.
+// Errors are transport failures and unexpected statuses (5xx, 4xx
+// other than 429): any of those fails the run.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type overloadConfig struct {
+	baseURL      string
+	concurrency  int // base worker count, multiplied per step
+	steps        []int
+	stepDuration time.Duration
+	coldFrac     float64
+	dupFrac      float64
+	seed         uint64
+	scripts      []string
+}
+
+// StepResult is one ramp step's outcome.
+type StepResult struct {
+	// Multiplier and Concurrency describe the step's offered load.
+	Multiplier  int `json:"multiplier"`
+	Concurrency int `json:"concurrency"`
+	// OfferedQPS counts every attempt; GoodputQPS only 200s.
+	OfferedQPS float64 `json:"offered_qps"`
+	GoodputQPS float64 `json:"goodput_qps"`
+	Requests   int     `json:"requests"`
+	OK         int     `json:"ok"`
+	Shed       int     `json:"shed"`
+	Errors     int     `json:"errors"`
+	// ShedRate is Shed/Requests.
+	ShedRate float64 `json:"shed_rate"`
+	// RetryAfterMissing counts 429s that arrived without a
+	// Retry-After header (should stay zero).
+	RetryAfterMissing int `json:"retry_after_missing"`
+	// P50ms/P99ms are successful-request latencies.
+	P50ms float64 `json:"p50_ms"`
+	P99ms float64 `json:"p99_ms"`
+	// QueueWait percentiles are derived from the daemon's admission
+	// histogram delta across the step (bucket upper bounds, ms).
+	QueueWaitP50ms float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99ms float64 `json:"queue_wait_p99_ms"`
+}
+
+// OverloadSummary is the overload run's result document.
+type OverloadSummary struct {
+	BaseConcurrency     int          `json:"base_concurrency"`
+	StepDurationSeconds float64      `json:"step_duration_seconds"`
+	Steps               []StepResult `json:"steps"`
+	// BaselineP99ms is the first step's p99, RecoveryP99ms the last
+	// step's (the ramp returns to the baseline multiplier), and
+	// RecoveryRatio their quotient — ~1.0 means the burst left no
+	// lasting damage.
+	BaselineP99ms float64 `json:"baseline_p99_ms"`
+	RecoveryP99ms float64 `json:"recovery_p99_ms"`
+	RecoveryRatio float64 `json:"recovery_ratio"`
+	// Daemon-side deltas across the whole run.
+	DaemonShedTotal int64 `json:"daemon_shed_total"`
+	DaemonTimeouts  int64 `json:"daemon_timeouts"`
+	DaemonPanics    int64 `json:"daemon_panics"`
+	Errors          int   `json:"errors"`
+}
+
+func (s OverloadSummary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen overload: base %d workers, %d steps x %.1fs\n",
+		s.BaseConcurrency, len(s.Steps), s.StepDurationSeconds)
+	fmt.Fprintf(&b, "%-5s %-7s %9s %9s %7s %7s %6s %9s %9s\n",
+		"step", "workers", "offered", "goodput", "shed%", "errors", "p99ms", "qwait-p50", "qwait-p99")
+	for i, st := range s.Steps {
+		fmt.Fprintf(&b, "%-5d %-7d %9.1f %9.1f %6.1f%% %7d %6.0f %8.1fms %8.1fms\n",
+			i+1, st.Concurrency, st.OfferedQPS, st.GoodputQPS,
+			st.ShedRate*100, st.Errors, st.P99ms, st.QueueWaitP50ms, st.QueueWaitP99ms)
+	}
+	fmt.Fprintf(&b, "recovery: baseline p99 %.2fms, post-burst p99 %.2fms (ratio %.2f)\n",
+		s.BaselineP99ms, s.RecoveryP99ms, s.RecoveryRatio)
+	fmt.Fprintf(&b, "daemon: shed %d, timeouts %d, panics %d\n",
+		s.DaemonShedTotal, s.DaemonTimeouts, s.DaemonPanics)
+	return b.String()
+}
+
+// admissionView is the slice of the daemon's /metrics document the
+// overload harness reads (queue-wait histogram and safety counters).
+type admissionView struct {
+	Admission struct {
+		ShedQueueFull    int64        `json:"shed_queue_full_total"`
+		ShedQueueWait    int64        `json:"shed_queue_wait_total"`
+		ShedTenant       int64        `json:"shed_tenant_total"`
+		QueueWaitCount   int64        `json:"queue_wait_count"`
+		QueueWaitBuckets []histBucket `json:"queue_wait_buckets"`
+	} `json:"admission"`
+	Panics   int64 `json:"panics"`
+	Timeouts int64 `json:"request_timeouts"`
+}
+
+type histBucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+func (v admissionView) shedTotal() int64 {
+	return v.Admission.ShedQueueFull + v.Admission.ShedQueueWait + v.Admission.ShedTenant
+}
+
+func fetchMetrics(ctx context.Context, client *http.Client, baseURL string) (admissionView, error) {
+	var v admissionView
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return v, err
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return v, fmt.Errorf("fetching /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return v, fmt.Errorf("/metrics status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return v, fmt.Errorf("decoding /metrics: %w", err)
+	}
+	return v, nil
+}
+
+// histDeltaPercentiles approximates queue-wait percentiles (in ms)
+// from the cumulative-bucket delta between two histogram snapshots.
+// Each percentile reports the upper bound of the bucket it lands in;
+// the +Inf bucket reports the largest finite bound.
+func histDeltaPercentiles(before, after []histBucket, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(after) == 0 || len(before) != len(after) {
+		return out
+	}
+	deltas := make([]int64, len(after))
+	var total int64
+	prev := int64(0)
+	prevBefore := int64(0)
+	for i := range after {
+		// Cumulative counts -> per-bucket counts, then difference.
+		bucketAfter := after[i].Count - prev
+		bucketBefore := before[i].Count - prevBefore
+		prev, prevBefore = after[i].Count, before[i].Count
+		deltas[i] = bucketAfter - bucketBefore
+		total += deltas[i]
+	}
+	if total == 0 {
+		return out
+	}
+	maxFinite := 0.0
+	for _, b := range after {
+		if b.LE > maxFinite {
+			maxFinite = b.LE
+		}
+	}
+	for qi, q := range qs {
+		target := int64(q * float64(total))
+		var cum int64
+		for i, d := range deltas {
+			cum += d
+			if cum > target {
+				le := after[i].LE
+				if le < 0 {
+					le = maxFinite
+				}
+				out[qi] = le * 1000 // seconds -> ms
+				break
+			}
+		}
+	}
+	return out
+}
+
+// overloadSample is one attempt in overload mode.
+type overloadSample struct {
+	status       int // 0 = transport error
+	latency      time.Duration
+	noRetryAfter bool
+}
+
+// runOverload ramps offered load through cfg.steps and aggregates.
+func runOverload(ctx context.Context, cfg overloadConfig) (OverloadSummary, error) {
+	if len(cfg.scripts) == 0 {
+		return OverloadSummary{}, fmt.Errorf("no corpus scripts")
+	}
+	if len(cfg.steps) == 0 {
+		cfg.steps = []int{1, 2, 4, 1}
+	}
+	if cfg.concurrency < 1 {
+		cfg.concurrency = 1
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+	if err := waitHealthy(ctx, client, cfg.baseURL); err != nil {
+		return OverloadSummary{}, err
+	}
+	runStart, err := fetchMetrics(ctx, client, cfg.baseURL)
+	if err != nil {
+		return OverloadSummary{}, err
+	}
+
+	sum := OverloadSummary{
+		BaseConcurrency:     cfg.concurrency,
+		StepDurationSeconds: cfg.stepDuration.Seconds(),
+	}
+	var coldSalt atomic.Int64
+	for _, mult := range cfg.steps {
+		before, err := fetchMetrics(ctx, client, cfg.baseURL)
+		if err != nil {
+			return sum, err
+		}
+		step, err := runStep(ctx, client, cfg, mult, &coldSalt)
+		if err != nil {
+			return sum, err
+		}
+		after, err := fetchMetrics(ctx, client, cfg.baseURL)
+		if err != nil {
+			return sum, err
+		}
+		qw := histDeltaPercentiles(
+			before.Admission.QueueWaitBuckets, after.Admission.QueueWaitBuckets,
+			0.50, 0.99)
+		step.QueueWaitP50ms, step.QueueWaitP99ms = qw[0], qw[1]
+		sum.Steps = append(sum.Steps, step)
+		sum.Errors += step.Errors
+	}
+
+	runEnd, err := fetchMetrics(ctx, client, cfg.baseURL)
+	if err != nil {
+		return sum, fmt.Errorf("daemon unreachable after ramp (did it survive?): %w", err)
+	}
+	sum.DaemonShedTotal = runEnd.shedTotal() - runStart.shedTotal()
+	sum.DaemonTimeouts = runEnd.Timeouts - runStart.Timeouts
+	sum.DaemonPanics = runEnd.Panics - runStart.Panics
+
+	first, last := sum.Steps[0], sum.Steps[len(sum.Steps)-1]
+	sum.BaselineP99ms, sum.RecoveryP99ms = first.P99ms, last.P99ms
+	if sum.BaselineP99ms > 0 {
+		sum.RecoveryRatio = sum.RecoveryP99ms / sum.BaselineP99ms
+	}
+	return sum, nil
+}
+
+// runStep drives one ramp step's worth of traffic.
+func runStep(ctx context.Context, client *http.Client, cfg overloadConfig, mult int, coldSalt *atomic.Int64) (StepResult, error) {
+	workers := cfg.concurrency * mult
+	stepCtx, cancel := context.WithTimeout(ctx, cfg.stepDuration)
+	defer cancel()
+
+	var mu sync.Mutex
+	var samples []overloadSample
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(cfg.seed) + int64(worker)*104729))
+			base := config{
+				coldFrac: cfg.coldFrac, dupFrac: cfg.dupFrac, scripts: cfg.scripts,
+			}
+			var local []overloadSample
+			for stepCtx.Err() == nil {
+				_, body := nextRequest(rng, base, coldSalt)
+				t0 := time.Now()
+				s := postOverload(stepCtx, client, cfg.baseURL+"/api/check", body)
+				s.latency = time.Since(t0)
+				if stepCtx.Err() != nil && s.status == 0 {
+					break // deadline mid-request, not a daemon failure
+				}
+				local = append(local, s)
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := StepResult{Multiplier: mult, Concurrency: workers}
+	var okLat []time.Duration
+	for _, s := range samples {
+		res.Requests++
+		switch {
+		case s.status == http.StatusOK:
+			res.OK++
+			okLat = append(okLat, s.latency)
+		case s.status == http.StatusTooManyRequests:
+			res.Shed++
+			if s.noRetryAfter {
+				res.RetryAfterMissing++
+			}
+		default:
+			res.Errors++
+		}
+	}
+	if elapsed > 0 {
+		res.OfferedQPS = float64(res.Requests) / elapsed.Seconds()
+		res.GoodputQPS = float64(res.OK) / elapsed.Seconds()
+	}
+	if res.Requests > 0 {
+		res.ShedRate = float64(res.Shed) / float64(res.Requests)
+	}
+	res.P50ms, _, res.P99ms = percentilesMS(okLat)
+	return res, nil
+}
+
+// postOverload issues one check request and classifies the outcome by
+// status; a 429's Retry-After header is validated here.
+func postOverload(ctx context.Context, client *http.Client, url string, body []byte) overloadSample {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return overloadSample{}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return overloadSample{}
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	s := overloadSample{status: resp.StatusCode}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || v < 1 {
+			s.noRetryAfter = true
+		}
+	}
+	return s
+}
+
+// parseSteps parses a comma-separated multiplier list ("1,2,4,1").
+func parseSteps(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad step multiplier %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no step multipliers in %q", s)
+	}
+	return out, nil
+}

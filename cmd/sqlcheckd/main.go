@@ -51,14 +51,26 @@
 // start, with periodic checkpoints bounding replay. SIGTERM/SIGINT
 // drains in-flight requests, takes a final checkpoint, and exits 0.
 //
+// Serving is overload-safe: a bounded admission layer caps
+// concurrently analyzing requests (-max-inflight) and waiting
+// requests (-max-queue, each at most -queue-wait); everything past
+// the bounds is shed with 429 and a Retry-After estimated from the
+// observed service rate, with per-tenant fairness so one database
+// name cannot starve the rest. Each admitted analysis runs under
+// -request-timeout (504 on expiry), bodies are bounded by
+// -max-body-bytes (413 past it), unknown JSON fields are rejected
+// (400), and handler panics become 500s plus sqlcheck_panics_total —
+// never a daemon crash. See the sqlcheck_admission_* /metrics family
+// and README's overload-tuning section.
+//
 // Flags: -addr (default :8686), -mode, -weights, -concurrency,
 // -cache-bytes, -report-cache-bytes, -data-dir, -checkpoint-every,
-// -page-cache-bytes, -shutdown-timeout.
+// -page-cache-bytes, -shutdown-timeout, -max-inflight, -max-queue,
+// -queue-wait, -request-timeout, -max-body-bytes.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -67,7 +79,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
@@ -86,6 +97,11 @@ func main() {
 		ckptEvery   = flag.Int("checkpoint-every", 0, "WAL records between automatic checkpoints (0 = default 1024, negative disables)")
 		pageBytes   = flag.Int64("page-cache-bytes", 0, "resident-byte budget for registered databases' row pages; cold pages spill to disk and fault back on access (0 = unbounded, all pages stay in memory)")
 		drainWait   = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown deadline for draining in-flight requests")
+		maxInflight = flag.Int("max-inflight", defaultMaxInflight(), "max concurrently analyzing requests; excess queues, then sheds with 429")
+		maxQueue    = flag.Int("max-queue", 64, "max requests waiting for an analysis slot before shedding with 429 (0 = shed immediately when all slots busy)")
+		queueWait   = flag.Duration("queue-wait", 2*time.Second, "max time one request may wait queued before shedding with 429")
+		reqTimeout  = flag.Duration("request-timeout", 60*time.Second, "per-request analysis deadline; 504 on expiry")
+		maxBody     = flag.Int64("max-body-bytes", 8<<20, "max request body bytes; 413 past it")
 	)
 	flag.Parse()
 
@@ -125,7 +141,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sqlcheckd: %v\n", err)
 		os.Exit(1)
 	}
-	srv := &http.Server{Handler: NewHandler(checker)}
+	cfg := ServerConfig{
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		QueueWait:      *queueWait,
+		RequestTimeout: *reqTimeout,
+		MaxBodyBytes:   *maxBody,
+	}.resolved()
+	// Server-level timeouts harden the listener against slow or stuck
+	// clients (slowloris header dribbling, dead reads): independent of
+	// admission, no connection may hold a serving goroutine forever.
+	// WriteTimeout covers the whole handler, so it sits above the
+	// per-request analysis deadline plus queueing and response time.
+	srv := &http.Server{
+		Handler:           NewHandlerConfig(checker, cfg),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      cfg.RequestTimeout + cfg.QueueWait + 30*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	log.Printf("sqlcheckd listening on %s", ln.Addr())
 
 	serveErr := make(chan error, 1)
@@ -234,204 +268,24 @@ type DatabaseListResponse struct {
 }
 
 // BatchResponse is returned for batch requests: one report per
-// workload, in request order.
+// workload, in request order. A workload that failed in isolation (a
+// panicking custom rule) leaves null at its report slot and adds an
+// Errors entry; the batch itself still succeeds with 200.
 type BatchResponse struct {
-	Reports []*sqlcheck.Report `json:"reports"`
+	Reports []*sqlcheck.Report  `json:"reports"`
+	Errors  []WorkloadErrorInfo `json:"errors,omitempty"`
+}
+
+// WorkloadErrorInfo names one failed workload inside an otherwise
+// successful batch.
+type WorkloadErrorInfo struct {
+	// Workload is the failed workload's index in the request.
+	Workload int `json:"workload"`
+	// Error is the failure, e.g. a rule panic naming the rule.
+	Error string `json:"error"`
 }
 
 // ErrorResponse is returned for malformed requests.
 type ErrorResponse struct {
 	Error string `json:"error"`
-}
-
-// NewHandler builds the HTTP mux; exported for tests.
-func NewHandler(checker *sqlcheck.Checker) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/api/rules", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, sqlcheck.Rules())
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		m := checker.Metrics()
-		if r.URL.Query().Get("format") == "json" ||
-			strings.Contains(r.Header.Get("Accept"), "application/json") {
-			writeJSON(w, http.StatusOK, m)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		writePrometheus(w, m)
-	})
-	// Database registry: load a fixture once, analyze it from any
-	// number of batch requests. Info reads go through a snapshot so
-	// they never race with DML on the live handle.
-	mux.HandleFunc("GET /api/databases", func(w http.ResponseWriter, r *http.Request) {
-		resp := DatabaseListResponse{Databases: []DatabaseInfo{}}
-		for _, name := range checker.RegisteredDatabases() {
-			if db := checker.RegisteredDatabase(name); db != nil {
-				resp.Databases = append(resp.Databases, databaseInfo(name, db))
-			}
-		}
-		writeJSON(w, http.StatusOK, resp)
-	})
-	mux.HandleFunc("POST /api/databases/{name}", func(w http.ResponseWriter, r *http.Request) {
-		name := r.PathValue("name")
-		var req RegisterRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "malformed JSON: " + err.Error()})
-			return
-		}
-		if strings.TrimSpace(req.Fixture) == "" {
-			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "fixture required"})
-			return
-		}
-		db := sqlcheck.NewDatabase(name)
-		if err := db.ExecScript(req.Fixture); err != nil {
-			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "fixture: " + err.Error()})
-			return
-		}
-		if err := checker.RegisterDatabase(name, db); err != nil {
-			status := http.StatusBadRequest
-			if errors.Is(err, sqlcheck.ErrDatabaseExists) {
-				status = http.StatusConflict
-			}
-			writeJSON(w, status, ErrorResponse{Error: err.Error()})
-			return
-		}
-		writeJSON(w, http.StatusCreated, databaseInfo(name, db))
-	})
-	mux.HandleFunc("POST /api/databases/{name}/exec", func(w http.ResponseWriter, r *http.Request) {
-		name := r.PathValue("name")
-		var req ExecRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "malformed JSON: " + err.Error()})
-			return
-		}
-		if strings.TrimSpace(req.SQL) == "" {
-			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "sql required"})
-			return
-		}
-		db := checker.RegisteredDatabase(name)
-		if db == nil {
-			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown database %q", name)})
-			return
-		}
-		if err := db.ExecScript(req.SQL); err != nil {
-			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "exec: " + err.Error()})
-			return
-		}
-		writeJSON(w, http.StatusOK, databaseInfo(name, db))
-	})
-	mux.HandleFunc("GET /api/databases/{name}", func(w http.ResponseWriter, r *http.Request) {
-		name := r.PathValue("name")
-		db := checker.RegisteredDatabase(name)
-		if db == nil {
-			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown database %q", name)})
-			return
-		}
-		writeJSON(w, http.StatusOK, databaseInfo(name, db))
-	})
-	mux.HandleFunc("DELETE /api/databases/{name}", func(w http.ResponseWriter, r *http.Request) {
-		name := r.PathValue("name")
-		if !checker.UnregisterDatabase(name) {
-			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown database %q", name)})
-			return
-		}
-		w.WriteHeader(http.StatusNoContent)
-	})
-	mux.HandleFunc("/api/check", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required"})
-			return
-		}
-		var req CheckRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "malformed JSON: " + err.Error()})
-			return
-		}
-		given := 0
-		for _, set := range []bool{req.Query != "", len(req.Queries) > 0, len(req.Workloads) > 0} {
-			if set {
-				given++
-			}
-		}
-		switch {
-		case given > 1:
-			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "provide exactly one of query, queries, or workloads"})
-		case req.Query != "":
-			report, err := checker.CheckSQLContext(r.Context(), req.Query)
-			if err != nil {
-				writeCheckError(w, err)
-				return
-			}
-			writeJSON(w, http.StatusOK, report)
-		case len(req.Queries) > 0:
-			reports, err := checker.CheckBatch(r.Context(), req.Queries)
-			if err != nil {
-				writeCheckError(w, err)
-				return
-			}
-			writeJSON(w, http.StatusOK, BatchResponse{Reports: reports})
-		case len(req.Workloads) > 0:
-			workloads := make([]sqlcheck.Workload, len(req.Workloads))
-			for i, wr := range req.Workloads {
-				cw := sqlcheck.Workload{SQL: wr.SQL, DBName: wr.DB, SampleSize: wr.SampleSize, Rules: wr.Rules}
-				if wr.Fixture != "" {
-					if wr.DB != "" {
-						writeJSON(w, http.StatusBadRequest, ErrorResponse{
-							Error: fmt.Sprintf("workload %d: fixture and db are mutually exclusive", i),
-						})
-						return
-					}
-					db := sqlcheck.NewDatabase(fmt.Sprintf("fixture-%d", i))
-					if err := db.ExecScript(wr.Fixture); err != nil {
-						writeJSON(w, http.StatusBadRequest, ErrorResponse{
-							Error: fmt.Sprintf("workload %d fixture: %v", i, err),
-						})
-						return
-					}
-					cw.DB = db
-				}
-				workloads[i] = cw
-			}
-			reports, err := checker.CheckWorkloads(r.Context(), workloads)
-			if err != nil {
-				writeCheckError(w, err)
-				return
-			}
-			writeJSON(w, http.StatusOK, BatchResponse{Reports: reports})
-		default:
-			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing query"})
-		}
-	})
-	return mux
-}
-
-// writeCheckError maps analysis errors to responses. A canceled
-// request context means the client went away mid-analysis: nothing is
-// written (and nothing should be logged as a client error). A
-// workload naming an unregistered database is 404; an unknown rule ID
-// in a workload's rule filter — and everything else — is the client's
-// malformed request (400).
-func writeCheckError(w http.ResponseWriter, err error) {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return
-	}
-	if errors.Is(err, sqlcheck.ErrUnknownDatabase) {
-		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: err.Error()})
-		return
-	}
-	writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
-}
-
-// databaseInfo summarizes a database from a snapshot, so rendering is
-// consistent even while statements execute on the live handle.
-func databaseInfo(name string, db *sqlcheck.Database) DatabaseInfo {
-	snap := db.Snapshot()
-	info := DatabaseInfo{Name: name, Tables: []TableInfo{}}
-	for _, t := range snap.Tables() {
-		info.Tables = append(info.Tables, TableInfo{Name: t, Rows: snap.RowCount(t)})
-	}
-	return info
 }

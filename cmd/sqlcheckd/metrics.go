@@ -14,7 +14,7 @@ import (
 // writePrometheus renders the snapshot in Prometheus text exposition
 // format (version 0.0.4). Metric names and semantics are documented
 // in DESIGN.md's /metrics reference.
-func writePrometheus(w io.Writer, m sqlcheck.Metrics) {
+func writePrometheus(w io.Writer, m MetricsResponse) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -58,6 +58,36 @@ func writePrometheus(w io.Writer, m sqlcheck.Metrics) {
 
 	counter("sqlcheck_coalesce_in_batch_total", "Workloads served by a same-batch leader instead of running the pipeline (duplicate statements in one batch).", m.Coalesce.InBatch)
 	counter("sqlcheck_coalesce_singleflight_total", "Workloads merged onto a concurrent identical in-flight analysis (cold-miss stampedes absorbed).", m.Coalesce.Singleflight)
+	gauge("sqlcheck_coalesce_open_flights", "Cold analyses registered in the singleflight right now (returns to zero when traffic drains).", m.Coalesce.OpenFlights)
+
+	// Overload protection: admission bounds and occupancy, shedding by
+	// reason, queue-wait distribution, deadline and panic fault
+	// counters.
+	adm := m.Admission
+	gauge("sqlcheck_admission_max_inflight", "Configured bound on concurrently analyzing requests.", int64(adm.MaxInflight))
+	gauge("sqlcheck_admission_max_queue", "Configured bound on requests waiting for an analysis slot.", int64(adm.MaxQueue))
+	gauge("sqlcheck_admission_inflight", "Requests analyzing right now.", adm.Inflight)
+	gauge("sqlcheck_admission_queued", "Requests waiting for an analysis slot right now.", adm.Queued)
+	counter("sqlcheck_admission_admitted_total", "Requests granted an analysis slot (with or without queueing).", adm.Admitted)
+	fmt.Fprint(w, "# HELP sqlcheck_admission_shed_total Requests refused with 429, by reason.\n# TYPE sqlcheck_admission_shed_total counter\n")
+	fmt.Fprintf(w, "sqlcheck_admission_shed_total{reason=%q} %d\n", "queue_full", adm.ShedQueueFull)
+	fmt.Fprintf(w, "sqlcheck_admission_shed_total{reason=%q} %d\n", "queue_wait", adm.ShedQueueWait)
+	fmt.Fprintf(w, "sqlcheck_admission_shed_total{reason=%q} %d\n", "tenant_fair_share", adm.ShedTenant)
+	fmt.Fprintf(w, "# HELP sqlcheck_admission_avg_service_seconds EWMA of observed request service time (the Retry-After estimate input).\n# TYPE sqlcheck_admission_avg_service_seconds gauge\nsqlcheck_admission_avg_service_seconds %g\n",
+		adm.AvgServiceSeconds)
+	fmt.Fprint(w, "# HELP sqlcheck_admission_queue_wait_seconds Time requests spent waiting for an analysis slot (fast-path admissions observe zero).\n# TYPE sqlcheck_admission_queue_wait_seconds histogram\n")
+	for _, b := range adm.QueueWaitBuckets {
+		le := "+Inf"
+		if b.LE >= 0 {
+			le = fmt.Sprintf("%g", b.LE)
+		}
+		fmt.Fprintf(w, "sqlcheck_admission_queue_wait_seconds_bucket{le=%q} %d\n", le, b.Count)
+	}
+	fmt.Fprintf(w, "sqlcheck_admission_queue_wait_seconds_sum %g\n", adm.QueueWaitSumSeconds)
+	fmt.Fprintf(w, "sqlcheck_admission_queue_wait_seconds_count %d\n", adm.QueueWaitCount)
+	counter("sqlcheck_request_timeouts_total", "Requests that hit the per-request analysis deadline (504s).", m.Timeouts)
+	counter("sqlcheck_panics_total", "Handler panics recovered into 500s (daemon bugs; rule panics are isolated per workload and counted separately).", m.Panics)
+	counter("sqlcheck_rule_panics_total", "Rule-detector panics recovered into per-workload errors (buggy registered rules; the batch and daemon keep serving).", m.RulePanics)
 
 	counter("sqlcheck_http_responses_total", "JSON responses served through the pooled encoder.", httpStats.responses.Load())
 	counter("sqlcheck_http_response_bytes_total", "Response body bytes written.", httpStats.responseBytes.Load())

@@ -7,6 +7,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 	"strings"
 
@@ -18,6 +20,14 @@ import (
 	"sqlcheck/internal/sqltoken"
 	"sqlcheck/internal/storage"
 )
+
+// ErrRulePanic marks a detection failure caused by a rule detector
+// panicking. Every rule invocation — built-in or registered through
+// the public CustomRule path — runs behind a recover, so a panicking
+// detector fails the workload it was analyzing with a wrapped
+// ErrRulePanic instead of tearing down the process (or, in a daemon,
+// the whole serving goroutine). Matched with errors.Is.
+var ErrRulePanic = errors.New("rule panicked")
 
 // Options configures a detection run.
 type Options struct {
@@ -107,6 +117,12 @@ func DefaultOptions() Options {
 type Result struct {
 	Context  *appctx.Context
 	Findings []rules.Finding
+	// Err, when non-nil, records a per-workload analysis failure (a
+	// panicking rule detector, wrapped in ErrRulePanic). The rest of
+	// the batch is unaffected: engine paths return a Result with Err
+	// set for the failed workload and complete results for the others.
+	// Context, Findings, and Memo are nil when Err is set.
+	Err error
 	// Script carries the workload's fingerprint, statement texts, and
 	// byte offsets (engine paths only; nil on the sequential path).
 	// Consumers use it to attach statement spans to findings — and, on
@@ -122,6 +138,11 @@ type Result struct {
 	// bytes. Nil when the workload opted out (Workload.NoMemo), hit
 	// the cache, or ran on the sequential path.
 	Store func(payload any, cost int64)
+	// abandon, when non-nil, releases the singleflight flight backing
+	// this result without storing a report. The engine calls it when a
+	// batch fails after this workload completed — the owner will never
+	// call Store, and a flight must not outlive its store attempt.
+	abandon func()
 }
 
 // Detect runs the full pipeline over parsed statements and an optional
@@ -149,14 +170,41 @@ func detectWithContext(ctx *appctx.Context, opts Options, rs *rules.RuleSet) *Re
 	// contextual refinement).
 	buf := make([]*rules.Rule, 0, rs.Size())
 	for qi, f := range ctx.Facts {
-		res.Findings = append(res.Findings, queryFindings(ctx, opts, rs, qi, f, buf)...)
+		fs, err := queryFindings(ctx, opts, rs, qi, f, buf)
+		if err != nil {
+			return &Result{Err: err}
+		}
+		res.Findings = append(res.Findings, fs...)
 	}
 
 	// Phases 2 and 3: inter-query and data rules.
-	res.Findings = append(res.Findings, globalFindings(ctx, rs)...)
+	gfs, err := globalFindings(ctx, rs)
+	if err != nil {
+		return &Result{Err: err}
+	}
+	res.Findings = append(res.Findings, gfs...)
 
 	res.Findings = dedupe(res.Findings, opts.MinConfidence)
 	return res
+}
+
+// safeDetect invokes one rule detector behind a recover: a panicking
+// detector — a buggy CustomRule regexp helper, an out-of-range index
+// in a Match func — becomes a workload error wrapped in ErrRulePanic
+// instead of unwinding through the pipeline (and, in a daemon,
+// killing the process). The blast radius of a bad rule is exactly the
+// workload it was analyzing.
+func safeDetect(ruleID, scope string, qi int, fn func() []rules.Finding) (out []rules.Finding, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if qi >= 0 {
+				err = fmt.Errorf("%w: rule %q (%s scope) on statement %d: %v", ErrRulePanic, ruleID, scope, qi, p)
+			} else {
+				err = fmt.Errorf("%w: rule %q (%s scope): %v", ErrRulePanic, ruleID, scope, p)
+			}
+		}
+	}()
+	return fn(), nil
 }
 
 // queryFindings runs the set's query-scoped rules over one statement
@@ -165,17 +213,24 @@ func detectWithContext(ctx *appctx.Context, opts Options, rs *rules.RuleSet) *Re
 // loop touches only enabled rules; unless NoPrefilter is set, the
 // derived dispatch gates further narrow the set to the rules that
 // could fire on this statement. buf is optional dispatch scratch
-// space reused across statements by sequential callers.
-func queryFindings(ctx *appctx.Context, opts Options, rs *rules.RuleSet, qi int, f *qanalyze.Facts, buf []*rules.Rule) []rules.Finding {
+// space reused across statements by sequential callers. A panicking
+// detector fails the statement with a wrapped ErrRulePanic.
+func queryFindings(ctx *appctx.Context, opts Options, rs *rules.RuleSet, qi int, f *qanalyze.Facts, buf []*rules.Rule) ([]rules.Finding, error) {
 	candidates := rs.QueryRules()
 	if !opts.NoPrefilter {
 		candidates = rs.QueryRulesFor(f, buf)
 	}
 	var out []rules.Finding
 	for _, r := range candidates {
-		out = append(out, r.DetectQuery(qi, f, ctx)...)
+		fs, err := safeDetect(r.ID, "query", qi, func() []rules.Finding {
+			return r.DetectQuery(qi, f, ctx)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
 	}
-	return out
+	return out, nil
 }
 
 // DetectQueries runs only the per-statement query-rule phase over a
@@ -183,13 +238,18 @@ func queryFindings(ctx *appctx.Context, opts Options, rs *rules.RuleSet, qi int,
 // dispatch and evaluation without the context build and global
 // phases diluting the measurement.
 // Findings are returned raw: no dedupe or confidence threshold runs
-// on this path.
+// on this path, and a panicking rule surfaces as missing findings
+// (benchmark-only path; engine paths report the error instead).
 func DetectQueries(ctx *appctx.Context, opts Options) []rules.Finding {
 	rs, _ := rules.NewRuleSet(opts.Rules)
 	buf := make([]*rules.Rule, 0, rs.Size())
 	var out []rules.Finding
 	for qi, f := range ctx.Facts {
-		out = append(out, queryFindings(ctx, opts, rs, qi, f, buf)...)
+		fs, err := queryFindings(ctx, opts, rs, qi, f, buf)
+		if err != nil {
+			continue
+		}
+		out = append(out, fs...)
 	}
 	return out
 }
@@ -197,12 +257,19 @@ func DetectQueries(ctx *appctx.Context, opts Options) []rules.Finding {
 // globalFindings runs the phases that need the whole application
 // context at once: the set's schema rules (phase 2, inter-query
 // detection) and its data rules per table profile (phase 3,
-// Algorithm 3). Empty scope slices skip their loops outright.
-func globalFindings(ctx *appctx.Context, rs *rules.RuleSet) []rules.Finding {
+// Algorithm 3). Empty scope slices skip their loops outright. A
+// panicking detector fails the workload with a wrapped ErrRulePanic.
+func globalFindings(ctx *appctx.Context, rs *rules.RuleSet) ([]rules.Finding, error) {
 	var out []rules.Finding
 	if ctx.Inter() {
 		for _, r := range rs.SchemaRules() {
-			out = append(out, r.DetectSchema(ctx)...)
+			fs, err := safeDetect(r.ID, "schema", -1, func() []rules.Finding {
+				return r.DetectSchema(ctx)
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, fs...)
 		}
 	}
 	if ctx.HasData() && len(rs.DataRules()) > 0 {
@@ -215,11 +282,17 @@ func globalFindings(ctx *appctx.Context, rs *rules.RuleSet) []rules.Finding {
 		for _, name := range names {
 			tp := ctx.Profiles[name]
 			for _, r := range rs.DataRules() {
-				out = append(out, r.DetectData(tp, ctx)...)
+				fs, err := safeDetect(r.ID, "data", -1, func() []rules.Finding {
+					return r.DetectData(tp, ctx)
+				})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, fs...)
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // dedupe drops sub-threshold findings, merges exact duplicates, and

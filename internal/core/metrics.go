@@ -170,6 +170,11 @@ type EngineMetrics struct {
 	// an identical workload ran in the same batch or was in flight
 	// concurrently. Zero when Options.NoCoalesce is set.
 	Coalesce CoalesceStats `json:"coalesce"`
+	// RulePanics counts rule-detector panics recovered into
+	// per-workload errors. Nonzero means a registered rule is buggy;
+	// the panicking workloads got errors, everything else kept
+	// serving.
+	RulePanics int64 `json:"rule_panics"`
 	// Phases holds per-phase latency histograms in pipeline order.
 	Phases []PhaseStats `json:"phases"`
 	// Durability snapshots the WAL/checkpoint counters when the engine
@@ -194,6 +199,10 @@ type CoalesceStats struct {
 	// identical analysis from another batch instead of running their
 	// own — the cold-miss stampede case.
 	Singleflight int64 `json:"singleflight"`
+	// OpenFlights is the singleflight registry's current size: cold
+	// analyses in flight right now. It returns to zero when traffic
+	// drains; a steady nonzero residue would mean a leaked flight.
+	OpenFlights int64 `json:"open_flights"`
 }
 
 // PhaseSkipStats counts workloads whose compiled rule set let the
@@ -233,7 +242,9 @@ func (e *Engine) Metrics() EngineMetrics {
 		Coalesce: CoalesceStats{
 			InBatch:      e.coalesce.inBatch.Load(),
 			Singleflight: e.coalesce.singleflight.Load(),
+			OpenFlights:  int64(e.openFlights()),
 		},
+		RulePanics: e.rulePanics.Load(),
 		Phases:     e.phases.snapshot(),
 		Durability: e.durabilityStats(),
 		PageCache:  e.pageCacheStats(),

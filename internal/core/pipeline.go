@@ -18,6 +18,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -199,6 +200,11 @@ type Engine struct {
 	// pipeline because an identical workload was already running or
 	// ran in the same batch.
 	coalesce coalesceCounters
+	// rulePanics counts rule-detector panics recovered into
+	// per-workload errors (ErrRulePanic). A nonzero count means a
+	// registered rule is buggy; the workloads it failed got errors,
+	// everything else kept serving.
+	rulePanics atomic.Int64
 }
 
 // flight is one in-flight cold analysis. done closes when the leader
@@ -351,11 +357,29 @@ func (e *Engine) DetectWorkloads(ctx context.Context, ws []Workload) ([]*Result,
 		i := run[ri]
 		r, err := e.detectWorkload(ctx, planned[i])
 		if err != nil {
-			return // ctx canceled; surfaced below
+			if isContextErr(err) {
+				return // batch-level cancellation; surfaced below
+			}
+			// Per-workload failure (a panicking rule): this workload
+			// reports the error, the rest of the batch is unaffected.
+			if errors.Is(err, ErrRulePanic) {
+				e.rulePanics.Add(1)
+			}
+			out[i] = &Result{Err: err, Script: planned[i].script}
+			return
 		}
 		out[i] = r
 	})
 	if err != nil {
+		// The batch failed before the owner could collect results: no
+		// Store call will ever land, so release any singleflight
+		// flights completed results still hold — a flight must never
+		// outlive its store attempt.
+		for _, r := range out {
+			if r != nil && r.abandon != nil {
+				r.abandon()
+			}
+		}
 		return nil, err
 	}
 	for fi, li := range followers {
@@ -363,10 +387,32 @@ func (e *Engine) DetectWorkloads(ctx context.Context, ws []Workload) ([]*Result,
 		if lead == nil {
 			continue // leader failed; only possible when ctx canceled
 		}
+		if lead.Err != nil {
+			// The leader's rule panic is the follower's too: identical
+			// input, identical deterministic failure.
+			out[fi] = &Result{Err: lead.Err, Script: planned[fi].script}
+			continue
+		}
 		out[fi] = &Result{Context: lead.Context, Findings: lead.Findings, Script: planned[fi].script}
 		e.coalesce.inBatch.Add(1)
 	}
 	return out, nil
+}
+
+// isContextErr reports whether err is a cancellation or deadline
+// error — the batch-level failures, as opposed to per-workload ones.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// openFlights returns how many cold analyses are registered in the
+// cross-batch singleflight right now. A steady-state nonzero value
+// after traffic drains would mean a leaked flight — the cancellation
+// suite asserts it returns to zero.
+func (e *Engine) openFlights() int {
+	e.flightMu.Lock()
+	defer e.flightMu.Unlock()
+	return len(e.flights)
 }
 
 // plannedWorkload is a workload after admission: database resolved
@@ -588,21 +634,25 @@ func (e *Engine) detectWorkload(ctx context.Context, pw plannedWorkload) (*Resul
 			// actually lands the report in the cache: between done
 			// closing and that store, new arrivals merge on the
 			// flight's result instead of finding neither a cache entry
-			// nor a flight and re-running the analysis. If the owner
-			// abandons the result (batch canceled mid-collection), the
-			// flight stays — serving the identical frozen-state report
-			// it holds, which is exactly what the cache entry would
-			// have served. The flight never outlives the store attempt:
-			// if the cache declines admission (variant bound, doorkeeper
-			// under memory pressure), later arrivals re-run rather than
-			// pinning an unbounded flight per declined literal variant.
-			store := res.Store
-			res.Store = func(payload any, cost int64) {
-				store(payload, cost)
+			// nor a flight and re-running the analysis. The flight
+			// never outlives the store attempt: if the cache declines
+			// admission (variant bound, doorkeeper under memory
+			// pressure), later arrivals re-run rather than pinning an
+			// unbounded flight per declined literal variant. And when
+			// the owner will never store — the batch was canceled
+			// mid-collection — it calls abandon instead, so a shed
+			// request cannot leak its flight.
+			release := func() {
 				e.flightMu.Lock()
 				delete(e.flights, vk)
 				e.flightMu.Unlock()
 			}
+			store := res.Store
+			res.Store = func(payload any, cost int64) {
+				store(payload, cost)
+				release()
+			}
+			res.abandon = release
 		} else {
 			e.flightMu.Lock()
 			delete(e.flights, vk)
@@ -645,6 +695,14 @@ func (e *Engine) runWorkload(ctx context.Context, pw plannedWorkload) (*Result, 
 	// phase runs only on demand: when no rule in the workload's set
 	// consumes profiles, the whole stage — snapshot scan, sampling,
 	// histogramming — is elided (counted at admission in skips).
+	// Cooperative cancellation checkpoint between phases: a shed or
+	// timed-out request stops here rather than starting the next
+	// stage's work. The pool select at slot acquisition also checks,
+	// but it picks a ready branch at random when slots are free —
+	// these explicit checks make the stop prompt and deterministic.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var profiles map[string]*profile.TableProfile
 	if pw.rs.NeedsProfile() {
 		start = time.Now()
@@ -662,6 +720,9 @@ func (e *Engine) runWorkload(ctx context.Context, pw plannedWorkload) (*Result, 
 	// cross-statement aggregates) over the prebuilt profiles. Global
 	// stages hold a statement-pool slot so concurrent checks on a
 	// shared engine stay bounded end to end, not just during fan-out.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start = time.Now()
 	var actx *appctx.Context
 	if err := e.stmts.run(ctx, func() {
@@ -675,13 +736,24 @@ func (e *Engine) runWorkload(ctx context.Context, pw plannedWorkload) (*Result, 
 	// dispatch prefilter, over the workload's compiled rule set —
 	// disabled rules were dropped at admission and never reach the
 	// gates. The context is read-only from here on; per-statement
-	// result slots keep ordering deterministic.
+	// result slots keep ordering deterministic. A rule panic is
+	// recovered into a per-statement error; the first one (in
+	// statement order, for determinism) fails this workload.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start = time.Now()
 	perStmt := make([][]rules.Finding, len(facts))
+	stmtErrs := make([]error, len(facts))
 	if err := e.stmts.each(ctx, len(facts), func(i int) {
-		perStmt[i] = queryFindings(actx, e.opts, pw.rs, i, facts[i], nil)
+		perStmt[i], stmtErrs[i] = queryFindings(actx, e.opts, pw.rs, i, facts[i], nil)
 	}); err != nil {
 		return nil, err
+	}
+	for _, serr := range stmtErrs {
+		if serr != nil {
+			return nil, serr
+		}
 	}
 	e.phases.observe(PhaseQueryRules, time.Since(start))
 
@@ -692,16 +764,27 @@ func (e *Engine) runWorkload(ctx context.Context, pw plannedWorkload) (*Result, 
 	if actx.Inter() && !pw.rs.HasGlobalRules() {
 		e.skips.interQuery.Add(1)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start = time.Now()
 	res := &Result{Context: actx, Script: pw.script}
+	var globalErr error
 	if err := e.stmts.run(ctx, func() {
 		for _, fs := range perStmt {
 			res.Findings = append(res.Findings, fs...)
 		}
-		res.Findings = append(res.Findings, globalFindings(actx, pw.rs)...)
+		var gf []rules.Finding
+		if gf, globalErr = globalFindings(actx, pw.rs); globalErr != nil {
+			return
+		}
+		res.Findings = append(res.Findings, gf...)
 		res.Findings = dedupe(res.Findings, e.opts.MinConfidence)
 	}); err != nil {
 		return nil, err
+	}
+	if globalErr != nil {
+		return nil, globalErr
 	}
 	e.phases.observe(PhaseGlobal, time.Since(start))
 	if pw.canStore {

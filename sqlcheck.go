@@ -529,7 +529,64 @@ var (
 	// Workload.Rules) naming a rule ID that is not in the catalog.
 	// The daemon maps it to HTTP 400.
 	ErrUnknownRule = rules.ErrUnknownRule
+	// ErrRulePanic reports a rule detector that panicked during
+	// analysis. The panic is recovered and isolated: only the
+	// workloads the rule ran on fail (wrapped in WorkloadError by
+	// CheckWorkloads), the rest of the batch and the Checker itself
+	// keep working. The error text names the rule, scope, and
+	// statement.
+	ErrRulePanic = core.ErrRulePanic
 )
+
+// WorkloadError reports one workload's analysis failure inside an
+// otherwise successful batch — today that means a panicking rule
+// (ErrRulePanic); batch-level failures (cancellation, unknown
+// database or rule IDs) fail the whole CheckWorkloads call instead.
+// Match with errors.As, or collect all of them with WorkloadErrors.
+type WorkloadError struct {
+	// Workload is the failed workload's index in the CheckWorkloads
+	// input.
+	Workload int
+	// Err is the underlying failure; errors.Is(Err, ErrRulePanic)
+	// identifies rule panics.
+	Err error
+}
+
+func (e *WorkloadError) Error() string {
+	return fmt.Sprintf("sqlcheck: workload %d: %v", e.Workload, e.Err)
+}
+
+func (e *WorkloadError) Unwrap() error { return e.Err }
+
+// WorkloadErrors extracts the per-workload failures from a
+// CheckWorkloads error. It returns nil when err is nil or carries no
+// WorkloadError (a batch-level failure such as cancellation), and the
+// failures in workload order otherwise — callers use it to tell "some
+// workloads failed, the rest of the reports are good" from "the batch
+// never ran".
+func WorkloadErrors(err error) []*WorkloadError {
+	if err == nil {
+		return nil
+	}
+	var out []*WorkloadError
+	var collect func(error)
+	collect = func(err error) {
+		if we, ok := err.(*WorkloadError); ok {
+			out = append(out, we)
+			return
+		}
+		switch u := err.(type) {
+		case interface{ Unwrap() []error }:
+			for _, e := range u.Unwrap() {
+				collect(e)
+			}
+		case interface{ Unwrap() error }:
+			collect(u.Unwrap())
+		}
+	}
+	collect(err)
+	return out
+}
 
 // RegisterDatabase makes db available to workloads as DBName=name —
 // the fixture-reuse path: load a database once, analyze it from any
@@ -579,7 +636,14 @@ type RegistryStats = core.RegistryStats
 // failing the batch. The error is non-nil for an empty batch, a
 // canceled ctx (in which case it is ctx.Err()), a DBName that is not
 // registered (ErrUnknownDatabase), a rule filter naming an unknown
-// rule ID (ErrUnknownRule), or a workload setting both DB and DBName.
+// rule ID (ErrUnknownRule), or a workload setting both DB and DBName;
+// those batch-level failures return no reports.
+//
+// A panicking rule detector, by contrast, fails only the workloads it
+// ran on: the reports slice is still returned full-length with nil at
+// each failed slot, and the error joins one *WorkloadError per
+// failure (unpack with WorkloadErrors). The rest of the batch — and
+// the Checker — are unaffected.
 func (c *Checker) CheckWorkloads(ctx context.Context, workloads []Workload) ([]*Report, error) {
 	if len(workloads) == 0 {
 		return nil, errors.New("sqlcheck: no workloads")
@@ -615,8 +679,13 @@ func (c *Checker) CheckWorkloads(ctx context.Context, workloads []Workload) ([]*
 		}
 	}
 	var masters map[*appctx.Context]*Report // span-free, for shared results
+	var werrs []error
 	reports := make([]*Report, len(results))
 	for i, res := range results {
+		if res.Err != nil {
+			werrs = append(werrs, &WorkloadError{Workload: i, Err: res.Err})
+			continue
+		}
 		if res.Memo != nil {
 			// Report-cache hit: no pipeline phase ran. Serve a deep copy
 			// of the memoized report with spans rebound to the submitted
@@ -648,6 +717,9 @@ func (c *Checker) CheckWorkloads(ctx context.Context, workloads []Workload) ([]*
 		}
 		setSpans(rep, res.Script)
 		reports[i] = rep
+	}
+	if len(werrs) > 0 {
+		return reports, errors.Join(werrs...)
 	}
 	return reports, nil
 }
